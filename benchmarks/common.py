@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index): it runs the workload, renders the
+rows/series with :mod:`repro.reporting`, writes them under
+``benchmarks/results/``, prints them (visible with ``pytest -s``), and
+asserts the qualitative *shape* the paper reports.  Timings come from
+pytest-benchmark (single round -- these are simulations, not
+micro-kernels).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, title: str, body: str) -> Path:
+    """Write a markdown experiment report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    content = f"# {title}\n\n{body}\n"
+    path.write_text(content, encoding="utf-8")
+    print(f"\n{content}")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Time one execution of ``fn`` through pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

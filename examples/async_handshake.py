@@ -1,0 +1,42 @@
+"""Self-timed molecular pipelines (the asynchronous companion scheme).
+
+Samples move through a delay pipeline with no clock: the absence
+indicators alone order the phases, and the environment injects the next
+sample when the previous one has arrived -- a molecular
+request/acknowledge handshake.  The demo contrasts the companion-faithful
+consuming-indicator protocol with the sharpened catalytic variant.
+
+Run:  python examples/async_handshake.py
+"""
+
+from repro.asynchronous import SelfTimedPipeline
+from repro.reporting import markdown_table, plot_trajectory
+
+SAMPLES = [20.0, 10.0, 30.0]
+
+
+def main() -> None:
+    rows = []
+    for gating in ("consuming", "catalytic"):
+        pipeline = SelfTimedPipeline(n=2, gating=gating)
+        run = pipeline.run(SAMPLES, record=(gating == "catalytic"))
+        rows.append([gating,
+                     [round(v, 1) for v in run.arrived],
+                     round(run.mean_latency, 2),
+                     round(run.max_error(), 3)])
+        if run.trajectory is not None:
+            print(plot_trajectory(
+                run.trajectory, ["X", "R_d1", "R_d2", "Y"],
+                title=f"self-timed waves ({gating} gating)"))
+
+    print(markdown_table(
+        ["gating", "arrived per wave", "mean latency", "max |error|"],
+        rows))
+    print("\nThe consuming protocol (the companion's literal reactions) "
+          "moves one unit per generated indicator, so its latency is "
+          "throughput-limited; the catalytic gate reads the indicator "
+          "instead of consuming it and is several times faster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""A second-order recursive (biquad) filter with signed arithmetic.
+
+Negative filter coefficients force dual-rail (p/n) signal encoding with
+fast annihilation -- the full generality of the synthesis flow.  The
+demo measures the impulse response and the empirical amplitude gain at
+two tone frequencies, comparing against the filter's analytic frequency
+response.
+
+Run:  python examples/biquad_filter.py  (takes ~1 minute)
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.apps import biquad, tone
+from repro.baselines import frequency_response, measured_gain_at_period
+from repro.core.machine import SynchronousMachine
+from repro.reporting import markdown_table, plot_samples
+
+B = (Fraction(1, 4), Fraction(1, 2), Fraction(1, 4))
+A = (Fraction(-1, 4), Fraction(1, 8))
+
+
+def main() -> None:
+    design = biquad(*B, *A)
+    machine = SynchronousMachine(design)
+    print(machine.network.summary())
+    print("coefficients: b =", [str(c) for c in B],
+          " a =", [str(c) for c in A], "\n")
+
+    impulse = [16.0] + [0.0] * 7
+    run = machine.run({"x": impulse})
+    n = len(impulse)
+    print(plot_samples({"measured h[n]": list(run.outputs["y"][:n]),
+                        "reference h[n]": list(run.reference["y"])},
+                       title="biquad impulse response (signed rails)"))
+    print(f"impulse response max |error| = {run.max_error():.4f}\n")
+
+    rows = []
+    for period in (4, 8):
+        wave = [round(v, 1) for v in tone(12, period=period,
+                                          amplitude=6.0)]
+        tone_run = machine.run({"x": wave})
+        measured = measured_gain_at_period(
+            tone_run.outputs["y"][:len(wave)], np.array(wave), period,
+            skip=4)
+        omega_index = int(round((2.0 / period) * 63))
+        analytic = frequency_response(
+            [float(c) for c in B], [float(c) for c in A],
+            n_points=64)[omega_index]
+        rows.append([f"1/{period}", analytic, measured,
+                     abs(measured - analytic)])
+    print(markdown_table(["tone frequency", "analytic |H|",
+                          "measured gain", "|diff|"], rows))
+
+
+if __name__ == "__main__":
+    main()

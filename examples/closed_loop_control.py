@@ -1,0 +1,78 @@
+"""A molecular PI controller in closed loop with an external plant.
+
+The chemistry computes the control law; Python simulates the plant (a
+leaky tank).  Each sampling period the environment measures the level,
+presents the *error* to the reaction network, and applies the network's
+output as the actuation -- feedback through the outside world, driven by
+the incremental :class:`MachineStepper` API.
+
+    controller (chemistry):  u[n] = Kp e[n] + Ki s[n],  s[n+1] = s[n] + e[n]
+    plant (environment):     L[n+1] = L[n] + u[n] - leak * L[n]
+
+The error changes sign when the tank overshoots, so the controller is a
+signed (dual-rail) design.
+
+Run:  python examples/closed_loop_control.py  (takes ~1 minute)
+"""
+
+from fractions import Fraction
+
+from repro.core import SignalFlowGraph, SynchronousMachine
+from repro.reporting import markdown_table, plot_samples
+
+KP = Fraction(1, 2)
+KI = Fraction(1, 4)
+SETPOINT = 12.0
+LEAK = 0.25
+N_STEPS = 14
+
+
+def pi_controller() -> SignalFlowGraph:
+    sfg = SignalFlowGraph("pi")
+    error = sfg.input("e")
+    integral = sfg.delay("s")
+    sfg.connect(sfg.add(integral, error), integral)   # s += e
+    u = sfg.add(sfg.gain(KP, error), sfg.gain(KI, integral))
+    sfg.output("u", u)
+    return sfg
+
+
+def main() -> None:
+    # The error changes sign in closed loop even though every
+    # coefficient is positive, so force the dual-rail encoding.
+    machine = SynchronousMachine(pi_controller(), signed=True)
+    print(machine.network.summary())
+    print(f"control law: u = {KP} e + {KI} sum(e);  "
+          f"plant: L += u - {LEAK} L;  setpoint {SETPOINT}\n")
+
+    stepper = machine.stepper()
+    level = 0.0
+    levels, errors, actuations = [], [], []
+    for _ in range(N_STEPS):
+        error = SETPOINT - level
+        actuation = stepper.step({"e": error})["u"]
+        level = level + actuation - LEAK * level
+        levels.append(level)
+        errors.append(error)
+        actuations.append(actuation)
+
+    print(plot_samples({"tank level": levels,
+                        "setpoint": [SETPOINT] * N_STEPS},
+                       title="closed-loop step response"))
+    rows = [[n, round(e, 3), round(u, 3), round(level_, 3)]
+            for n, (e, u, level_) in enumerate(zip(errors, actuations,
+                                                   levels))]
+    print(markdown_table(["n", "error e[n]", "actuation u[n]",
+                          "level L[n+1]"], rows))
+
+    steady = levels[-3:]
+    target = SETPOINT
+    print(f"\nfinal levels {['%.2f' % v for v in steady]} "
+          f"(setpoint {target}): integral action removes the "
+          f"steady-state error a pure P controller would leave "
+          f"({LEAK * target / (float(KP) + LEAK):.2f} units).")
+    assert abs(levels[-1] - target) < 0.5
+
+
+if __name__ == "__main__":
+    main()

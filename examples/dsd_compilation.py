@@ -1,0 +1,52 @@
+"""Compiling a design to DNA strand displacement (the wet-lab chassis).
+
+Takes the delay-element network, compiles every formal reaction to a
+buffered strand-displacement cascade (Soloveichik et al. 2010 style),
+prints the structural inventory a lab would have to synthesize, and
+verifies that the compiled implementation reproduces the ideal kinetics.
+
+Run:  python examples/dsd_compilation.py  (takes ~1 minute; stiff ODEs)
+"""
+
+from repro.core.analysis import effective_value
+from repro.core.memory import build_delay_chain
+from repro.crn.simulation.ode import OdeSimulator
+from repro.dsd import compile_network
+from repro.reporting import markdown_table
+
+
+def main() -> None:
+    network, _, _ = build_delay_chain(n=1, initial=20.0)
+    print("formal network:", network.summary())
+    ideal = effective_value(
+        OdeSimulator(network).simulate(25.0, n_samples=40), "Y")
+
+    compilation = compile_network(network, c_max=10_000.0)
+    print("compiled:", compilation.network.summary())
+    print("expansion factor:",
+          f"{compilation.expansion_factor:.1f} reactions per formal "
+          f"reaction")
+
+    inventory = compilation.inventory
+    print("\nstructural inventory:", inventory.summary())
+    print("\nexample signal strand:")
+    print(" ", inventory.signal_strand_for("X"))
+    print("example fuel complex strands:")
+    gate = inventory.fuel_complexes[0]
+    for strand in gate.strands:
+        print(" ", strand)
+
+    trajectory = OdeSimulator(compilation.network, method="BDF",
+                              rtol=1e-5, atol=1e-8).simulate(
+        25.0, n_samples=40)
+    measured = effective_value(trajectory, "Y")
+    rows = [["ideal CRN", ideal],
+            ["DSD implementation", measured],
+            ["relative deviation", abs(measured - ideal) / ideal],
+            ["worst fuel depletion",
+             compilation.fuel_depletion(trajectory)]]
+    print("\n" + markdown_table(["quantity", "value"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""A molecular moving-average filter smoothing a noisy sensor stream.
+
+The motivating scenario: a molecular sensor produces a noisy sampled
+concentration signal; a four-tap moving average implemented *in
+chemistry* smooths it before it drives a downstream actuator.  The demo
+streams the noisy signal through the synthesized reaction network and
+compares with the exact discrete-time filter.
+
+Run:  python examples/moving_average_filter.py
+"""
+
+import numpy as np
+
+from repro.apps import moving_average
+from repro.core.machine import SynchronousMachine
+from repro.reporting import markdown_table, plot_samples
+
+
+def noisy_sensor_stream(n: int, seed: int = 3) -> list[float]:
+    """A drifting baseline plus spiky noise, all non-negative."""
+    rng = np.random.default_rng(seed)
+    base = 12.0 + 6.0 * np.sin(2 * np.pi * np.arange(n) / 10.0)
+    noise = rng.normal(0.0, 2.5, n)
+    spikes = (rng.random(n) < 0.2) * rng.uniform(4, 9, n)
+    return list(np.round(np.clip(base + noise + spikes, 0.0, None), 1))
+
+
+def main() -> None:
+    samples = noisy_sensor_stream(14)
+    design = moving_average(4)
+    machine = SynchronousMachine(design)
+    print(machine.network.summary())
+    print(f"(clock + {len(design.to_matrix().delays)} delay registers, "
+          f"all gains exactly 1/4)\n")
+
+    run = machine.run({"x": samples})
+    measured = run.outputs["y"][:len(samples)]
+    reference = run.reference["y"]
+
+    print(plot_samples({"sensor x[n]": samples,
+                        "smoothed y[n]": list(measured)},
+                       title="4-tap molecular moving average"))
+
+    rows = [[n, x, float(m), float(r), float(abs(m - r))]
+            for n, (x, m, r) in enumerate(zip(samples, measured,
+                                              reference))]
+    print(markdown_table(["n", "x[n]", "measured", "reference",
+                          "|err|"], rows))
+    print(f"\nmax |error| = {run.max_error():.4f} quantity units")
+    print(f"mean cycle time = {run.mean_cycle_time:.2f} slow time units")
+
+    in_sw = max(samples) - min(samples)
+    out_sw = measured[4:].max() - measured[4:].min()
+    print(f"input swing {in_sw:.1f} -> output swing {out_sw:.1f} "
+          f"(smoothing factor {in_sw / out_sw:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

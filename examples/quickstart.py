@@ -1,0 +1,77 @@
+"""Quickstart: molecular reactions as a computing substrate.
+
+Runs in three short acts:
+
+1. a raw chemical reaction network, simulated with mass-action kinetics;
+2. the molecular clock -- sustained three-phase oscillation;
+3. a clocked moving-average filter: a synthesized reaction network whose
+   input/output behaviour matches the discrete-time filter exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import parse_network, simulate
+from repro.core import SignalFlowGraph, SynchronousMachine, build_clock
+from repro.crn.simulation.ode import OdeSimulator
+from repro.reporting import plot_samples, plot_trajectory
+
+
+def act_one_raw_crn() -> None:
+    print("=" * 70)
+    print("Act 1: a chemical reaction network, straight from text")
+    print("=" * 70)
+    network = parse_network("""
+        network: demo
+        X + E -> Y + E @ fast     # catalysed conversion
+        Y -> Z @ slow
+        init X = 10
+        init E = 1
+    """)
+    print(network.summary())
+    trajectory = simulate(network, 8.0)
+    print(plot_trajectory(trajectory, ["X", "Y", "Z"],
+                          title="X -> Y -> Z"))
+    print(f"final Z = {trajectory.final('Z'):.3f} (all 10 units arrive)\n")
+
+
+def act_two_clock() -> None:
+    print("=" * 70)
+    print("Act 2: the molecular clock (three-phase oscillator)")
+    print("=" * 70)
+    network, clock, _ = build_clock(mass=20.0)
+    trajectory = OdeSimulator(network).simulate(12.0, n_samples=1200)
+    print(plot_trajectory(trajectory, clock.species_names(),
+                          title="C_red / C_green / C_blue"))
+    long = OdeSimulator(network).simulate(40.0, n_samples=2000)
+    print(f"period = {clock.period(long):.3f} slow time units, "
+          f"jitter = {clock.period_jitter(long):.4f}\n")
+
+
+def act_three_filter() -> None:
+    print("=" * 70)
+    print("Act 3: a clocked molecular filter  y[n] = (x[n] + x[n-1]) / 2")
+    print("=" * 70)
+    sfg = SignalFlowGraph("ma2")
+    x = sfg.input("x")
+    delayed = sfg.delay("d1", source=x)
+    sfg.output("y", sfg.add(sfg.gain(Fraction(1, 2), x),
+                            sfg.gain(Fraction(1, 2), delayed)))
+
+    machine = SynchronousMachine(sfg)
+    print(machine.network.summary())
+    samples = [10.0, 20.0, 40.0, 0.0, 30.0, 30.0]
+    run = machine.run({"x": samples})
+    print(plot_samples({"x[n]": samples,
+                        "y[n] measured": list(run.outputs["y"][:6]),
+                        "y[n] reference": list(run.reference["y"])},
+                       title="moving average, molecular vs reference"))
+    print(f"max |error| vs exact reference: {run.max_error():.4f}")
+    print(f"mean clock cycle: {run.mean_cycle_time:.2f} slow time units")
+
+
+if __name__ == "__main__":
+    act_one_raw_crn()
+    act_two_clock()
+    act_three_filter()

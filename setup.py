@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package
+that PEP 660 editable installs require, so `pip install -e .` falls back
+to `setup.py develop` via --no-use-pep517."""
+from setuptools import setup
+
+setup()

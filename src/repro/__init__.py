@@ -1,0 +1,31 @@
+"""repro -- Synchronous sequential computation with molecular reactions.
+
+A from-scratch Python reproduction of Jiang, Riedel & Parhi,
+"Synchronous Sequential Computation with Molecular Reactions" (DAC 2011),
+together with every substrate the paper depends on: a chemical reaction
+network kernel with deterministic and stochastic simulators, the three-phase
+(red/green/blue) transfer protocol with absence indicators, a molecular
+clock, delay-element memory, a synthesis flow from signal-flow graphs to
+reactions, digital (dual-rail) sequential logic, the asynchronous
+(self-timed) companion scheme, and a DNA strand-displacement compilation of
+arbitrary networks as the experimental-chassis substitute.
+"""
+
+__version__ = "1.0.0"
+
+from repro.crn import (Network, OdeSimulator, RateScheme, Reaction, Species,
+                       StochasticSimulator, Trajectory, parse_network,
+                       simulate)
+
+__all__ = [
+    "Network",
+    "OdeSimulator",
+    "RateScheme",
+    "Reaction",
+    "Species",
+    "StochasticSimulator",
+    "Trajectory",
+    "__version__",
+    "parse_network",
+    "simulate",
+]

@@ -1,0 +1,20 @@
+"""Worked DSP applications built on the synchronous machinery."""
+
+from repro.apps.filters import (biquad, comb, dc_blocker, fir,
+                                iir_first_order, impulse_response,
+                                leaky_integrator, moving_average,
+                                run_filter, step_response, tone)
+
+__all__ = [
+    "biquad",
+    "comb",
+    "dc_blocker",
+    "fir",
+    "iir_first_order",
+    "leaky_integrator",
+    "impulse_response",
+    "moving_average",
+    "run_filter",
+    "step_response",
+    "tone",
+]

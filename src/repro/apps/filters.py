@@ -1,0 +1,189 @@
+"""DSP applications: the paper's worked examples as design builders.
+
+Each builder returns a :class:`~repro.core.dfg.SignalFlowGraph` ready for
+synthesis, plus convenience runners that stream samples through a
+:class:`~repro.core.machine.SynchronousMachine` and compare against the
+exact discrete-time reference.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.dfg import SignalFlowGraph
+from repro.core.machine import MachineRun, SynchronousMachine
+from repro.core.phases import rational_gain
+from repro.errors import SynthesisError
+
+
+def moving_average(n_taps: int = 2, name: str | None = None
+                   ) -> SignalFlowGraph:
+    """``y[n] = (x[n] + x[n-1] + ... + x[n-(N-1)]) / N``.
+
+    The paper's flagship example (the two-tap case in the DAC paper, the
+    general case in the journal extension).
+    """
+    if n_taps < 1:
+        raise SynthesisError("moving average needs at least one tap")
+    sfg = SignalFlowGraph(name or f"moving_average_{n_taps}")
+    x = sfg.input("x")
+    taps = [x]
+    previous = x
+    for i in range(1, n_taps):
+        previous = sfg.delay(f"d{i}", source=previous)
+        taps.append(previous)
+    weight = Fraction(1, n_taps)
+    scaled = [sfg.gain(weight, tap) for tap in taps]
+    output = scaled[0] if len(scaled) == 1 else sfg.add(*scaled)
+    sfg.output("y", output)
+    return sfg
+
+
+def fir(coefficients, name: str | None = None) -> SignalFlowGraph:
+    """General FIR filter ``y[n] = sum(c_i x[n-i])``.
+
+    Coefficients are snapped to exact rationals; negative taps produce a
+    signed (dual-rail) design.
+    """
+    coefficients = [rational_gain(c) for c in coefficients]
+    if not coefficients:
+        raise SynthesisError("FIR needs at least one coefficient")
+    sfg = SignalFlowGraph(name or f"fir_{len(coefficients)}")
+    x = sfg.input("x")
+    taps = [x]
+    previous = x
+    for i in range(1, len(coefficients)):
+        previous = sfg.delay(f"d{i}", source=previous)
+        taps.append(previous)
+    terms = [sfg.gain(c, tap) for c, tap in zip(coefficients, taps)
+             if c != 0]
+    if not terms:
+        raise SynthesisError("all FIR coefficients are zero")
+    output = terms[0] if len(terms) == 1 else sfg.add(*terms)
+    sfg.output("y", output)
+    return sfg
+
+
+def iir_first_order(feed: Fraction | float = Fraction(1, 2),
+                    feedback: Fraction | float = Fraction(1, 2),
+                    name: str = "iir1") -> SignalFlowGraph:
+    """``y[n] = feed * x[n] + feedback * y[n-1]`` (low-pass for
+    ``0 < feedback < 1``)."""
+    feed = rational_gain(feed)
+    feedback = rational_gain(feedback)
+    if abs(feedback) >= 1:
+        raise SynthesisError("|feedback| must be < 1 for stability")
+    sfg = SignalFlowGraph(name)
+    x = sfg.input("x")
+    state = sfg.delay("s")
+    y = sfg.add(sfg.gain(feed, x), sfg.gain(feedback, state))
+    sfg.output("y", y)
+    sfg.connect(y, state)
+    return sfg
+
+
+def biquad(b0, b1, b2, a1, a2, name: str = "biquad") -> SignalFlowGraph:
+    """Direct-form-I biquad:
+    ``y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]``.
+    """
+    b0, b1, b2 = (rational_gain(v) for v in (b0, b1, b2))
+    a1, a2 = (rational_gain(v) for v in (a1, a2))
+    sfg = SignalFlowGraph(name)
+    x = sfg.input("x")
+    d1 = sfg.delay("d1", source=x)
+    d2 = sfg.delay("d2", source=d1)
+    y1 = sfg.delay("y1")
+    y2 = sfg.delay("y2", source=y1)
+    terms = []
+    for coeff, node in ((b0, x), (b1, d1), (b2, d2),
+                        (-a1, y1), (-a2, y2)):
+        if coeff != 0:
+            terms.append(sfg.gain(coeff, node))
+    if len(terms) < 2:
+        raise SynthesisError("biquad needs at least two nonzero terms")
+    y = sfg.add(*terms)
+    sfg.output("y", y)
+    sfg.connect(y, y1)
+    return sfg
+
+
+def leaky_integrator(retention: Fraction | float = Fraction(3, 4),
+                     name: str = "leaky") -> SignalFlowGraph:
+    """``y[n] = x[n] + retention * y[n-1]`` -- an accumulator whose
+    memory decays geometrically (retention < 1 keeps it bounded)."""
+    retention = rational_gain(retention)
+    if not 0 < retention < 1:
+        raise SynthesisError("retention must be in (0, 1)")
+    sfg = SignalFlowGraph(name)
+    x = sfg.input("x")
+    state = sfg.delay("s")
+    y = sfg.add(x, sfg.gain(retention, state))
+    sfg.output("y", y)
+    sfg.connect(y, state)
+    return sfg
+
+
+def dc_blocker(pole: Fraction | float = Fraction(3, 4),
+               name: str = "dc_blocker") -> SignalFlowGraph:
+    """``y[n] = x[n] - x[n-1] + pole * y[n-1]`` -- removes the constant
+    (DC) component of a stream; a signed design by construction."""
+    pole = rational_gain(pole)
+    if not 0 < pole < 1:
+        raise SynthesisError("pole must be in (0, 1)")
+    sfg = SignalFlowGraph(name)
+    x = sfg.input("x")
+    previous = sfg.delay("xd", source=x)
+    state = sfg.delay("yd")
+    y = sfg.add(sfg.subtract(x, previous), sfg.gain(pole, state))
+    sfg.output("y", y)
+    sfg.connect(y, state)
+    return sfg
+
+
+def comb(delay_taps: int = 2, gain: Fraction | float = Fraction(1, 2),
+         name: str | None = None) -> SignalFlowGraph:
+    """Feed-forward comb ``y[n] = x[n] + gain * x[n-D]`` (echo)."""
+    if delay_taps < 1:
+        raise SynthesisError("comb needs at least one delay tap")
+    gain = rational_gain(gain)
+    sfg = SignalFlowGraph(name or f"comb_{delay_taps}")
+    x = sfg.input("x")
+    node = x
+    for i in range(delay_taps):
+        node = sfg.delay(f"d{i}", source=node)
+    sfg.output("y", sfg.add(x, sfg.gain(gain, node)))
+    return sfg
+
+
+def run_filter(sfg: SignalFlowGraph, samples, machine_kwargs=None,
+               run_kwargs=None) -> MachineRun:
+    """Synthesize and stream samples through a filter design."""
+    machine = SynchronousMachine(sfg, **(machine_kwargs or {}))
+    return machine.run({"x": list(samples)}, **(run_kwargs or {}))
+
+
+def impulse_response(sfg: SignalFlowGraph, n_samples: int = 8,
+                     amplitude: float = 16.0,
+                     machine_kwargs=None) -> MachineRun:
+    """Measured impulse response of a synthesized filter."""
+    samples = [amplitude] + [0.0] * (n_samples - 1)
+    return run_filter(sfg, samples, machine_kwargs)
+
+
+def step_response(sfg: SignalFlowGraph, n_samples: int = 8,
+                  amplitude: float = 10.0,
+                  machine_kwargs=None) -> MachineRun:
+    """Measured step response of a synthesized filter."""
+    samples = [amplitude] * n_samples
+    return run_filter(sfg, samples, machine_kwargs)
+
+
+def tone(n_samples: int, period: int, amplitude: float = 10.0,
+         offset: float | None = None) -> list[float]:
+    """A sampled raised sinusoid (non-negative, for unsigned designs)."""
+    if offset is None:
+        offset = amplitude
+    n = np.arange(n_samples)
+    return list(offset + amplitude * np.sin(2 * np.pi * n / period))

@@ -1,0 +1,5 @@
+"""Self-timed (asynchronous) sequential computation -- companion scheme."""
+
+from repro.asynchronous.handshake import AsyncRun, SelfTimedPipeline
+
+__all__ = ["AsyncRun", "SelfTimedPipeline"]

@@ -1,0 +1,24 @@
+"""Baselines: rate-dependent naive chains and exact DSP references."""
+
+from repro.baselines.naive_chain import (arrival_spread, arrival_time,
+                                         build_naive_chain,
+                                         jitter_sensitivity)
+from repro.baselines.reference_dsp import (biquad_reference,
+                                           fir_reference,
+                                           frequency_response,
+                                           iir_first_order_reference,
+                                           measured_gain_at_period,
+                                           moving_average_reference)
+
+__all__ = [
+    "arrival_spread",
+    "arrival_time",
+    "biquad_reference",
+    "build_naive_chain",
+    "fir_reference",
+    "frequency_response",
+    "iir_first_order_reference",
+    "jitter_sensitivity",
+    "measured_gain_at_period",
+    "moving_average_reference",
+]

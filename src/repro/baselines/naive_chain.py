@@ -1,0 +1,93 @@
+"""Baseline: rate-DEPENDENT transfer chains (no phase ordering).
+
+The paper's motivating comparison: "most prior schemes for molecular
+computation depend on specific values of the kinetic constants".  The
+naive way to move a quantity through a delay line is a chain of plain
+unimolecular transfers
+
+    X -> S_1 -> S_2 -> ... -> Y        (all at nominally equal rates)
+
+With *exactly* equal rates this is an Erlang cascade: the signal arrives
+smeared over time, stages overlap, and consecutive samples intermix --
+there is no cycle boundary at which "the value" is anywhere.  With
+unequal rates (the realistic case: kinetic constants vary with volume
+and temperature) the smearing is worse and stage occupancies at any fixed
+readout time shift with every rate perturbation.  The benchmark
+``bench_naive_baseline`` quantifies both effects against the phase-ordered
+delay line, which is insensitive to the same perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crn.network import Network
+from repro.crn.rates import RateScheme, jittered_rates
+from repro.crn.simulation.ode import OdeSimulator
+from repro.errors import NetworkError
+
+
+def build_naive_chain(n_stages: int = 6, rate: float | str = "slow",
+                      initial: float = 50.0) -> Network:
+    """An un-phased transfer chain with ``n_stages`` intermediate stages."""
+    if n_stages < 1:
+        raise NetworkError("need at least one stage")
+    network = Network(f"naive_chain_{n_stages}")
+    names = ["X"] + [f"S_{i}" for i in range(1, n_stages)] + ["Y"]
+    for source, target in zip(names, names[1:]):
+        network.add(source, target, rate,
+                    label=f"{source} -> {target}")
+    network.set_initial("X", initial)
+    return network
+
+
+def arrival_spread(network: Network, scheme: RateScheme | None = None,
+                   rates: np.ndarray | None = None,
+                   t_final: float = 200.0, output: str = "Y",
+                   low: float = 0.1, high: float = 0.9) -> float:
+    """Time between 10% and 90% arrival of the quantity at the output.
+
+    The phase-ordered chain delivers each hop crisply, so its spread is a
+    small fraction of the hop time; the Erlang cascade's spread grows as
+    ``sqrt(n)`` times the stage time.
+    """
+    simulator = OdeSimulator(network, scheme, rates=rates)
+    trajectory = simulator.simulate(t_final, n_samples=2000)
+    series = trajectory.column(output)
+    final = series[-1]
+    if final <= 0:
+        raise NetworkError("nothing arrived at the output")
+    t_low = float(np.interp(low * final, series, trajectory.times))
+    t_high = float(np.interp(high * final, series, trajectory.times))
+    return t_high - t_low
+
+
+def arrival_time(network: Network, scheme: RateScheme | None = None,
+                 rates: np.ndarray | None = None, t_final: float = 200.0,
+                 output: str = "Y", fraction: float = 0.5) -> float:
+    """Time at which ``fraction`` of the quantity has arrived."""
+    simulator = OdeSimulator(network, scheme, rates=rates)
+    trajectory = simulator.simulate(t_final, n_samples=2000)
+    series = trajectory.column(output)
+    final = series[-1]
+    if final <= 0:
+        raise NetworkError("nothing arrived at the output")
+    return float(np.interp(fraction * final, series, trajectory.times))
+
+
+def jitter_sensitivity(build, measure, scheme: RateScheme | None = None,
+                       n_trials: int = 8, seed: int = 0,
+                       low: float = 0.5, high: float = 2.0) -> np.ndarray:
+    """Measurement under independent per-reaction rate jitter.
+
+    ``build()`` must return a fresh network and ``measure(network, rates)``
+    a scalar; returns the measurements across ``n_trials`` jitter draws.
+    """
+    scheme = scheme or RateScheme()
+    rng = np.random.default_rng(seed)
+    results = []
+    for _ in range(n_trials):
+        network = build()
+        rates = jittered_rates(network, scheme, rng, low=low, high=high)
+        results.append(measure(network, rates))
+    return np.array(results)

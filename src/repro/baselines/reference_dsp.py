@@ -1,0 +1,97 @@
+"""Exact discrete-time reference models (the golden DSP implementations).
+
+These are plain numpy implementations of the filters the molecular
+machines realise; every benchmark compares measured chemistry against
+them.  They are written from scratch (direct-form difference equations)
+rather than delegating to scipy.signal, so the reference semantics are
+explicit and auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fir_reference(coefficients, samples) -> np.ndarray:
+    """``y[n] = sum_i c_i x[n-i]`` with zero initial history."""
+    coefficients = np.asarray([float(c) for c in coefficients])
+    samples = np.asarray(samples, dtype=float)
+    output = np.zeros_like(samples)
+    for i, c in enumerate(coefficients):
+        if c == 0.0:
+            continue
+        output[i:] += c * samples[:len(samples) - i]
+    return output
+
+
+def moving_average_reference(n_taps: int, samples) -> np.ndarray:
+    return fir_reference([1.0 / n_taps] * n_taps, samples)
+
+
+def iir_first_order_reference(feed: float, feedback: float,
+                              samples) -> np.ndarray:
+    """``y[n] = feed x[n] + feedback y[n-1]``, ``y[-1] = 0``."""
+    samples = np.asarray(samples, dtype=float)
+    output = np.empty_like(samples)
+    state = 0.0
+    for i, x in enumerate(samples):
+        state = float(feed) * x + float(feedback) * state
+        output[i] = state
+    return output
+
+
+def biquad_reference(b0: float, b1: float, b2: float, a1: float, a2: float,
+                     samples) -> np.ndarray:
+    """Direct-form-I ``y[n] = b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2``."""
+    samples = np.asarray(samples, dtype=float)
+    output = np.empty_like(samples)
+    x1 = x2 = y1 = y2 = 0.0
+    for i, x in enumerate(samples):
+        y = (float(b0) * x + float(b1) * x1 + float(b2) * x2
+             - float(a1) * y1 - float(a2) * y2)
+        output[i] = y
+        x2, x1 = x1, x
+        y2, y1 = y1, y
+    return output
+
+
+def frequency_response(b, a, n_points: int = 64) -> np.ndarray:
+    """|H(e^{jw})| of ``H(z) = B(z)/A(z)`` on a uniform frequency grid.
+
+    ``b`` and ``a`` are the numerator/denominator coefficient lists with
+    ``a[0] = 1`` implied absent.
+    """
+    b = np.asarray([float(c) for c in b])
+    a = np.concatenate([[1.0], np.asarray([float(c) for c in a])])
+    omegas = np.linspace(0.0, np.pi, n_points)
+    response = np.empty(n_points)
+    for i, omega in enumerate(omegas):
+        z = np.exp(-1j * omega)
+        numerator = np.polyval(b[::-1], z)
+        denominator = np.polyval(a[::-1], z)
+        response[i] = abs(numerator / denominator)
+    return response
+
+
+def measured_gain_at_period(outputs: np.ndarray, inputs: np.ndarray,
+                            period: int, skip: int = 0) -> float:
+    """Empirical amplitude gain of a filter at one tone period.
+
+    Fits the fundamental Fourier component of input and output over whole
+    periods (after ``skip`` warm-up samples) and returns the magnitude
+    ratio.
+    """
+    inputs = np.asarray(inputs, dtype=float)[skip:]
+    outputs = np.asarray(outputs, dtype=float)[skip:len(inputs) + skip]
+    usable = (len(inputs) // period) * period
+    if usable < period:
+        raise ValueError("need at least one whole period after skip")
+    inputs = inputs[:usable]
+    outputs = outputs[:usable]
+    n = np.arange(usable)
+    basis = np.exp(-2j * np.pi * n / period)
+    gain_in = np.abs(np.dot(inputs - inputs.mean(), basis))
+    gain_out = np.abs(np.dot(outputs - outputs.mean(), basis))
+    if gain_in == 0:
+        raise ValueError("input has no component at the given period")
+    return float(gain_out / gain_in)

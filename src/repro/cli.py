@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate   integrate a ``.crn`` file and print final quantities / a plot
+clock      run the molecular clock and report period/jitter
+filter     stream samples through a synthesized filter
+counter    run the binary counter
+dsd        compile a ``.crn`` file to strand displacement (+ FASTA)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.crn.parser import load_network
+from repro.crn.rates import RateScheme
+from repro.crn.simulation.ode import OdeSimulator
+from repro.errors import ReproError
+
+
+def _add_simulate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "simulate", help="integrate a .crn file")
+    parser.add_argument("file", help="path to a .crn network file")
+    parser.add_argument("--t", type=float, default=10.0,
+                        help="final time (default 10)")
+    parser.add_argument("--method", default="LSODA",
+                        help="ODE method (LSODA/BDF/Radau/RK45/"
+                             "internal-rk45)")
+    parser.add_argument("--plot", default="",
+                        help="comma-separated species to plot as ASCII")
+    parser.add_argument("--fast", type=float, default=1000.0)
+    parser.add_argument("--slow", type=float, default=1.0)
+    parser.set_defaults(run=_run_simulate)
+
+
+def _run_simulate(args) -> int:
+    network = load_network(args.file)
+    scheme = RateScheme({"fast": args.fast, "slow": args.slow})
+    simulator = OdeSimulator(network, scheme, method=args.method)
+    trajectory = simulator.simulate(args.t, n_samples=400)
+    print(network.summary())
+    if args.plot:
+        from repro.reporting import plot_trajectory
+
+        species = [s.strip() for s in args.plot.split(",") if s.strip()]
+        print(plot_trajectory(trajectory, species))
+    print("final quantities:")
+    for name, value in trajectory.final_state().items():
+        if abs(value) > 1e-9:
+            print(f"  {name:20s} {value:12.4f}")
+    return 0
+
+
+def _add_clock(subparsers) -> None:
+    parser = subparsers.add_parser("clock", help="run the molecular "
+                                                 "clock")
+    parser.add_argument("--mass", type=float, default=20.0)
+    parser.add_argument("--t", type=float, default=40.0)
+    parser.set_defaults(run=_run_clock)
+
+
+def _run_clock(args) -> int:
+    from repro.core.clock import build_clock
+    from repro.reporting import plot_trajectory
+
+    network, clock, _ = build_clock(mass=args.mass)
+    trajectory = OdeSimulator(network).simulate(args.t, n_samples=2000)
+    print(plot_trajectory(trajectory.window(0.0, min(args.t, 12.0)),
+                          clock.species_names(),
+                          title="molecular clock"))
+    print(f"period  {clock.period(trajectory):.4f} slow time units")
+    print(f"jitter  {clock.period_jitter(trajectory):.5f} (relative)")
+    low, high = clock.amplitude(trajectory)
+    print(f"swing   {low:.3f} .. {high:.3f}")
+    return 0
+
+
+def _add_filter(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "filter", help="stream samples through a molecular filter")
+    parser.add_argument("kind", choices=["ma", "iir"],
+                        help="ma = moving average, iir = first-order "
+                             "low-pass")
+    parser.add_argument("--taps", type=int, default=2,
+                        help="taps for the moving average")
+    parser.add_argument("--input", required=True,
+                        help="comma-separated samples, e.g. 10,20,40")
+    parser.set_defaults(run=_run_filter)
+
+
+def _run_filter(args) -> int:
+    from repro.apps import iir_first_order, moving_average
+    from repro.core.machine import SynchronousMachine
+    from repro.reporting import markdown_table
+
+    samples = [float(v) for v in args.input.split(",") if v.strip()]
+    design = (moving_average(args.taps) if args.kind == "ma"
+              else iir_first_order())
+    machine = SynchronousMachine(design)
+    run = machine.run({"x": samples})
+    rows = [[i, x, float(m), float(r)]
+            for i, (x, m, r) in enumerate(zip(
+                samples, run.outputs["y"], run.reference["y"]))]
+    print(machine.network.summary())
+    print(markdown_table(["n", "x[n]", "measured y[n]",
+                          "reference y[n]"], rows))
+    print(f"max |error| = {run.max_error():.4f}")
+    return 0
+
+
+def _add_counter(subparsers) -> None:
+    parser = subparsers.add_parser("counter",
+                                   help="run the binary counter")
+    parser.add_argument("--bits", type=int, default=3)
+    parser.add_argument("--pulses", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(run=_run_counter)
+
+
+def _run_counter(args) -> int:
+    from repro.digital import BinaryCounter
+
+    counter = BinaryCounter(args.bits)
+    run = counter.count(args.pulses, seed=args.seed)
+    print(counter.network.summary())
+    print("sequence:", run.values)
+    print("overflow:", run.overflow)
+    run.check(2 ** args.bits)
+    print("verified against modulo arithmetic")
+    return 0
+
+
+def _add_dsd(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "dsd", help="compile a .crn file to strand displacement")
+    parser.add_argument("file")
+    parser.add_argument("--c-max", type=float, default=10_000.0)
+    parser.add_argument("--fasta", default="",
+                        help="write a FASTA order sheet to this path")
+    parser.set_defaults(run=_run_dsd)
+
+
+def _run_dsd(args) -> int:
+    from repro.dsd import compile_network
+    from repro.dsd.sequences import SequenceDesigner
+
+    network = load_network(args.file)
+    compilation = compile_network(network, c_max=args.c_max)
+    print(compilation.summary())
+    if args.fasta:
+        designer = SequenceDesigner()
+        with open(args.fasta, "w", encoding="utf-8") as handle:
+            handle.write(designer.to_fasta(compilation.inventory))
+        print(f"wrote sequences to {args.fasta}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synchronous sequential computation with molecular "
+                    "reactions (DAC 2011 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(subparsers)
+    _add_clock(subparsers)
+    _add_filter(subparsers)
+    _add_counter(subparsers)
+    _add_dsd(subparsers)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

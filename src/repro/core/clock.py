@@ -1,0 +1,150 @@
+"""The molecular clock: a self-sustaining three-phase oscillator.
+
+The synchronous methodology needs a global clock.  Electronically a clock
+is an oscillator; molecularly, the paper chooses "reactions that produce
+sustained oscillations in the chemical concentrations".  Here the clock is
+the three-phase rotation itself applied to a dedicated conserved quantity:
+three clock types ``C_red, C_green, C_blue`` whose total mass is constant
+and which chase each other around the colour cycle through the shared
+absence indicators:
+
+    b + C_red   -> C_green   (slow, + positive feedback)
+    r + C_green -> C_blue    (slow, + positive feedback)
+    g + C_blue  -> C_red     (slow, + positive feedback)
+
+Because the indicators are *shared* with all signal types, the clock does
+double duty: it guarantees that the phase rotation continues even when all
+signal values happen to be zero, and its own concentration pulses are the
+clock waveform -- high C_red == "phase red", etc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crn.network import Network
+from repro.crn.simulation.result import Trajectory
+from repro.crn.species import COLORS, Species
+from repro.core.phases import PhaseProtocol
+from repro.errors import NetworkError, SimulationError
+
+
+class MolecularClock:
+    """Builder and analyzer for the RGB oscillator."""
+
+    def __init__(self, mass: float = 100.0, name: str = "C"):
+        if mass <= 0:
+            raise NetworkError("clock mass must be positive")
+        self.mass = float(mass)
+        self.name = name
+        self.species = {color: Species(f"{name}_{color}", color=color,
+                                       role="clock")
+                        for color in COLORS}
+
+    @property
+    def red(self) -> Species:
+        return self.species["red"]
+
+    @property
+    def green(self) -> Species:
+        return self.species["green"]
+
+    @property
+    def blue(self) -> Species:
+        return self.species["blue"]
+
+    def species_names(self) -> list[str]:
+        return [self.species[color].name for color in COLORS]
+
+    def build(self, network: Network, protocol: PhaseProtocol,
+              start_color: str = "red",
+              acceleration: str | None = None) -> None:
+        """Emit the rotation reactions; initial mass on ``start_color``.
+
+        ``acceleration`` overrides the protocol's mode for the clock
+        transfers only.  Inside a synchronous machine the clock must use
+        ``gated`` acceleration: its types hold standing mass in every
+        phase, so the companion's dimer accelerator would fire through
+        closed gates and detach the clock from the shared indicators.
+        """
+        if start_color not in COLORS:
+            raise NetworkError(f"unknown colour {start_color!r}")
+        for color in COLORS:
+            network.add_species(self.species[color])
+        rotation = ("red", "green"), ("green", "blue"), ("blue", "red")
+        for source_color, target_color in rotation:
+            protocol.add_transfer(
+                network, self.species[source_color],
+                self.species[target_color],
+                label=f"clock {source_color} -> {target_color}",
+                acceleration=acceleration)
+        network.set_initial(self.species[start_color], self.mass)
+
+    # -- waveform analysis --------------------------------------------------------
+
+    def phase_fractions(self, trajectory: Trajectory) -> np.ndarray:
+        """(len(t), 3) array of per-colour mass fractions over time."""
+        columns = np.stack([trajectory.column(self.species[c].name)
+                            for c in COLORS], axis=1)
+        total = columns.sum(axis=1)
+        total[total == 0] = 1.0
+        return columns / total[:, None]
+
+    def dominant_phase(self, trajectory: Trajectory) -> np.ndarray:
+        """Index (0=red, 1=green, 2=blue) of the dominant colour over time."""
+        return np.argmax(self.phase_fractions(trajectory), axis=1)
+
+    def rising_edges(self, trajectory: Trajectory, color: str = "red",
+                     threshold: float = 0.5) -> np.ndarray:
+        """Times at which the colour's mass fraction crosses ``threshold``
+        upward -- clock edges."""
+        fractions = self.phase_fractions(trajectory)
+        series = fractions[:, COLORS.index(color)]
+        above = series >= threshold
+        crossings = np.nonzero(~above[:-1] & above[1:])[0]
+        edges = []
+        for i in crossings:
+            t0, t1 = trajectory.times[i], trajectory.times[i + 1]
+            y0, y1 = series[i], series[i + 1]
+            if y1 == y0:
+                edges.append(t1)
+            else:
+                edges.append(t0 + (threshold - y0) * (t1 - t0) / (y1 - y0))
+        return np.array(edges)
+
+    def period(self, trajectory: Trajectory, color: str = "red") -> float:
+        """Mean oscillation period estimated from rising edges."""
+        edges = self.rising_edges(trajectory, color)
+        if edges.size < 2:
+            raise SimulationError(
+                "fewer than two clock edges observed; simulate longer")
+        return float(np.mean(np.diff(edges)))
+
+    def period_jitter(self, trajectory: Trajectory,
+                      color: str = "red") -> float:
+        """Relative standard deviation of the period."""
+        edges = self.rising_edges(trajectory, color)
+        if edges.size < 3:
+            raise SimulationError("need >= 3 edges for jitter")
+        periods = np.diff(edges)
+        return float(np.std(periods) / np.mean(periods))
+
+    def amplitude(self, trajectory: Trajectory, color: str = "red",
+                  settle: float = 0.25) -> tuple[float, float]:
+        """(min, max) of the colour's quantity after a settling fraction."""
+        series = trajectory.column(self.species[color].name)
+        start = int(len(series) * settle)
+        tail = series[start:]
+        return float(tail.min()), float(tail.max())
+
+
+def build_clock(mass: float = 100.0, gating: str = "catalytic",
+                acceleration: str | None = None
+                ) -> tuple[Network, MolecularClock, PhaseProtocol]:
+    """A standalone, finalized clock network (experiment E1)."""
+    network = Network("molecular_clock")
+    protocol = PhaseProtocol(gating=gating, acceleration=acceleration)
+    clock = MolecularClock(mass=mass)
+    clock.build(network, protocol)
+    protocol.finalize(network)
+    return network, clock, protocol

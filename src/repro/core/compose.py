@@ -1,0 +1,153 @@
+"""Composition of synchronous designs.
+
+Linear synchronous designs in matrix form compose like linear systems:
+
+- :func:`cascade` -- series connection: the outputs of one design feed
+  the inputs of the next, with a one-cycle pipeline register between the
+  stages (chemically, the second stage's input registers *are* delay
+  elements receiving the first stage's outputs);
+- :func:`parallel_sum` -- two designs share inputs and their outputs add;
+- :func:`rename` -- relabel ports without touching the dynamics.
+
+The compositions operate on :class:`~repro.core.dfg.MatrixDesign`
+directly (exact rational algebra, no graphs re-traversed), so the
+composite synthesizes like any hand-built design and the reference
+semantics stay exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.dfg import MatrixDesign
+from repro.errors import SynthesisError
+
+
+def _prefixed(design: MatrixDesign, prefix: str) -> MatrixDesign:
+    """Internal: a copy with every *delay* name prefixed (ports kept)."""
+    mapping = {name: f"{prefix}{name}" for name in design.delays}
+
+    def port(name: str) -> str:
+        return mapping.get(name, name)
+
+    coefficients = {(port(sink), port(source)): value
+                    for (sink, source), value in
+                    design.coefficients.items()}
+    return MatrixDesign(
+        name=design.name,
+        inputs=list(design.inputs),
+        outputs=list(design.outputs),
+        delays=[mapping[d] for d in design.delays],
+        coefficients=coefficients,
+        initial_state={mapping[k]: v
+                       for k, v in design.initial_state.items()})
+
+
+def rename(design: MatrixDesign, inputs: dict[str, str] | None = None,
+           outputs: dict[str, str] | None = None,
+           name: str | None = None) -> MatrixDesign:
+    """Relabel input/output ports."""
+    inputs = inputs or {}
+    outputs = outputs or {}
+    for old in inputs:
+        if old not in design.inputs:
+            raise SynthesisError(f"unknown input {old!r}")
+    for old in outputs:
+        if old not in design.outputs:
+            raise SynthesisError(f"unknown output {old!r}")
+
+    def map_in(port: str) -> str:
+        return inputs.get(port, port)
+
+    def map_out(port: str) -> str:
+        return outputs.get(port, port)
+
+    coefficients = {}
+    for (sink, source), value in design.coefficients.items():
+        sink = map_out(sink) if sink in design.outputs else sink
+        source = map_in(source) if source in design.inputs else source
+        coefficients[(sink, source)] = value
+    return MatrixDesign(
+        name=name or design.name,
+        inputs=[map_in(p) for p in design.inputs],
+        outputs=[map_out(p) for p in design.outputs],
+        delays=list(design.delays),
+        coefficients=coefficients,
+        initial_state=dict(design.initial_state))
+
+
+def cascade(first: MatrixDesign, second: MatrixDesign,
+            name: str | None = None) -> MatrixDesign:
+    """Series composition with a one-cycle pipeline register per link.
+
+    Every output of ``first`` must match an input of ``second`` by name.
+    Chemically the link is honest: the first stage's output quantity
+    lands in a delay register that the second stage reads next cycle, so
+    the composite's reference semantics are ``second`` applied to
+    ``first``'s output delayed by one sample.
+    """
+    missing = [p for p in first.outputs if p not in second.inputs]
+    if missing:
+        raise SynthesisError(
+            f"cascade: outputs {missing} have no matching inputs in "
+            f"{second.name!r}")
+    a = _prefixed(first, "s1_")
+    b = _prefixed(second, "s2_")
+
+    link = {port: f"lnk_{port}" for port in first.outputs}
+    delays = a.delays + list(link.values()) + b.delays
+    inputs = list(a.inputs) + [p for p in b.inputs
+                               if p not in first.outputs]
+    outputs = list(b.outputs)
+    coefficients: dict[tuple[str, str], Fraction] = {}
+
+    # Stage 1: outputs redirected into the link registers.
+    for (sink, source), value in a.coefficients.items():
+        target = link.get(sink, sink)
+        coefficients[(target, source)] = \
+            coefficients.get((target, source), Fraction(0)) + value
+    # Stage 2: inputs that were stage-1 outputs read the link registers.
+    for (sink, source), value in b.coefficients.items():
+        origin = link.get(source, source)
+        coefficients[(sink, origin)] = \
+            coefficients.get((sink, origin), Fraction(0)) + value
+
+    initial_state = dict(a.initial_state)
+    initial_state.update(b.initial_state)
+    composite = MatrixDesign(
+        name=name or f"{first.name}_then_{second.name}",
+        inputs=inputs, outputs=outputs, delays=delays,
+        coefficients={k: v for k, v in coefficients.items() if v != 0},
+        initial_state=initial_state)
+    composite.validate()
+    return composite
+
+
+def parallel_sum(first: MatrixDesign, second: MatrixDesign,
+                 name: str | None = None) -> MatrixDesign:
+    """Shared-input, summed-output composition.
+
+    Both designs must expose identical input and output port names; the
+    composite's outputs are the per-port sums (chemically: both
+    sub-designs' accumulators land in the same readout).
+    """
+    if first.inputs != second.inputs:
+        raise SynthesisError("parallel_sum: input ports differ")
+    if first.outputs != second.outputs:
+        raise SynthesisError("parallel_sum: output ports differ")
+    a = _prefixed(first, "p1_")
+    b = _prefixed(second, "p2_")
+    coefficients: dict[tuple[str, str], Fraction] = {}
+    for part in (a, b):
+        for key, value in part.coefficients.items():
+            coefficients[key] = coefficients.get(key, Fraction(0)) + value
+    initial_state = dict(a.initial_state)
+    initial_state.update(b.initial_state)
+    composite = MatrixDesign(
+        name=name or f"{first.name}_plus_{second.name}",
+        inputs=list(first.inputs), outputs=list(first.outputs),
+        delays=a.delays + b.delays,
+        coefficients={k: v for k, v in coefficients.items() if v != 0},
+        initial_state=initial_state)
+    composite.validate()
+    return composite

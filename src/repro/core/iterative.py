@@ -1,0 +1,301 @@
+"""Iterative (looping) constructs over discrete molecule counts.
+
+Rate-independent *continuous* CRNs compute only piecewise-linear
+functions, so the paper series realises multiplication, exponentiation and
+logarithms as **iterative constructs analogous to "for" and "while"
+loops**: a loop body of fast reactions, sequenced by absence indicators,
+repeated once per unit of a count species.
+
+These constructs are exact with high probability in the *discrete*
+(stochastic) semantics given fast >> slow -- each slow step fires once and
+the fast body runs to completion before the next slow step, with
+probability approaching one as the separation grows.  The discipline that
+makes this true at single-molecule resolution: *decision* reactions
+(anything consuming an absence indicator to change loop phase) are SLOW,
+while indicator *suppression* is FAST -- a transient indicator molecule
+generated during the wrong phase is then suppressed with probability
+~1 - k_slow/k_fast instead of firing the branch with probability
+1/(1 + suppressor count).  Under the
+deterministic ODE semantics they are approximations (iterations blur into
+each other), which the tests demonstrate quantitatively.
+
+Loop skeleton (multiplication Z := X * Y shown)::
+
+    IDLE + X -> T              (slow)   consume one X, start iteration
+                                         (IDLE: a conserved one-unit
+                                          baton; see _baton)
+    T + Y -> T + Ys + Z        (fast)   copy Y into Z (marking Y spent)
+    0 -> v                   (slow)   Y-exhausted indicator
+    v + Y -> Y                 (fast)
+    v + T -> U                 (fast)   copy done -> restore phase
+    U + Ys -> U + Y            (fast)   restore Y from the spent copy
+    0 -> u                   (slow)   Ys-exhausted indicator
+    u + Ys -> Ys               (fast)
+    u + U  -> 0                (fast)   restore done -> idle again
+
+Each builder returns the name of the result species.
+"""
+
+from __future__ import annotations
+
+from repro.crn.network import Network
+from repro.crn.rates import FAST, SLOW
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.errors import NetworkError
+
+
+def _sp(network: Network, name: str, role: str = "signal") -> Species:
+    return network.add_species(Species(name, role=role))
+
+
+def _absence_indicator(network: Network, name: str,
+                       suppressors: list[Species],
+                       rate: float | str = SLOW) -> Species:
+    """An indicator generated slowly and consumed fast by each suppressor."""
+    indicator = _sp(network, name, role="indicator")
+    network.add_reaction(Reaction(None, {indicator: 1}, rate,
+                                  label=f"generate {name}"))
+    for suppressor in suppressors:
+        network.add_reaction(Reaction({indicator: 1, suppressor: 1},
+                                      {suppressor: 1}, FAST,
+                                      label=f"{suppressor.name} "
+                                            f"suppresses {name}"))
+    return indicator
+
+
+
+def _baton(network: Network, tag: str) -> Species:
+    """A conserved single-token species sequencing one construct.
+
+    Exactly one unit exists at all times across {baton, T, U, ...}; the
+    loop passes it along instead of re-detecting idleness with an
+    absence indicator.  This removes the (low- but non-zero-probability)
+    double-start race in which a leftover idle-indicator molecule spawns
+    a second overlapping iteration.
+    """
+    baton = _sp(network, f"{tag}_IDLE", role="aux")
+    network.set_initial(baton, 1.0)
+    return baton
+
+
+def multiplier(network: Network, x: str = "X", y: str = "Y",
+               z: str = "Z", tag: str = "mul") -> str:
+    """``Z := X * Y`` by repeated addition (X consumed, Y preserved).
+
+    One loop iteration per unit of X: copy the whole of Y into Z (marking
+    it spent), then restore Y.  Absence indicators sequence the phases.
+    """
+    x_s = _sp(network, x)
+    y_s = _sp(network, y)
+    z_s = _sp(network, z)
+    spent = _sp(network, f"{tag}_Ys", role="aux")
+    token = _sp(network, f"{tag}_T", role="aux")
+    restore = _sp(network, f"{tag}_U", role="aux")
+
+    baton = _baton(network, tag)
+    network.add_reaction(Reaction({baton: 1, x_s: 1}, {token: 1}, SLOW,
+                                  label=f"{tag} start iteration"))
+    network.add_reaction(Reaction({token: 1, y_s: 1},
+                                  {token: 1, spent: 1, z_s: 1}, FAST,
+                                  label=f"{tag} copy Y -> Z"))
+    y_done = _absence_indicator(network, f"{tag}_v", [y_s])
+    network.add_reaction(Reaction({y_done: 1, token: 1}, {restore: 1},
+                                  SLOW, label=f"{tag} copy done"))
+    network.add_reaction(Reaction({restore: 1, spent: 1},
+                                  {restore: 1, y_s: 1}, FAST,
+                                  label=f"{tag} restore Y"))
+    spent_done = _absence_indicator(network, f"{tag}_u", [spent])
+    network.add_reaction(Reaction({spent_done: 1, restore: 1}, {baton: 1},
+                                  SLOW, label=f"{tag} restore done"))
+    return z
+
+
+def power_of_two(network: Network, x: str = "X", z: str = "Z",
+                 tag: str = "exp") -> str:
+    """``Z := 2 ** X`` by repeated doubling (X consumed).
+
+    Z starts at one unit; each iteration doubles it.  The same loop
+    skeleton as :func:`multiplier` with the copy step replaced by
+    ``T + Z -> T + 2 Zs``.
+    """
+    x_s = _sp(network, x)
+    z_s = _sp(network, z)
+    network.set_initial(z_s, network.get_initial(z_s) or 1.0)
+    doubled = _sp(network, f"{tag}_Zs", role="aux")
+    token = _sp(network, f"{tag}_T", role="aux")
+    restore = _sp(network, f"{tag}_U", role="aux")
+
+    baton = _baton(network, tag)
+    network.add_reaction(Reaction({baton: 1, x_s: 1}, {token: 1}, SLOW,
+                                  label=f"{tag} start iteration"))
+    network.add_reaction(Reaction({token: 1, z_s: 1},
+                                  {token: 1, doubled: 2}, FAST,
+                                  label=f"{tag} double"))
+    z_done = _absence_indicator(network, f"{tag}_v", [z_s])
+    network.add_reaction(Reaction({z_done: 1, token: 1}, {restore: 1},
+                                  SLOW, label=f"{tag} double done"))
+    network.add_reaction(Reaction({restore: 1, doubled: 1},
+                                  {restore: 1, z_s: 1}, FAST,
+                                  label=f"{tag} rename back"))
+    doubled_done = _absence_indicator(network, f"{tag}_u", [doubled])
+    network.add_reaction(Reaction({doubled_done: 1, restore: 1},
+                                  {baton: 1}, SLOW,
+                                  label=f"{tag} iteration done"))
+    return z
+
+
+def log_two(network: Network, x: str = "X", z: str = "Z",
+            tag: str = "log") -> str:
+    """``Z := ceil(log2(X))`` by repeated halving (X consumed).
+
+    Each iteration pairs X down (``2 X -> Xh``), carries any odd leftover
+    unit into the next round, and increments Z; the loop stops when a
+    single unit remains.  With the leftover carried, the iteration count
+    is exactly ``ceil(log2 X)`` (and 0 for X <= 1).
+
+    "Fewer than two remain" is detected with a *pair-suppressed*
+    indicator: ``v + 2 X -> 2 X`` has zero propensity at X < 2, so ``v``
+    accumulates exactly when no pair is left.
+    """
+    x_s = _sp(network, x)
+    z_s = _sp(network, z)
+    halved = _sp(network, f"{tag}_Xh", role="aux")
+    token = _sp(network, f"{tag}_T", role="aux")
+    restore = _sp(network, f"{tag}_U", role="aux")
+
+    # An iteration may start only when at least two X remain: the starter
+    # requires a pair (returned intact), so a single leftover unit cannot
+    # trigger it.
+    baton = _baton(network, tag)
+    network.add_reaction(Reaction({baton: 1, x_s: 2}, {token: 1, x_s: 2},
+                                  SLOW, label=f"{tag} start iteration"))
+    network.add_reaction(Reaction({token: 1, x_s: 2},
+                                  {token: 1, halved: 1}, FAST,
+                                  label=f"{tag} halve"))
+    pairs_done = _sp(network, f"{tag}_v", role="indicator")
+    network.add_reaction(Reaction(None, {pairs_done: 1}, SLOW,
+                                  label=f"generate {tag}_v"))
+    network.add_reaction(Reaction({pairs_done: 1, x_s: 2}, {x_s: 2}, FAST,
+                                  label=f"pairs suppress {tag}_v"))
+    network.add_reaction(Reaction({pairs_done: 1, token: 1},
+                                  {restore: 1, z_s: 1}, SLOW,
+                                  label=f"{tag} halve done, count"))
+    network.add_reaction(Reaction({restore: 1, halved: 1},
+                                  {restore: 1, x_s: 1}, FAST,
+                                  label=f"{tag} rename back"))
+    halved_done = _absence_indicator(network, f"{tag}_u", [halved])
+    network.add_reaction(Reaction({halved_done: 1, restore: 1},
+                                  {baton: 1}, SLOW,
+                                  label=f"{tag} iteration done"))
+    return z
+
+
+def divider(network: Network, x: str = "X", y: str = "Y", q: str = "Q",
+            r: str = "R", tag: str = "div") -> tuple[str, str]:
+    """``Q := X div Y`` and ``R := X mod Y`` by repeated subtraction.
+
+    X is consumed; Y ends as ``Y - R`` (the units subtracted in the final
+    partial bite are delivered as the remainder rather than restored).
+
+    Each iteration takes one "bite": the trimolecular pairing
+
+        T + Y + X -> T + Ys                             (fast)
+
+    consumes one X and one Y per firing (marking the Y as spent) until
+    either side exhausts:
+
+    - Y exhausted first -> a full bite: count it (``Q += 1``), restore
+      the spent copies to Y, loop;
+    - X exhausted first with Y still present -> the final partial bite:
+      the spent count *is* ``X mod Y``; convert it to R and stop.
+
+    The partial branch is tie-broken against exact division by requiring
+    leftover Y catalytically (``xe + T + Y -> F + Y``): when X divides
+    exactly, Y and X empty together and only the full-bite branch can
+    fire.
+    """
+    x_s = _sp(network, x)
+    y_s = _sp(network, y)
+    q_s = _sp(network, q)
+    r_s = _sp(network, r)
+    spent = _sp(network, f"{tag}_Ys", role="aux")
+    token = _sp(network, f"{tag}_T", role="aux")
+    restore = _sp(network, f"{tag}_U", role="aux")
+    partial = _sp(network, f"{tag}_F", role="aux")
+
+    baton = _baton(network, tag)
+    network.add_reaction(Reaction({baton: 1, x_s: 1}, {token: 1, x_s: 1},
+                                  SLOW, label=f"{tag} start"))
+    network.add_reaction(Reaction({token: 1, y_s: 1, x_s: 1},
+                                  {token: 1, spent: 1}, FAST,
+                                  label=f"{tag} bite"))
+    y_empty = _absence_indicator(network, f"{tag}_v", [y_s])
+    network.add_reaction(Reaction({y_empty: 1, token: 1},
+                                  {restore: 1, q_s: 1}, SLOW,
+                                  label=f"{tag} full bite, count"))
+    network.add_reaction(Reaction({restore: 1, spent: 1},
+                                  {restore: 1, y_s: 1}, FAST,
+                                  label=f"{tag} restore Y"))
+    spent_empty = _absence_indicator(network, f"{tag}_u", [spent])
+    network.add_reaction(Reaction({spent_empty: 1, restore: 1},
+                                  {baton: 1}, SLOW,
+                                  label=f"{tag} restore done"))
+    x_empty = _absence_indicator(network, f"{tag}_e", [x_s])
+    network.add_reaction(Reaction({x_empty: 1, token: 1, y_s: 1},
+                                  {partial: 1, y_s: 1}, SLOW,
+                                  label=f"{tag} partial bite"))
+    network.add_reaction(Reaction({partial: 1, spent: 1},
+                                  {partial: 1, r_s: 1}, FAST,
+                                  label=f"{tag} spent -> remainder"))
+    return q, r
+
+
+def build_divider(x_value: int, y_value: int) -> tuple[Network, str, str]:
+    """Standalone divider network with initial counts."""
+    _check_count(x_value)
+    _check_count(y_value)
+    if y_value < 1:
+        raise NetworkError("division needs a positive divisor")
+    network = Network("divider")
+    quotient, remainder = divider(network)
+    network.set_initial("X", float(x_value))
+    network.set_initial("Y", float(y_value))
+    return network, quotient, remainder
+
+
+def build_multiplier(x_value: int, y_value: int) -> tuple[Network, str]:
+    """Standalone multiplier network with initial counts."""
+    _check_count(x_value)
+    _check_count(y_value)
+    network = Network("multiplier")
+    result = multiplier(network)
+    network.set_initial("X", float(x_value))
+    network.set_initial("Y", float(y_value))
+    return network, result
+
+
+def build_power_of_two(x_value: int) -> tuple[Network, str]:
+    """Standalone ``2**X`` network with an initial count."""
+    _check_count(x_value)
+    network = Network("power_of_two")
+    result = power_of_two(network)
+    network.set_initial("X", float(x_value))
+    return network, result
+
+
+def build_log_two(x_value: int) -> tuple[Network, str]:
+    """Standalone ``ceil(log2 X)`` network with an initial count."""
+    _check_count(x_value)
+    if x_value < 1:
+        raise NetworkError("log2 needs a positive count")
+    network = Network("log_two")
+    result = log_two(network)
+    network.set_initial("X", float(x_value))
+    return network, result
+
+
+def _check_count(value: int) -> None:
+    if value != int(value) or value < 0:
+        raise NetworkError("iterative constructs take non-negative "
+                           "integer counts")

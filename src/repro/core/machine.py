@@ -1,0 +1,421 @@
+"""Synchronous machine driver: run a synthesized circuit over input streams.
+
+The driver integrates the mass-action ODEs cycle by cycle.  A cycle
+boundary is *detected from the chemistry*, not assumed from wall-clock
+time: the boundary event fires when the clock's red type has re-accumulated
+(>= ``boundary_fraction`` of the clock mass) *and* the blue category has
+drained (phase 3 complete).  At each boundary the driver
+
+1. samples every output's cumulative readout (uncoloured accumulator +
+   still-draining register + landing dimer), differencing consecutive
+   boundaries to obtain per-sample outputs, and
+2. injects the next input sample into the input's red rail(s), modelling
+   the external stimulus stream.
+
+Because boundaries are event-detected, the driver is agnostic to absolute
+rates: the same code runs a k_fast/k_slow = 10 system and a 10000 system;
+only the simulated time span differs.  Output sample ``y[n]`` becomes
+observable at boundary ``n + 1`` (one cycle of latency).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crn.network import Network
+from repro.crn.rates import RateScheme
+from repro.crn.simulation.ode import OdeSimulator
+from repro.crn.simulation.result import Trajectory
+from repro.core.dfg import MatrixDesign, SignalFlowGraph
+from repro.core.synthesis import SynthesizedCircuit, synthesize
+from repro.errors import SimulationError, SynthesisError
+
+
+@dataclass
+class MachineRun:
+    """Result of driving a machine over input streams."""
+
+    outputs: dict[str, np.ndarray]
+    reference: dict[str, np.ndarray]
+    boundary_times: np.ndarray
+    trajectory: Trajectory | None = None
+    state_history: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def n_cycles(self) -> int:
+        return max(len(self.boundary_times) - 1, 0)
+
+    def max_error(self, name: str | None = None) -> float:
+        """Worst absolute deviation from the discrete-time reference."""
+        names = [name] if name else list(self.outputs)
+        worst = 0.0
+        for key in names:
+            measured = self.outputs[key]
+            expected = self.reference[key]
+            n = min(len(measured), len(expected))
+            if n:
+                worst = max(worst, float(np.max(np.abs(
+                    measured[:n] - expected[:n]))))
+        return worst
+
+    def rms_error(self, name: str) -> float:
+        measured = self.outputs[name]
+        expected = self.reference[name]
+        n = min(len(measured), len(expected))
+        if n == 0:
+            return 0.0
+        return float(np.sqrt(np.mean((measured[:n] - expected[:n]) ** 2)))
+
+    @property
+    def mean_cycle_time(self) -> float:
+        if len(self.boundary_times) < 2:
+            raise SimulationError("no complete cycles")
+        return float(np.mean(np.diff(self.boundary_times)))
+
+
+class SynchronousMachine:
+    """Drives one synthesized circuit under one rate scheme."""
+
+    def __init__(self, design: MatrixDesign | SignalFlowGraph |
+                 SynthesizedCircuit,
+                 scheme: RateScheme | None = None,
+                 rates: np.ndarray | None = None,
+                 clock_mass: float = 20.0,
+                 signed: bool | None = None,
+                 gating: str = "catalytic",
+                 boundary_fraction: float = 0.9,
+                 blue_tolerance: float | None = None,
+                 quantization: float | None = None,
+                 max_cycle_time: float | None = None,
+                 method: str = "LSODA",
+                 rtol: float = 1e-7, atol: float = 1e-9):
+        if isinstance(design, SynthesizedCircuit):
+            self.circuit = design
+        else:
+            self.circuit = synthesize(design, clock_mass=clock_mass,
+                                      signed=signed, gating=gating)
+        self.scheme = scheme or RateScheme()
+        self.simulator = OdeSimulator(self.network, self.scheme,
+                                      rates=rates, method=method,
+                                      rtol=rtol, atol=atol)
+        self.boundary_fraction = boundary_fraction
+        # Absence threshold of the sharpened indicators: a colour with
+        # more than this total quantity pins its indicator off.
+        theta = (self.scheme.values.get("amp", 30.0 * self.scheme.slow)
+                 / self.scheme.fast)
+        # The boundary requires the blue category to drain to the
+        # residual scale before a cycle ends.  The tolerance is a small
+        # multiple of the absence threshold: anything under it is flushed
+        # by the boundary quantisation below, and the headroom keeps the
+        # boundary reachable when per-reaction jitter moves the actual
+        # threshold around its nominal value.
+        self.blue_tolerance = blue_tolerance if blue_tolerance is not None \
+            else 3.0 * theta
+        # Sub-threshold residues are rounded to zero at each boundary.
+        # On the ODE's continuum they accumulate into mixed-residual
+        # deadlocks; physically they are fractions of a single molecule
+        # (an exact stochastic simulation has literally zero copies there
+        # almost always), so flushing them models discreteness rather than
+        # idealising the chemistry.
+        self.quantization = quantization if quantization is not None \
+            else 3.0 * theta
+        # Default cycle timeout: generous multiple of the slow time scale.
+        self.max_cycle_time = max_cycle_time or 500.0 / self.scheme.slow
+        self._blue_indices = [
+            self.network.species_index(s)
+            for s in self.network.species_with_color("blue")]
+        self._clock_red_index = self.network.species_index(
+            self.circuit.clock.red.name)
+        self._clock_indices = [self.network.species_index(name)
+                               for name in self.circuit.clock.species_names()]
+        # The positive-feedback accelerator parks part of the clock mass in
+        # the red dimer I_C_red; the boundary test must count it, or the
+        # raw C_red quantity never reaches the threshold.
+        red_dimer = f"I_{self.circuit.clock.red.name}"
+        self._clock_red_dimer_index = (
+            self.network.species_index(red_dimer)
+            if red_dimer in self.network else None)
+
+    @property
+    def network(self) -> Network:
+        return self.circuit.network
+
+    @property
+    def design(self) -> MatrixDesign:
+        return self.circuit.design
+
+    # -- cycle boundary event --------------------------------------------------------
+
+    def _effective_clock_red(self):
+        clock_index = self._clock_red_index
+        dimer_index = self._clock_red_dimer_index
+
+        def value(x: np.ndarray) -> float:
+            red = float(x[clock_index])
+            if dimer_index is not None:
+                red += 2.0 * float(x[dimer_index])
+            return red
+
+        return value
+
+    def _departure_event(self):
+        """Fires when the clock red has drained -- phase 1 is underway.
+
+        Run before arming the boundary event: at a fresh boundary the
+        boundary condition is (by construction) exactly satisfied, so the
+        driver must first leave the boundary region or the event would
+        re-fire immediately, producing a zero-length cycle.
+        """
+        threshold = 0.5 * self.circuit.clock.mass
+        clock_red = self._effective_clock_red()
+
+        def event(t: float, x: np.ndarray) -> float:
+            return clock_red(x) - threshold
+
+        event.terminal = True
+        event.direction = -1.0
+        return event
+
+    def _boundary_event(self, signal_mass: float):
+        threshold = self.boundary_fraction * self.circuit.clock.mass
+        epsilon = self.blue_tolerance
+        blue_indices = self._blue_indices
+        clock_red = self._effective_clock_red()
+
+        def event(t: float, x: np.ndarray) -> float:
+            blues = float(x[blue_indices].sum())
+            return min(clock_red(x) - threshold, epsilon - blues)
+
+        event.terminal = True
+        event.direction = 1.0
+        return event
+
+    # -- driving ------------------------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, Sequence[float]],
+            extra_cycles: int = 1,
+            record: bool = False,
+            samples_per_cycle: int = 60) -> MachineRun:
+        """Stream input samples through the machine.
+
+        Parameters
+        ----------
+        inputs:
+            one equal-length sample sequence per design input.
+        extra_cycles:
+            flush cycles appended after the last sample so the final
+            outputs drain to the readout (>= 1 for full coverage).
+        record:
+            keep the stitched full trajectory (memory-heavy; off by
+            default).
+        """
+        streams = self._check_streams(inputs)
+        n_samples = len(next(iter(streams.values()))) if streams else 0
+        n_cycles = n_samples + max(int(extra_cycles), 1)
+
+        state = self.network.initial_vector()
+        boundary_times = [0.0]
+        cumulative = {name: [self._readout(state, name)]
+                      for name in self.design.outputs}
+        state_history = [self._register_values(state)]
+        trajectory: Trajectory | None = None
+
+        t = 0.0
+        for cycle in range(n_cycles):
+            if cycle < n_samples:
+                state = self._inject(state, {name: streams[name][cycle]
+                                             for name in streams})
+            segment = self._run_cycle(state, t, record, samples_per_cycle)
+            state = segment.final()
+            t = segment.t_final
+            boundary_times.append(t)
+            for name in self.design.outputs:
+                cumulative[name].append(self._readout(state, name))
+            state_history.append(self._register_values(state))
+            state = self._quantize(state)
+            if record:
+                trajectory = segment if trajectory is None else \
+                    trajectory.concat(segment)
+
+        # cumulative[k] = sum of y[j] for j < k, so consecutive differences
+        # recover the per-cycle output samples y[0], y[1], ...
+        outputs = {name: np.diff(np.array(series))
+                   for name, series in cumulative.items()}
+        reference = {name: np.array(values) for name, values in
+                     self.design.reference_run(
+                         {k: list(v) for k, v in streams.items()}).items()}
+        return MachineRun(outputs=outputs, reference=reference,
+                          boundary_times=np.array(boundary_times),
+                          trajectory=trajectory,
+                          state_history=state_history)
+
+    def stepper(self) -> "MachineStepper":
+        """An incremental driver for closed-loop use.
+
+        Unlike :meth:`run`, which needs the whole input stream up front,
+        a stepper advances one cycle per call and returns that cycle's
+        output increments -- so the caller can compute the next input
+        from the previous output (feedback through an external plant,
+        adaptive stimulus, etc.).
+        """
+        return MachineStepper(self)
+
+    def _run_cycle(self, state: np.ndarray, t_start: float, record: bool,
+                   samples_per_cycle: int) -> Trajectory:
+        signal_mass = self._signal_mass(state)
+        n_samples = samples_per_cycle if record else 8
+        departure = self.simulator.simulate(
+            t_start + self.max_cycle_time, t_start=t_start, initial=state,
+            n_samples=n_samples, events=[self._departure_event()])
+        if "event" not in departure.meta:
+            raise SimulationError(
+                f"clock did not leave the boundary within "
+                f"{self.max_cycle_time:g} time units after t={t_start:g}: "
+                f"the oscillator appears stalled")
+        boundary = self.simulator.simulate(
+            departure.t_final + self.max_cycle_time,
+            t_start=departure.t_final, initial=departure.final(),
+            n_samples=n_samples,
+            events=[self._boundary_event(signal_mass)])
+        if "event" not in boundary.meta:
+            raise SimulationError(
+                f"no cycle boundary within {self.max_cycle_time:g} time "
+                f"units after t={departure.t_final:g}: machine appears "
+                f"stalled (check rate separation and blue_tolerance)")
+        return departure.concat(boundary)
+
+    def _quantize(self, state: np.ndarray) -> np.ndarray:
+        """Round sub-threshold residues to zero (boundary discreteness).
+
+        Applied once per cycle boundary, after outputs are sampled, so the
+        flushed amount (at most ``quantization`` per species) shows up as
+        bounded readout noise rather than silent drift.  The clock is then
+        topped back up to its nominal mass: scavenging and quantisation
+        erode the pacemaker by a few hundredths of a unit per cycle, and
+        without replenishment (chemically, a reservoir species feeding the
+        clock) the oscillator amplitude would drift below any fixed
+        boundary threshold after enough cycles.
+        """
+        if self.quantization <= 0:
+            return state
+        state = state.copy()
+        state[state < self.quantization] = 0.0
+        deficit = self.circuit.clock.mass - self._clock_total(state)
+        if deficit > 0:
+            state[self._clock_red_index] += deficit
+        return state
+
+    def _clock_total(self, state: np.ndarray) -> float:
+        total = 0.0
+        for index in self._clock_indices:
+            total += float(state[index])
+        if self._clock_red_dimer_index is not None:
+            total += 2.0 * float(state[self._clock_red_dimer_index])
+        return total
+
+    # -- state accessors -----------------------------------------------------------------
+
+    def _check_streams(self, inputs: Mapping[str, Sequence[float]]
+                       ) -> dict[str, Sequence[float]]:
+        expected = set(self.design.inputs)
+        provided = set(inputs)
+        if provided != expected:
+            raise SynthesisError(
+                f"input streams {sorted(provided)} do not match design "
+                f"inputs {sorted(expected)}")
+        lengths = {len(v) for v in inputs.values()}
+        if len(lengths) > 1:
+            raise SynthesisError("input streams must have equal length")
+        return dict(inputs)
+
+    def _inject(self, state: np.ndarray,
+                samples: Mapping[str, float]) -> np.ndarray:
+        state = state.copy()
+        for name, value in samples.items():
+            value = float(value)
+            rail = "p" if value >= 0 else "n"
+            if rail == "n" and not self.circuit.signed:
+                raise SynthesisError(
+                    f"negative input sample for unsigned design: "
+                    f"{name}={value}")
+            index = self.network.species_index(
+                self.circuit.source_species[name][rail])
+            state[index] += abs(value)
+        return state
+
+    def _getter(self, state: np.ndarray):
+        network = self.network
+
+        def get(name: str) -> float:
+            return float(state[network.species_index(name)])
+
+        return get
+
+    def _readout(self, state: np.ndarray, output: str) -> float:
+        return self.circuit.readout_value(self._getter(state), output)
+
+    def _register_values(self, state: np.ndarray) -> dict[str, float]:
+        getter = self._getter(state)
+        return {name: self.circuit.state_value(getter, name)
+                for name in self.design.delays}
+
+    def _signal_mass(self, state: np.ndarray) -> float:
+        total = 0.0
+        for species in self.network.species:
+            if species.role == "signal" and species.color is not None:
+                total += float(state[self.network.species_index(species)])
+        return total
+
+
+class MachineStepper:
+    """Cycle-at-a-time driver (see :meth:`SynchronousMachine.stepper`).
+
+    Because an output computed in cycle n is read out during cycle n+1,
+    :meth:`step` returns the *previous* cycle's outputs; call
+    :meth:`flush` once after the last input to collect the final sample.
+    """
+
+    def __init__(self, machine: SynchronousMachine):
+        self.machine = machine
+        self.state = machine.network.initial_vector()
+        self.time = 0.0
+        self.cycles = 0
+        self._previous = {name: machine._readout(self.state, name)
+                          for name in machine.design.outputs}
+
+    def step(self, inputs: Mapping[str, float]) -> dict[str, float]:
+        """Inject one sample per input, advance one cycle, and return
+        the output increments observed during that cycle."""
+        expected = set(self.machine.design.inputs)
+        if set(inputs) != expected:
+            raise SynthesisError(
+                f"step inputs {sorted(inputs)} do not match design "
+                f"inputs {sorted(expected)}")
+        self.state = self.machine._inject(self.state, inputs)
+        return self._advance()
+
+    def flush(self) -> dict[str, float]:
+        """Advance one cycle with zero input (drains the pipeline)."""
+        return self._advance()
+
+    def registers(self) -> dict[str, float]:
+        """Current delay-register values."""
+        return self.machine._register_values(self.state)
+
+    def _advance(self) -> dict[str, float]:
+        segment = self.machine._run_cycle(self.state, self.time,
+                                          record=False,
+                                          samples_per_cycle=8)
+        self.state = segment.final()
+        self.time = segment.t_final
+        self.cycles += 1
+        outputs = {}
+        for name in self.machine.design.outputs:
+            total = self.machine._readout(self.state, name)
+            outputs[name] = total - self._previous[name]
+            self._previous[name] = total
+        self.state = self.machine._quantize(self.state)
+        return outputs

@@ -1,0 +1,135 @@
+"""Delay elements and delay lines -- the molecular memory.
+
+A delay element is the molecular D flip-flop: a triple of types
+``R_i, G_i, B_i``.  One full colour rotation (three phases) moves the
+element's stored quantity to the next element in the chain:
+
+    X(=B_0) -> R_1 -> G_1 -> B_1 -> R_2 -> G_2 -> B_2 -> Y(=R_3)
+
+exactly the two-element chain of the companion abstract's Figure 1.  The
+quantity held by element ``i`` at a cycle boundary *is* the signal value
+delayed by ``i`` samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crn.network import Network
+from repro.crn.species import Species
+from repro.core.phases import PhaseProtocol
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class DelayElement:
+    """Names of the three colour-coded types of one delay element."""
+
+    name: str
+
+    @property
+    def red(self) -> Species:
+        return Species(f"R_{self.name}", color="red")
+
+    @property
+    def green(self) -> Species:
+        return Species(f"G_{self.name}", color="green")
+
+    @property
+    def blue(self) -> Species:
+        return Species(f"B_{self.name}", color="blue")
+
+    def species(self) -> tuple[Species, Species, Species]:
+        return (self.red, self.green, self.blue)
+
+
+class DelayLine:
+    """A chain of ``n`` delay elements between an input and an output type.
+
+    Parameters
+    ----------
+    n:
+        number of delay elements.
+    name:
+        base name; element types are ``R_<name><i>`` etc.
+    input_name / output_name:
+        the boundary types.  Following the companion abstract the input is
+        a *blue* type (``B_0`` plays the role of X) and the output is a
+        *red* type (``R_{n+1}`` plays the role of Y), so a quantity placed
+        on the input enters element 1 during the first blue-to-red phase.
+    """
+
+    def __init__(self, n: int, name: str = "d", input_name: str = "X",
+                 output_name: str = "Y", drain_output: bool = False):
+        if n < 1:
+            raise NetworkError("delay line needs at least one element")
+        self.n = n
+        self.name = name
+        self.drain_output = drain_output
+        self.elements = [DelayElement(f"{name}{i}") for i in range(1, n + 1)]
+        self.input = Species(input_name, color="blue")
+        # The companion's one-shot chain ends in a red type Y (faithful to
+        # its Figure 1); a *streaming* pipeline must instead drain its
+        # output out of the colour rotation, because standing terminal red
+        # mass would permanently block the red-absence gate.
+        self.output = Species(output_name,
+                              color=None if drain_output else "red")
+
+    def build(self, network: Network, protocol: PhaseProtocol) -> None:
+        """Emit the transfer reactions of the whole chain into ``network``.
+
+        Per element ``i`` the transfers are ``R_i -> G_i`` and
+        ``G_i -> B_i``; the connecting transfers are ``B_{i-1} -> R_i``
+        (with ``B_0`` the chain input) and ``B_n -> Y``.
+        """
+        previous_blue = network.add_species(self.input)
+        for element in self.elements:
+            red = network.add_species(element.red)
+            green = network.add_species(element.green)
+            blue = network.add_species(element.blue)
+            protocol.add_transfer(network, previous_blue, red,
+                                  label=f"{previous_blue.name} -> {red.name}")
+            protocol.add_transfer(network, red, green,
+                                  label=f"{red.name} -> {green.name}")
+            protocol.add_transfer(network, green, blue,
+                                  label=f"{green.name} -> {blue.name}")
+            previous_blue = blue
+        output = network.add_species(self.output)
+        if self.drain_output:
+            protocol.add_drain(network, previous_blue, output,
+                               label=f"{previous_blue.name} -> "
+                                     f"{output.name} (drain)")
+        else:
+            protocol.add_transfer(network, previous_blue, output,
+                                  label=f"{previous_blue.name} -> "
+                                        f"{output.name}")
+
+    def signal_species(self) -> list[str]:
+        """All chain type names, input to output order."""
+        names = [self.input.name]
+        for element in self.elements:
+            names.extend(s.name for s in element.species())
+        names.append(self.output.name)
+        return names
+
+
+def build_delay_chain(n: int = 2, initial: float = 50.0,
+                      acceleration: str = "dimer",
+                      protocol: PhaseProtocol | None = None
+                      ) -> tuple[Network, DelayLine, PhaseProtocol]:
+    """The companion abstract's experiment: an ``n``-element delay chain.
+
+    Returns the finalized network, the :class:`DelayLine` and the protocol.
+    The initial quantity is placed on the chain input X.  The default
+    acceleration mode is ``dimer`` -- the literal published reactions --
+    which is sound here because the chain is one-shot (all downstream types
+    start empty).
+    """
+    network = Network(f"delay_chain_{n}")
+    used_protocol = protocol or PhaseProtocol(gating="consuming",
+                                              acceleration=acceleration)
+    line = DelayLine(n)
+    line.build(network, used_protocol)
+    network.set_initial(line.input, initial)
+    used_protocol.finalize(network)
+    return network, line, used_protocol

@@ -1,0 +1,210 @@
+"""Rate-independent combinational modules.
+
+These are the memoryless building blocks of the paper series (Senum &
+Riedel, PSB 2011; Jiang et al., ICCAD 2010): one-shot constructs that
+compute a function of input quantities into an output quantity, exactly
+and independently of rate constants (only fast >> slow is assumed).
+
+Continuous-valued rate-independent CRNs compute exactly the
+(superadditive, concave, ...) piecewise-linear functions; this module
+provides that family:
+
+================  =============================  ==========================
+function          reactions (schematic)          notes
+================  =============================  ==========================
+move              X -> Z                         Z := X, X consumed
+duplicate         X -> Z1 + Z2                   fan-out
+add               X1 -> Z; X2 -> Z               Z := X1 + X2
+scale p/q         linearised division            Z := (p/q) X
+subtract          X1 -> Z; X2 -> W; Z+W -> 0     Z := max(0, X1-X2)
+minimum           X1 + X2 -> Z                   Z := min(X1, X2)
+maximum           add + min + annihilate         Z := max(X1, X2)
+compare           X1 + X2 -> 0, leftovers        sign(X1 - X2) as presence
+================  =============================  ==========================
+
+Nonlinear functions (multiplication, exponentiation, logarithm) are
+*iterative* constructs over discrete counts -- see
+:mod:`repro.core.iterative`.
+
+Each builder appends its reactions to a network and returns the output
+species name(s).  The constructs are one-shot: inputs are initial
+quantities, and the outputs settle to the computed values.
+"""
+
+from __future__ import annotations
+
+
+
+from repro.crn.network import Network
+from repro.crn.rates import FAST, SLOW
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.core.phases import rational_gain
+from repro.errors import NetworkError
+
+
+def _species(network: Network, name: str) -> Species:
+    return network.add_species(Species(name))
+
+
+def move(network: Network, source: str, target: str,
+         rate: float | str = SLOW) -> str:
+    """``target := source`` (source consumed)."""
+    src = _species(network, source)
+    dst = _species(network, target)
+    network.add_reaction(Reaction({src: 1}, {dst: 1}, rate,
+                                  label=f"move {source} -> {target}"))
+    return target
+
+
+def duplicate(network: Network, source: str, targets: list[str],
+              rate: float | str = SLOW) -> list[str]:
+    """Fan a quantity out into several equal copies (source consumed).
+
+    A single reaction produces all copies: competing parallel reactions
+    would split the quantity rate-dependently.
+    """
+    if len(targets) < 2:
+        raise NetworkError("duplicate needs at least two targets")
+    src = _species(network, source)
+    products = {_species(network, t): 1 for t in targets}
+    network.add_reaction(Reaction({src: 1}, products, rate,
+                                  label=f"duplicate {source}"))
+    return targets
+
+
+def add(network: Network, sources: list[str], target: str,
+        rate: float | str = SLOW) -> str:
+    """``target := sum(sources)``."""
+    if not sources:
+        raise NetworkError("add needs at least one source")
+    for source in sources:
+        move(network, source, target, rate)
+    return target
+
+
+def scale(network: Network, source: str, target: str, factor,
+          rate: float | str = SLOW) -> str:
+    """``target := factor * source`` for an exact rational factor.
+
+    Uses the linearised division construct (seed one unit slowly, complete
+    the q-unit bite with fast pairings) so the kinetics stay first-order
+    in the input; see :mod:`repro.core.synthesis` for the analysis.
+    """
+    factor = rational_gain(factor)
+    if factor <= 0:
+        raise NetworkError("scale factor must be positive")
+    p, q = factor.numerator, factor.denominator
+    src = _species(network, source)
+    dst = _species(network, target)
+    if q == 1:
+        network.add_reaction(Reaction({src: 1}, {dst: p}, rate,
+                                      label=f"scale {factor} {source}"))
+        return target
+    stages = [_species(network, f"h{i}_{source}__{target}")
+              for i in range(1, q)]
+    network.add_reaction(Reaction({src: 1}, {stages[0]: 1}, rate,
+                                  label=f"scale {factor} {source} seed"))
+    for i in range(1, q - 1):
+        network.add_reaction(Reaction({stages[i - 1]: 1, src: 1},
+                                      {stages[i]: 1}, FAST,
+                                      label=f"scale {factor} pair {i}"))
+    network.add_reaction(Reaction({stages[-1]: 1, src: 1}, {dst: p}, FAST,
+                                  label=f"scale {factor} close"))
+    return target
+
+
+def subtract(network: Network, minuend: str, subtrahend: str, target: str,
+             rate: float | str = SLOW) -> str:
+    """``target := max(0, minuend - subtrahend)``.
+
+    Both inputs transfer slowly into intermediates that annihilate fast,
+    so the surplus of the larger side survives regardless of rates.
+    """
+    pos = _species(network, f"{target}__pos")
+    neg = _species(network, f"{target}__neg")
+    move(network, minuend, pos.name, rate)
+    move(network, subtrahend, neg.name, rate)
+    network.add_reaction(Reaction({pos: 1, neg: 1}, None, FAST,
+                                  label=f"annihilate {target}"))
+    move(network, pos.name, target, rate)
+    return target
+
+
+def minimum(network: Network, first: str, second: str, target: str,
+            rate: float | str = FAST) -> str:
+    """``target := min(first, second)`` -- one molecule of each per output."""
+    a = _species(network, first)
+    b = _species(network, second)
+    dst = _species(network, target)
+    network.add_reaction(Reaction({a: 1, b: 1}, {dst: 1}, rate,
+                                  label=f"min {first},{second}"))
+    return target
+
+
+def maximum(network: Network, first: str, second: str, target: str,
+            rate: float | str = SLOW) -> str:
+    """``target := max(first, second) = first + second - min``.
+
+    The inputs are first duplicated so both the sum and the min see the
+    full quantities; the min then annihilates one unit of sum per unit.
+    """
+    a_sum = f"{target}__a_sum"
+    b_sum = f"{target}__b_sum"
+    a_min = f"{target}__a_min"
+    b_min = f"{target}__b_min"
+    duplicate(network, first, [a_sum, a_min], rate)
+    duplicate(network, second, [b_sum, b_min], rate)
+    total = _species(network, f"{target}__total")
+    move(network, a_sum, total.name, rate)
+    move(network, b_sum, total.name, rate)
+    low = _species(network, f"{target}__min")
+    minimum(network, a_min, b_min, low.name)
+    network.add_reaction(Reaction({total: 1, low: 1}, None, FAST,
+                                  label=f"max cancel {target}"))
+    move(network, total.name, target, rate)
+    return target
+
+
+def compare(network: Network, first: str, second: str,
+            greater: str = "GT", less: str = "LT") -> tuple[str, str]:
+    """Leave ``first - second`` surplus in ``greater`` (or the reverse in
+    ``less``): presence of one output type signals the comparison result,
+    its quantity the magnitude of the difference."""
+    a = _species(network, first)
+    b = _species(network, second)
+    network.add_reaction(Reaction({a: 1, b: 1}, None, FAST,
+                                  label=f"compare {first},{second}"))
+    move(network, first, greater, SLOW)
+    move(network, second, less, SLOW)
+    g = network.get_species(greater)
+    l_species = network.get_species(less)
+    network.add_reaction(Reaction({g: 1, l_species: 1}, None, FAST,
+                                  label="compare residue annihilation"))
+    return greater, less
+
+
+def threshold(network: Network, source: str, level: int, target: str,
+              rate: float | str = SLOW) -> str:
+    """``target := max(0, source - level)`` against a constant.
+
+    The constant is realised as an initial quantity of a reference type.
+    """
+    if level < 0:
+        raise NetworkError("threshold level must be non-negative")
+    reference = _species(network, f"{target}__ref")
+    network.set_initial(reference, float(level))
+    return subtract(network, source, reference.name, target, rate)
+
+
+def weighted_sum(network: Network, terms: dict[str, object],
+                 target: str) -> str:
+    """``target := sum(coeff * source)`` with positive rational weights."""
+    if not terms:
+        raise NetworkError("weighted_sum needs at least one term")
+    for index, (source, coeff) in enumerate(sorted(terms.items())):
+        coeff = rational_gain(coeff)
+        scaled = f"{target}__t{index}"
+        scale(network, source, scaled, coeff)
+        move(network, scaled, target)
+    return target

@@ -1,0 +1,443 @@
+"""The three-phase transfer protocol with absence indicators.
+
+This module implements the paper's central mechanism (reactions (1)-(6) of
+the companion abstract).  Every *signal* type is colour-coded red, green or
+blue.  All operations transfer quantities between consecutive colours:
+
+    red -> green,   green -> blue,   blue -> red.
+
+A transfer from colour ``c`` is enabled by the **absence** of colour
+``previous(c)`` -- e.g. red-to-green transfers may fire only when no blue
+remains, which means the preceding blue-to-red phase has completed.  Absence
+is detected by indicator species ``r``, ``g``, ``b``:
+
+    0 -> r   (slow, zeroth order)        r + R_i -> R_i   (fast)
+    0 -> g   (slow)                      g + G_i -> G_i   (fast)
+    0 -> b   (slow)                      b + B_i -> B_i   (fast)
+
+An indicator accumulates only while *every* species of its colour is absent,
+because any present species consumes it quickly.  There are only three
+indicators regardless of design size, and through them the phases of **all**
+transfers are ordered: no element may advance to the next phase until every
+element has completed the current one.  That global ordering is exactly what
+makes the computation synchronous.
+
+Each transfer can optionally carry the companion abstract's
+positive-feedback accelerator so that once a phase begins it runs to
+completion quickly:
+
+    2 G_i <-> I_G_i            (slow forward / fast backward)
+    I_G_i + R_j -> 2 G_i + G_j (fast)
+
+**Reproduction finding -- the accelerator is one-shot only.**  The fire
+reaction ``I_G_i + R_j -> ...`` is not gated by any indicator; its standing
+rate is ``k_slow * [G_i]**2 * [R_j]``.  In a one-shot transfer chain (the
+companion's Figure 1) all products start at zero, so the accelerator is
+inert until the gated seed reaction lights it -- correct behaviour.  In a
+*free-running* synchronous machine, however, products hold standing mass
+across cycles (registers, clock types), so the accelerator fires through
+closed gates, the rotation decouples from the absence indicators, and the
+system wedges in a mixed-residual state.  Dropping acceleration entirely
+does not work either: indicator-consuming seed reactions alone give phase
+tails that decay only as a power law (the indicator is pinned at
+``gen/(k_fast * residual)``), and the leaked residue of one colour poisons
+the next gate.
+
+We therefore default to a **gated accelerator**: a transfer additionally
+fires through
+
+    gate + source + product -> gate + 2 product        (slow)
+
+which is autocatalytic in the product, catalytic in the gate, and --
+crucially -- carries a *slow* rate constant, so it stays within the
+paper's two-category robustness story.  Its rate is the product of three
+quantities that are simultaneously large only while the phase is genuinely
+active; in every off-window at least one factor sits at its residual floor
+and the leak is second-order small.  The ablation benchmark
+``bench_acceleration.py`` measures all three modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.crn.network import Network
+from repro.crn.rates import AMP, DAMP, FAST, GEN, SLOW
+from repro.crn.reaction import Reaction
+from repro.crn.species import COLORS, Species, as_species, next_color, \
+    previous_color
+from repro.errors import NetworkError
+
+#: Default indicator names, matching the companion abstract.
+INDICATOR_NAMES = {"red": "r", "green": "g", "blue": "b"}
+
+#: Acceleration modes (see the module docstring for the analysis):
+#: ``gated``  -- gate-catalysed autocatalysis at a *slow* rate constant,
+#:               sound for free-running cyclic designs (our default);
+#: ``dimer``  -- the companion abstract's reversible-dimer accelerator,
+#:               faithful to the published reactions but one-shot only;
+#: ``none``   -- un-accelerated (seed reactions only); phase tails then
+#:               decay as a power law and cyclic designs eventually wedge.
+GATED = "gated"
+DIMER = "dimer"
+NONE = "none"
+ACCELERATION_MODES = (GATED, DIMER, NONE)
+
+#: Gating modes:
+#: ``catalytic``  -- transfers *read* the gate (``gate + src -> gate +
+#:                   products``) and the indicators are sharpened into
+#:                   bistable absence detectors by self-amplification
+#:                   (``b -> 2b`` at rate ``amp``) with logistic damping
+#:                   (``2b -> b`` slow).  A colour whose total mass exceeds
+#:                   the threshold ``amp/k_fast`` pins its indicator at a
+#:                   floor ~``gen/(k_fast * mass)``; once the mass drains
+#:                   below threshold the indicator switches on within a
+#:                   fraction of a slow time unit and drives the next phase
+#:                   at rate ``k_slow * b_max * src``.  This mode is what
+#:                   free-running synchronous machines use.
+#: ``consuming``  -- the companion abstract's literal reactions: transfers
+#:                   consume one indicator unit per firing.  Throughput is
+#:                   then capped by indicator generation, so this mode is
+#:                   paired with an acceleration mode (``dimer`` for the
+#:                   published one-shot constructs).
+CATALYTIC = "catalytic"
+CONSUMING = "consuming"
+GATING_MODES = (CATALYTIC, CONSUMING)
+
+
+@dataclass
+class PhaseProtocol:
+    """Factory for phase-ordered transfer reactions on one network.
+
+    One protocol instance manages one set of absence indicators.  Build the
+    design by repeated :meth:`add_transfer` calls, then call
+    :meth:`finalize` once; finalisation emits the indicator generation
+    reactions and one fast consumption reaction per colour-coded species in
+    the network (including species added by other builders, e.g. the clock).
+
+    Parameters
+    ----------
+    prefix:
+        optional prefix for indicator names, allowing several independent
+        protocols (e.g. an isolated sub-design) in one network.
+    acceleration:
+        one of :data:`ACCELERATION_MODES`.  ``gated`` (default) is sound
+        for free-running cyclic designs; ``dimer`` reproduces the companion
+        abstract's published accelerator (one-shot transfers only);
+        ``none`` disables acceleration (ablation).
+    """
+
+    prefix: str = ""
+    gating: str = CATALYTIC
+    acceleration: str | None = None
+    generation_rate: float | str | None = None
+    consumption_rate: float | str = FAST
+    transfer_rate: float | str = SLOW
+    amplification_rate: float | str = AMP
+    damping_rate: float | str = DAMP
+    acceleration_rate: float | str = SLOW
+    feedback_forward: float | str = SLOW
+    feedback_backward: float | str = FAST
+    feedback_fire: float | str = FAST
+    _finalized: bool = field(default=False, repr=False)
+
+    def __post_init__(self):
+        if self.gating not in GATING_MODES:
+            raise NetworkError(
+                f"unknown gating mode {self.gating!r}; "
+                f"expected one of {GATING_MODES}")
+        if self.acceleration is None:
+            # Catalytic gates are strong enough on their own; consuming
+            # gates need the companion's accelerator for throughput.
+            self.acceleration = NONE if self.gating == CATALYTIC else DIMER
+        if self.generation_rate is None:
+            # Catalytic indicators are amplified, so generation only seeds
+            # them (small); the companion's consuming indicators are
+            # generated "constantly, at a slow rate" -- i.e. at k_slow.
+            self.generation_rate = GEN if self.gating == CATALYTIC else SLOW
+        if self.acceleration not in ACCELERATION_MODES:
+            raise NetworkError(
+                f"unknown acceleration mode {self.acceleration!r}; "
+                f"expected one of {ACCELERATION_MODES}")
+
+    # -- indicators -------------------------------------------------------------
+
+    def indicator_name(self, color: str) -> str:
+        if color not in COLORS:
+            raise NetworkError(f"unknown colour {color!r}")
+        return self.prefix + INDICATOR_NAMES[color]
+
+    def indicator(self, color: str) -> Species:
+        return Species(self.indicator_name(color), role="indicator")
+
+    def gate_indicator(self, source_color: str) -> Species:
+        """Indicator gating transfers *out of* ``source_color``.
+
+        A transfer from colour ``c`` to ``next(c)`` is enabled by the
+        absence of ``previous(c)``: red->green waits for blue to clear,
+        green->blue waits for red, blue->red waits for green.
+        """
+        return self.indicator(previous_color(source_color))
+
+    # -- transfers ---------------------------------------------------------------
+
+    def add_transfer(self, network: Network, source, products,
+                     consume: int = 1, label: str = "",
+                     acceleration: str | None = None) -> None:
+        """Add a phase-ordered transfer out of ``source``.
+
+        Parameters
+        ----------
+        source:
+            a colour-coded species (red, green or blue).
+        products:
+            the species produced per firing -- a single species, an
+            iterable, or a ``{species: coeff}`` mapping.  Every product must
+            carry the colour following the source's colour; bare names are
+            auto-coloured.
+        consume:
+            reactant stoichiometry of the source (``q`` in a rational gain
+            ``p/q``): each firing consumes ``consume`` units of the source.
+
+        The emitted reactions (for a red source, gate indicator ``b``, and
+        ``P`` the first product, acting as the acceleration anchor) are the
+        gated seed
+
+            b + q R_s -> products                       (slow)
+
+        plus, in ``gated`` acceleration mode (default),
+
+            b + q R_s + P -> b + P + products           (slow)
+
+        -- autocatalytic in the product and catalytic in the gate, so its
+        rate is large exactly when the phase is active (gate present,
+        source and product both substantial) and negligible in every other
+        phase window, where at least one factor is at its residual floor.
+        In ``dimer`` mode the companion abstract's accelerator is emitted
+        instead::
+
+            2 P <-> I_P                                 (slow / fast)
+            I_P + q R_s -> 2 P + products               (fast)
+        """
+        if self._finalized:
+            raise NetworkError("protocol already finalized; create transfers "
+                               "before calling finalize()")
+        source = as_species(source)
+        source = network.get_species(source.name) if source.name in (
+            set(network.species_names)) else source
+        if source.color is None:
+            raise NetworkError(
+                f"transfer source {source.name!r} has no colour")
+        if consume < 1:
+            raise NetworkError("consume must be >= 1")
+        target_color = next_color(source.color)
+        product_map = self._normalize_products(network, products,
+                                               target_color)
+        network.add_species(source)
+        gate = network.add_species(self.gate_indicator(source.color))
+
+        reactants = {source: consume, gate: 1}
+        if self.gating == CATALYTIC:
+            products = dict(product_map)
+            products[gate] = products.get(gate, 0) + 1
+        else:
+            products = product_map
+        network.add_reaction(Reaction(reactants, products,
+                                      self.transfer_rate, label=label))
+        mode = acceleration if acceleration is not None else self.acceleration
+        if mode not in ACCELERATION_MODES:
+            raise NetworkError(f"unknown acceleration mode {mode!r}")
+        if mode == GATED:
+            self._add_gated_acceleration(network, gate, source, consume,
+                                         product_map, label)
+        elif mode == DIMER:
+            self._add_dimer_feedback(network, source, consume, product_map,
+                                     label)
+
+    def _normalize_products(self, network: Network, products,
+                            target_color: str) -> dict[Species, int]:
+        if isinstance(products, (Species, str)):
+            products = [products]
+        if isinstance(products, dict):
+            items = [(as_species(k), int(v)) for k, v in products.items()]
+        else:
+            items = [(as_species(p), 1) for p in products]
+        result: dict[Species, int] = {}
+        for species, coeff in items:
+            if coeff < 1:
+                raise NetworkError("product coefficients must be >= 1")
+            if species.name in set(network.species_names):
+                species = network.get_species(species.name)
+            if species.color is None:
+                species = Species(species.name, color=target_color,
+                                  role=species.role)
+            if species.color != target_color:
+                raise NetworkError(
+                    f"product {species.name!r} is {species.color}, expected "
+                    f"{target_color}")
+            species = network.add_species(species)
+            result[species] = result.get(species, 0) + coeff
+        if not result:
+            raise NetworkError("transfer must have at least one product")
+        return result
+
+    def _add_gated_acceleration(self, network: Network, gate: Species,
+                                source: Species, consume: int,
+                                product_map: dict[Species, int],
+                                label: str) -> None:
+        anchor = next(iter(product_map))
+        reactants = {gate: 1, source: consume, anchor: 1}
+        products = dict(product_map)
+        products[gate] = products.get(gate, 0) + 1
+        products[anchor] = products.get(anchor, 0) + 1
+        reaction = Reaction(reactants, products, self.acceleration_rate,
+                            label=f"{label} accel" if label else "")
+        if reaction not in set(network.reactions):
+            network.add_reaction(reaction)
+
+    def _add_dimer_feedback(self, network: Network, source: Species,
+                            consume: int, product_map: dict[Species, int],
+                            label: str) -> None:
+        anchor = next(iter(product_map))
+        inter = network.add_species(Species(f"I_{anchor.name}",
+                                            role="feedback"))
+        dimer_fwd = Reaction({anchor: 2}, {inter: 1}, self.feedback_forward,
+                             label=f"{label} feedback dimer" if label else "")
+        dimer_bwd = Reaction({inter: 1}, {anchor: 2}, self.feedback_backward,
+                             label=f"{label} feedback undimer" if label else "")
+        fire_products = dict(product_map)
+        fire_products[anchor] = fire_products.get(anchor, 0) + 2
+        fire = Reaction({inter: 1, source: consume}, fire_products,
+                        self.feedback_fire,
+                        label=f"{label} feedback fire" if label else "")
+        for reaction in (dimer_fwd, dimer_bwd, fire):
+            if reaction not in set(network.reactions):
+                network.add_reaction(reaction)
+
+    def add_drain(self, network: Network, source, sink,
+                  label: str = "") -> None:
+        """Phase-ordered transfer out of the colour rotation.
+
+        Drains a colour-coded species into an *uncoloured* accumulator --
+        the molecular readout.  The drain is an ordinary gated transfer
+        whose product simply leaves the rotation: for a blue source it is
+        ``g + B -> g + sink`` (catalytic gating) or ``g + B -> sink``
+        (consuming gating), firing during the source's normal phase.
+
+        Outputs of a synthesized machine exit this way from their *blue*
+        accumulator during phase 3, instead of landing in a red register:
+        a standing red output register would deadlock against the
+        red-absence indicator that is supposed to flush it (the indicator
+        cannot switch on while the register holds the value it is waiting
+        to export).
+        """
+        if self._finalized:
+            raise NetworkError("protocol already finalized")
+        source = as_species(source)
+        if source.name in set(network.species_names):
+            source = network.get_species(source.name)
+        if source.color is None:
+            raise NetworkError(f"drain source {source.name!r} has no colour")
+        sink = as_species(sink)
+        if sink.color is not None:
+            raise NetworkError(
+                f"drain sink {sink.name!r} must be uncoloured")
+        source = network.add_species(source)
+        sink = network.add_species(Species(sink.name, role="aux"))
+        gate = network.add_species(self.gate_indicator(source.color))
+        reactants = {source: 1, gate: 1}
+        products = {sink: 1}
+        if self.gating == CATALYTIC:
+            products[gate] = 1
+        network.add_reaction(Reaction(reactants, products,
+                                      self.transfer_rate,
+                                      label=label or
+                                      f"drain {source.name}"))
+        if self.gating == CONSUMING and self.acceleration == DIMER:
+            # Without acceleration a consuming drain moves one unit per
+            # indicator generated; anchor the companion accelerator on the
+            # (uncoloured, terminal) sink.  Early export through the
+            # standing-sink dimer is harmless for a terminal output.
+            self._add_dimer_feedback(network, source, 1, {sink: 1}, label)
+
+    # -- annihilation (signed signals) ---------------------------------------------
+
+    def add_annihilation(self, network: Network, positive, negative,
+                         label: str = "") -> None:
+        """Fast mutual annihilation of a dual-rail pair.
+
+        Used for subtraction and signed arithmetic: the value is the
+        difference of the rails, which this reaction conserves while
+        draining the smaller rail to zero.
+        """
+        positive = as_species(positive)
+        negative = as_species(negative)
+        network.add_reaction(Reaction({positive: 1, negative: 1}, None,
+                                      self.consumption_rate,
+                                      label=label or "annihilation"))
+
+    # -- finalisation -----------------------------------------------------------
+
+    def finalize(self, network: Network) -> None:
+        """Emit indicator generation and consumption reactions.
+
+        Must be called exactly once, after all colour-coded species exist in
+        the network.
+        """
+        if self._finalized:
+            raise NetworkError("protocol already finalized")
+        for color in COLORS:
+            indicator = network.add_species(self.indicator(color))
+            network.add_reaction(Reaction(
+                None, {indicator: 1}, self.generation_rate,
+                label=f"generate {indicator.name}"))
+            if self.gating == CATALYTIC:
+                network.add_reaction(Reaction(
+                    {indicator: 1}, {indicator: 2},
+                    self.amplification_rate,
+                    label=f"amplify {indicator.name}"))
+                network.add_reaction(Reaction(
+                    {indicator: 2}, {indicator: 1}, self.damping_rate,
+                    label=f"damp {indicator.name}"))
+            for species in network.species_with_color(color):
+                network.add_reaction(Reaction(
+                    {indicator: 1, species: 1}, {species: 1},
+                    self.consumption_rate,
+                    label=f"{species.name} consumes {indicator.name}"))
+                if self.gating == CATALYTIC:
+                    # Scavenging: once the colour's total quantity falls
+                    # below the absence threshold and the indicator
+                    # switches on, the indicator flushes the residue.
+                    # Transfers with reactant stoichiometry q >= 2 have
+                    # power-law tails that would otherwise freeze just
+                    # above the threshold and wedge the rotation; the cost
+                    # is a quantisation floor of order amp/k_fast per
+                    # species per cycle, analogous to a hardware noise
+                    # floor.
+                    network.add_reaction(Reaction(
+                        {indicator: 1, species: 1}, {indicator: 1},
+                        self.transfer_rate,
+                        label=f"{indicator.name} scavenges "
+                              f"{species.name}"))
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+
+def rational_gain(value) -> Fraction:
+    """Coerce a gain coefficient to an exact rational.
+
+    Floats are snapped to the nearest rational with denominator <= 64;
+    exact rational coefficients are what the stoichiometric gain construct
+    implements, so callers should prefer :class:`fractions.Fraction`.
+    """
+    if isinstance(value, Fraction):
+        fraction = value
+    elif isinstance(value, int):
+        fraction = Fraction(value)
+    else:
+        fraction = Fraction(value).limit_denominator(64)
+    return fraction

@@ -1,0 +1,240 @@
+"""Driving a synthesized machine under exact stochastic semantics.
+
+The ODE driver needs a quantisation step at cycle boundaries because the
+continuum carries sub-molecule residues that real chemistry does not.
+This driver is the ground truth for that argument: it runs the *same*
+synthesized reaction network with Gillespie's exact SSA, where counts are
+integers and "absent" means literally zero molecules.  No flushing, no
+tolerance tricks -- the protocol's absence detection works natively.
+
+Costs: wall-clock time scales with event counts (keep signals <= a few
+hundred molecules), and outputs carry discreteness noise of a few
+molecules (odd quantities cannot halve exactly; indicator arrival times
+are random).  The integration test checks agreement with the ODE driver
+to within that noise scale.
+
+**Straggler deadlocks.**  At single-molecule resolution the absence
+threshold degenerates: one straggler molecule suppresses its indicator at
+rate ``k_fast`` against amplification ``amp``, so a state with a couple
+of leftover molecules in *every* colour pins all three gates at zero and
+the rotation freezes -- a genuine limitation of the scheme at low copy
+number, observed here experimentally.  The driver recovers by flushing
+stragglers (counts <= ``straggler_tolerance``) after ``patience`` time
+units without a boundary, modelling the slow degradation real molecules
+undergo; flush events are counted so results report how often recovery
+was needed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.crn.rates import RateScheme
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.core.dfg import MatrixDesign, SignalFlowGraph
+from repro.core.machine import MachineRun
+from repro.core.synthesis import SynthesizedCircuit, synthesize
+from repro.errors import SimulationError, SynthesisError
+
+
+class StochasticMachine:
+    """SSA counterpart of :class:`~repro.core.machine.SynchronousMachine`.
+
+    Cycle boundaries are detected by polling the counts every
+    ``poll_interval`` time units: a boundary holds when the clock-red
+    count has re-accumulated and the blue category holds at most
+    ``blue_tolerance`` molecules.
+    """
+
+    def __init__(self, design: MatrixDesign | SignalFlowGraph |
+                 SynthesizedCircuit,
+                 scheme: RateScheme | None = None,
+                 clock_mass: float = 20.0,
+                 signed: bool | None = None,
+                 seed: int | None = None,
+                 poll_interval: float = 0.25,
+                 boundary_fraction: float = 0.9,
+                 blue_tolerance: int = 0,
+                 patience: float = 20.0,
+                 straggler_tolerance: int = 4,
+                 max_cycle_time: float | None = None):
+        if isinstance(design, SynthesizedCircuit):
+            self.circuit = design
+        else:
+            self.circuit = synthesize(design, clock_mass=clock_mass,
+                                      signed=signed)
+        if scheme is None:
+            # The ODE driver keeps indicator generation tiny because the
+            # continuum integrates its floor into cross-gate leaks.  In
+            # the discrete semantics generation is a *seed event*: with
+            # gen = 0.01 the amplifier waits ~100 time units for its
+            # first molecule.  Discrete states cannot accumulate
+            # sub-molecule leaks, so a brisk seed rate is safe here.
+            values = dict(RateScheme().values)
+            values["gen"] = values["slow"]
+            scheme = RateScheme(values)
+        self.scheme = scheme
+        self.simulator = StochasticSimulator(self.network, self.scheme,
+                                             seed=seed)
+        self.poll_interval = poll_interval
+        self.boundary_fraction = boundary_fraction
+        self.blue_tolerance = int(blue_tolerance)
+        self.patience = patience
+        self.straggler_tolerance = int(straggler_tolerance)
+        self.flush_events = 0
+        self.max_cycle_time = max_cycle_time or 200.0 / self.scheme.slow
+        self._colored_indices = [
+            self.network.species_index(s) for s in self.network.species
+            if s.color is not None and s.role != "clock"]
+        self._blue_indices = [
+            self.network.species_index(s)
+            for s in self.network.species_with_color("blue")]
+        self._clock_red_index = self.network.species_index(
+            self.circuit.clock.red.name)
+
+    @property
+    def network(self):
+        return self.circuit.network
+
+    @property
+    def design(self) -> MatrixDesign:
+        return self.circuit.design
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, Sequence[float]],
+            extra_cycles: int = 1) -> MachineRun:
+        """Stream integer-valued samples through the machine under SSA."""
+        streams = self._check_streams(inputs)
+        n_samples = len(next(iter(streams.values()))) if streams else 0
+        n_cycles = n_samples + max(int(extra_cycles), 1)
+
+        counts = np.rint(self.network.initial_vector()).astype(np.int64)
+        boundary_times = [0.0]
+        cumulative = {name: [self._readout(counts, name)]
+                      for name in self.design.outputs}
+        state_history = [self._register_values(counts)]
+
+        t = 0.0
+        for cycle in range(n_cycles):
+            if cycle < n_samples:
+                counts = self._inject(counts, {
+                    name: streams[name][cycle] for name in streams})
+            counts, t = self._run_cycle(counts, t)
+            boundary_times.append(t)
+            for name in self.design.outputs:
+                cumulative[name].append(self._readout(counts, name))
+            state_history.append(self._register_values(counts))
+
+        outputs = {name: np.diff(np.array(series, dtype=float))
+                   for name, series in cumulative.items()}
+        reference = {name: np.array(values) for name, values in
+                     self.design.reference_run(
+                         {k: list(v) for k, v in streams.items()}).items()}
+        return MachineRun(outputs=outputs, reference=reference,
+                          boundary_times=np.array(boundary_times),
+                          trajectory=None, state_history=state_history)
+
+    def _run_cycle(self, counts: np.ndarray,
+                   t: float) -> tuple[np.ndarray, float]:
+        """Advance one full rotation, scanning *within* each simulated
+        chunk: the boundary window (clock red re-accumulated, blues
+        empty) can be much shorter than a chunk, because the blue-absence
+        gate is still on from the previous cycle and phase 1 restarts
+        immediately."""
+        threshold = self.boundary_fraction * self.circuit.clock.mass
+        samples_per_chunk = 16
+        departed = False
+        start = t
+        while True:
+            trajectory = self.simulator.simulate(
+                self.poll_interval, initial=counts,
+                n_samples=samples_per_chunk)
+            reds = trajectory.states[:, self._clock_red_index]
+            blues = trajectory.states[:, self._blue_indices].sum(axis=1)
+            for i in range(1, samples_per_chunk):
+                if not departed:
+                    if reds[i] < 0.5 * self.circuit.clock.mass:
+                        departed = True
+                elif (reds[i] >= threshold
+                      and blues[i] <= self.blue_tolerance):
+                    # Restart from this recorded state (Markov property:
+                    # any sampled state is a valid SSA initial state).
+                    counts = np.rint(trajectory.states[i]).astype(
+                        np.int64)
+                    return counts, t + float(trajectory.times[i])
+            counts = np.rint(trajectory.final()).astype(np.int64)
+            t += self.poll_interval
+            if t - start > self.patience:
+                counts = self._flush_stragglers(counts)
+                start = t - self.patience / 2  # renewed (half) patience
+            if t - start > self.max_cycle_time:
+                raise SimulationError(
+                    f"no stochastic cycle boundary within "
+                    f"{self.max_cycle_time:g} time units after "
+                    f"t={start:g}")
+
+    def _flush_stragglers(self, counts: np.ndarray) -> np.ndarray:
+        """Degrade straggler molecules wedging the rotation (see module
+        docstring)."""
+        counts = counts.copy()
+        flushed = 0
+        for index in self._colored_indices:
+            if 0 < counts[index] <= self.straggler_tolerance:
+                flushed += int(counts[index])
+                counts[index] = 0
+        if flushed:
+            self.flush_events += 1
+        return counts
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _check_streams(self, inputs):
+        expected = set(self.design.inputs)
+        if set(inputs) != expected:
+            raise SynthesisError(
+                f"input streams {sorted(inputs)} do not match design "
+                f"inputs {sorted(expected)}")
+        lengths = {len(v) for v in inputs.values()}
+        if len(lengths) > 1:
+            raise SynthesisError("input streams must have equal length")
+        for stream in inputs.values():
+            for value in stream:
+                if float(value) != int(value):
+                    raise SynthesisError(
+                        "stochastic semantics take integer molecule "
+                        f"counts; got {value!r}")
+        return dict(inputs)
+
+    def _inject(self, counts: np.ndarray,
+                samples: Mapping[str, float]) -> np.ndarray:
+        counts = counts.copy()
+        for name, value in samples.items():
+            value = int(value)
+            rail = "p" if value >= 0 else "n"
+            if rail == "n" and not self.circuit.signed:
+                raise SynthesisError(
+                    f"negative input sample for unsigned design: "
+                    f"{name}={value}")
+            index = self.network.species_index(
+                self.circuit.source_species[name][rail])
+            counts[index] += abs(value)
+        return counts
+
+    def _getter(self, counts: np.ndarray):
+        network = self.network
+
+        def get(name: str) -> float:
+            return float(counts[network.species_index(name)])
+
+        return get
+
+    def _readout(self, counts: np.ndarray, output: str) -> float:
+        return self.circuit.readout_value(self._getter(counts), output)
+
+    def _register_values(self, counts: np.ndarray) -> dict[str, float]:
+        getter = self._getter(counts)
+        return {name: self.circuit.state_value(getter, name)
+                for name in self.design.delays}

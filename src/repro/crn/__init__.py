@@ -1,0 +1,64 @@
+"""Chemical reaction network substrate.
+
+The :mod:`repro.crn` package is the foundation everything else builds on:
+species and reactions with symbolic fast/slow rate categories, network
+assembly and composition, a text format, compiled mass-action kinetics, and
+deterministic plus stochastic simulators.
+"""
+
+from repro.crn.analysis import (catalytic_summary, complex_graph,
+                                deficiency, is_weakly_reversible,
+                                linkage_classes, reachable_species,
+                                reaction_order_histogram,
+                                species_reaction_graph, stranded_species)
+from repro.crn.kinetics import MassActionKinetics, build_kinetics
+from repro.crn.network import Network
+from repro.crn.parser import load_network, parse_network
+from repro.crn.rates import (DEFAULT_FAST, DEFAULT_SLOW, FAST, SLOW,
+                             RateScheme, jittered_rates)
+from repro.crn.reaction import Reaction, reversible
+from repro.crn.species import COLORS, Species, as_species, next_color, \
+    previous_color
+from repro.crn.simulation import (OdeSimulator, StochasticSimulator,
+                                  TauLeapingSimulator, Trajectory, simulate)
+from repro.crn.simulation.sensitivity import (observable_final,
+                                              rate_sensitivities,
+                                              sensitivity_report)
+
+__all__ = [
+    "COLORS",
+    "DEFAULT_FAST",
+    "DEFAULT_SLOW",
+    "FAST",
+    "MassActionKinetics",
+    "Network",
+    "OdeSimulator",
+    "RateScheme",
+    "Reaction",
+    "SLOW",
+    "Species",
+    "StochasticSimulator",
+    "TauLeapingSimulator",
+    "Trajectory",
+    "as_species",
+    "catalytic_summary",
+    "complex_graph",
+    "deficiency",
+    "is_weakly_reversible",
+    "linkage_classes",
+    "observable_final",
+    "rate_sensitivities",
+    "reachable_species",
+    "reaction_order_histogram",
+    "sensitivity_report",
+    "species_reaction_graph",
+    "stranded_species",
+    "build_kinetics",
+    "jittered_rates",
+    "load_network",
+    "next_color",
+    "parse_network",
+    "previous_color",
+    "reversible",
+    "simulate",
+]

@@ -1,0 +1,162 @@
+"""Structural analysis of chemical reaction networks.
+
+Classical CRN-theory inspections used by the verification layer and the
+documentation: species-reaction graphs, linkage classes, deficiency,
+reversibility, and catalytic structure.  These operate purely on
+stoichiometry -- no simulation involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.crn.network import Network
+
+
+def species_reaction_graph(network: Network) -> nx.DiGraph:
+    """Bipartite digraph: species -> reactions they feed -> products.
+
+    Species nodes carry ``kind="species"`` (plus colour/role metadata);
+    reaction nodes carry ``kind="reaction"`` and the reaction index.
+    """
+    graph = nx.DiGraph()
+    for species in network.species:
+        graph.add_node(f"S:{species.name}", kind="species",
+                       color=species.color, role=species.role)
+    for index, reaction in enumerate(network.reactions):
+        node = f"R:{index}"
+        graph.add_node(node, kind="reaction", rate=reaction.rate,
+                       label=reaction.label)
+        for species, coeff in reaction.reactants.items():
+            graph.add_edge(f"S:{species.name}", node, coeff=coeff)
+        for species, coeff in reaction.products.items():
+            graph.add_edge(node, f"S:{species.name}", coeff=coeff)
+    return graph
+
+
+def reachable_species(network: Network, sources: list[str]) -> set[str]:
+    """Species producible (transitively) from the given source species.
+
+    A reaction fires only if *all* its reactants are available, so the
+    closure iterates to a fixed point rather than walking edges blindly.
+    Zeroth-order reactions are always available.
+    """
+    available = {name for name in sources}
+    changed = True
+    while changed:
+        changed = False
+        for reaction in network.reactions:
+            if all(s.name in available for s in reaction.reactants):
+                for product in reaction.products:
+                    if product.name not in available:
+                        available.add(product.name)
+                        changed = True
+    return available
+
+
+def complexes(network: Network) -> list[frozenset[tuple[str, int]]]:
+    """The distinct complexes (multisets of species) of the network."""
+    seen: list[frozenset[tuple[str, int]]] = []
+    for reaction in network.reactions:
+        for side in (reaction.reactants, reaction.products):
+            key = frozenset((s.name, c) for s, c in side.items())
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def complex_graph(network: Network) -> nx.DiGraph:
+    """Digraph on complexes with one edge per reaction."""
+    graph = nx.DiGraph()
+    index = {key: i for i, key in enumerate(complexes(network))}
+    for key in index:
+        graph.add_node(index[key], complex=key)
+    for reaction in network.reactions:
+        source = frozenset((s.name, c)
+                           for s, c in reaction.reactants.items())
+        target = frozenset((s.name, c)
+                           for s, c in reaction.products.items())
+        graph.add_edge(index[source], index[target])
+    return graph
+
+
+def linkage_classes(network: Network) -> int:
+    """Number of connected components of the complex graph."""
+    graph = complex_graph(network).to_undirected()
+    return nx.number_connected_components(graph)
+
+
+def deficiency(network: Network) -> int:
+    """Feinberg deficiency:  #complexes - #linkage classes - rank(S)."""
+    n_complexes = len(complexes(network))
+    rank = int(np.linalg.matrix_rank(network.stoichiometry_matrix()))
+    return n_complexes - linkage_classes(network) - rank
+
+
+def is_weakly_reversible(network: Network) -> bool:
+    """True if every reaction lies on a directed cycle of complexes."""
+    graph = complex_graph(network)
+    components = list(nx.strongly_connected_components(graph))
+    component_of = {}
+    for i, component in enumerate(components):
+        for node in component:
+            component_of[node] = i
+    return all(component_of[u] == component_of[v]
+               for u, v in graph.edges)
+
+
+@dataclass
+class CatalyticSummary:
+    """Which species act as pure catalysts / pure products / consumed."""
+
+    catalysts: set[str]
+    sources_only: set[str]
+    sinks_only: set[str]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.catalysts
+
+
+def catalytic_summary(network: Network) -> CatalyticSummary:
+    """Classify species by how the reaction set treats them."""
+    consumed: set[str] = set()
+    produced: set[str] = set()
+    catalytic: set[str] = set()
+    for reaction in network.reactions:
+        delta = reaction.net_change()
+        for species in reaction.species:
+            change = delta.get(species, 0)
+            if change < 0:
+                consumed.add(species.name)
+            elif change > 0:
+                produced.add(species.name)
+            elif reaction.is_catalytic_in(species):
+                catalytic.add(species.name)
+    pure_catalysts = catalytic - consumed - produced
+    return CatalyticSummary(
+        catalysts=pure_catalysts,
+        sources_only=produced - consumed,
+        sinks_only=consumed - produced)
+
+
+def stranded_species(network: Network) -> set[str]:
+    """Species that some reaction produces but nothing ever consumes
+    (other than catalytically) -- quantity parks there forever.
+
+    Legitimate for readout accumulators and wastes; a bug for anything
+    colour-coded (see :mod:`repro.core.verify`).
+    """
+    summary = catalytic_summary(network)
+    return summary.sources_only
+
+
+def reaction_order_histogram(network: Network) -> dict[int, int]:
+    """How many reactions of each molecularity the network uses --
+    relevant to implementability (DSD compiles orders <= 3)."""
+    histogram: dict[int, int] = {}
+    for reaction in network.reactions:
+        histogram[reaction.order] = histogram.get(reaction.order, 0) + 1
+    return histogram

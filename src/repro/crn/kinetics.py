@@ -1,0 +1,128 @@
+"""Mass-action kinetics: right-hand sides, propensities, Jacobians.
+
+Deterministic semantics (used by the ODE simulators)
+    rate_j = k_j * prod_s x_s ** E[j, s]
+    dx/dt  = S @ rate
+
+Stochastic semantics (used by SSA / tau-leaping)
+    a_j = c_j * prod_s C(x_s, E[j, s])
+    c_j = k_j * prod_s E[j, s]! / V ** (order_j - 1)
+
+With volume ``V`` equal to the count scale, the SSA mean converges to the
+ODE trajectory for large counts, which one of the integration tests checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.crn.network import Network
+
+
+class MassActionKinetics:
+    """Compiled mass-action kinetics for one network + rate vector."""
+
+    def __init__(self, network: Network, rates: np.ndarray):
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (network.n_reactions,):
+            raise ValueError(
+                f"rate vector has shape {rates.shape}, expected "
+                f"({network.n_reactions},)")
+        self.network = network
+        self.rates = rates
+        self.exponents = network.reactant_matrix()          # (R, S)
+        self.stoich = network.stoichiometry_matrix()        # (S, R)
+        # Sparse representation of the exponent matrix for the Jacobian.
+        self._nz_rows, self._nz_cols = np.nonzero(self.exponents)
+        self._nz_exp = self.exponents[self._nz_rows, self._nz_cols]
+        # Precompute per-reaction reactant index lists for SSA propensities.
+        self._reactant_lists = [
+            [(s, int(e)) for s, e in zip(*_row_nonzero(self.exponents, j))]
+            for j in range(network.n_reactions)
+        ]
+
+    # -- deterministic -------------------------------------------------------
+
+    def reaction_rates(self, x: np.ndarray) -> np.ndarray:
+        """Vector of mass-action reaction rates at state ``x``."""
+        x = np.maximum(x, 0.0)
+        # x ** 0 == 1, so the dense power handles absent reactants.
+        monomials = np.prod(np.power(x[None, :], self.exponents), axis=1)
+        return self.rates * monomials
+
+    def rhs(self, t: float, x: np.ndarray) -> np.ndarray:
+        """ODE right-hand side ``dx/dt``."""
+        return self.stoich @ self.reaction_rates(x)
+
+    def jacobian(self, t: float, x: np.ndarray) -> np.ndarray:
+        """Analytic Jacobian ``d(dx/dt)/dx`` (dense)."""
+        x = np.maximum(x, 0.0)
+        n_r, n_s = self.exponents.shape
+        # d rate_j / d x_s for each nonzero exponent entry.
+        drate = np.zeros((n_r, n_s))
+        monomials = np.power(x[None, :], self.exponents)  # (R, S)
+        full = self.rates * np.prod(monomials, axis=1)
+        for j, s, e in zip(self._nz_rows, self._nz_cols, self._nz_exp):
+            xs = x[s]
+            if xs > 0:
+                drate[j, s] = full[j] * e / xs
+            else:
+                # Recompute the partial product without species s.
+                others = self.rates[j]
+                for s2 in np.nonzero(self.exponents[j])[0]:
+                    if s2 == s:
+                        continue
+                    others *= x[s2] ** self.exponents[j, s2]
+                drate[j, s] = others * (e if e == 1 else 0.0)
+                # For e >= 2 the derivative at x_s = 0 is 0.
+        return self.stoich @ drate
+
+    # -- stochastic ----------------------------------------------------------
+
+    def stochastic_constants(self, volume: float = 1.0) -> np.ndarray:
+        """Per-reaction stochastic rate constants ``c_j``."""
+        constants = np.empty(len(self.rates))
+        for j, reactants in enumerate(self._reactant_lists):
+            order = sum(e for _, e in reactants)
+            factor = 1.0
+            for _, e in reactants:
+                factor *= math.factorial(e)
+            constants[j] = self.rates[j] * factor / volume ** max(order - 1, 0)
+            if order == 0:
+                constants[j] = self.rates[j] * volume
+        return constants
+
+    def propensities(self, counts: np.ndarray,
+                     constants: np.ndarray) -> np.ndarray:
+        """SSA propensities at integer state ``counts``."""
+        a = constants.copy()
+        for j, reactants in enumerate(self._reactant_lists):
+            for s, e in reactants:
+                n = counts[s]
+                if n < e:
+                    a[j] = 0.0
+                    break
+                combos = 1.0
+                for i in range(e):
+                    combos *= (n - i)
+                combos /= math.factorial(e)
+                a[j] *= combos
+        return a
+
+
+def _row_nonzero(matrix: np.ndarray, row: int):
+    cols = np.nonzero(matrix[row])[0]
+    return cols, matrix[row, cols]
+
+
+def build_kinetics(network: Network, scheme=None,
+                   rates: np.ndarray | None = None) -> MassActionKinetics:
+    """Resolve rates (via scheme or explicit vector) and compile kinetics."""
+    from repro.crn.rates import RateScheme
+
+    if rates is None:
+        scheme = scheme or RateScheme()
+        rates = network.rate_vector(scheme)
+    return MassActionKinetics(network, np.asarray(rates, dtype=float))

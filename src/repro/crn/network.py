@@ -1,0 +1,275 @@
+"""Chemical reaction network container.
+
+A :class:`Network` is an ordered registry of species, a list of reactions,
+and a set of initial quantities.  Builders throughout the library (clock,
+delay elements, synthesized circuits, DSD compilation) all produce plain
+``Network`` objects, so every design can be simulated, analysed, merged,
+printed and parsed with the same machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.crn.reaction import Reaction, SpeciesLike
+from repro.crn.species import Species, as_species
+from repro.errors import NetworkError
+
+
+class Network:
+    """A chemical reaction network with initial conditions."""
+
+    def __init__(self, name: str = "crn"):
+        self.name = name
+        self._species: dict[str, Species] = {}
+        self._order: list[str] = []
+        self.reactions: list[Reaction] = []
+        self._initial: dict[str, float] = {}
+
+    # -- species registry ---------------------------------------------------
+
+    @property
+    def species(self) -> list[Species]:
+        """Species in registration order."""
+        return [self._species[name] for name in self._order]
+
+    @property
+    def species_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def n_species(self) -> int:
+        return len(self._order)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    def __contains__(self, species: SpeciesLike) -> bool:
+        return as_species(species).name in self._species
+
+    def add_species(self, species: SpeciesLike, initial: float = 0.0,
+                    **metadata) -> Species:
+        """Register a species (idempotent for identical declarations).
+
+        Re-declaring an existing name is allowed only when colour and role
+        agree (or when one declaration is the bare default); conflicting
+        metadata raises :class:`NetworkError`.
+        """
+        if isinstance(species, str) and metadata:
+            species = Species(species, **metadata)
+        else:
+            species = as_species(species)
+        existing = self._species.get(species.name)
+        if existing is None:
+            self._species[species.name] = species
+            self._order.append(species.name)
+        elif not existing.same_metadata(species):
+            if existing.color is None and existing.role == "signal":
+                # Bare auto-registration upgraded by an explicit declaration.
+                self._species[species.name] = species
+            elif not (species.color is None and species.role == "signal"):
+                raise NetworkError(
+                    f"conflicting declarations for species {species.name!r}: "
+                    f"{existing.color}/{existing.role} vs "
+                    f"{species.color}/{species.role}")
+        if initial:
+            self.set_initial(species, initial)
+        return self._species[species.name]
+
+    def get_species(self, name: str) -> Species:
+        try:
+            return self._species[name]
+        except KeyError:
+            raise NetworkError(f"unknown species {name!r} in network "
+                               f"{self.name!r}")
+
+    def species_index(self, species: SpeciesLike) -> int:
+        name = as_species(species).name
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise NetworkError(f"unknown species {name!r} in network "
+                               f"{self.name!r}")
+
+    def index_map(self) -> dict[str, int]:
+        return {name: i for i, name in enumerate(self._order)}
+
+    def species_with_color(self, color: str) -> list[Species]:
+        return [s for s in self.species if s.color == color]
+
+    def species_with_role(self, role: str) -> list[Species]:
+        return [s for s in self.species if s.role == role]
+
+    # -- reactions ----------------------------------------------------------
+
+    def add_reaction(self, reaction: Reaction) -> Reaction:
+        """Add a reaction, auto-registering any unknown species.
+
+        Registration order is deterministic (reactants before products,
+        each in declaration order) so that state-vector layouts are
+        reproducible across processes.
+        """
+        for species in reaction.reactants:
+            self.add_species(species)
+        for species in reaction.products:
+            self.add_species(species)
+        self.reactions.append(reaction)
+        return reaction
+
+    def add(self, reactants, products, rate: float | str = "slow",
+            label: str = "") -> Reaction:
+        """Shorthand for ``add_reaction(Reaction(...))``."""
+        return self.add_reaction(Reaction(reactants, products, rate, label))
+
+    def extend(self, reactions: Iterable[Reaction]) -> None:
+        for reaction in reactions:
+            self.add_reaction(reaction)
+
+    # -- initial conditions --------------------------------------------------
+
+    def set_initial(self, species: SpeciesLike, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise NetworkError("initial quantity must be non-negative")
+        name = self.add_species(species).name
+        self._initial[name] = value
+
+    def get_initial(self, species: SpeciesLike) -> float:
+        return self._initial.get(as_species(species).name, 0.0)
+
+    @property
+    def initial(self) -> dict[str, float]:
+        return dict(self._initial)
+
+    def initial_vector(self,
+                       overrides: Mapping[str, float] | None = None
+                       ) -> np.ndarray:
+        """Initial state aligned with :attr:`species_names`."""
+        x0 = np.zeros(self.n_species)
+        for name, value in self._initial.items():
+            x0[self.species_index(name)] = value
+        if overrides:
+            for name, value in overrides.items():
+                x0[self.species_index(name)] = float(value)
+        return x0
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "Network") -> "Network":
+        """Merge another network into this one (in place).
+
+        Species registries are unioned (metadata must agree), reactions are
+        concatenated with duplicates removed, and initial quantities are
+        summed -- quantities are signals, and merging two sub-designs that
+        both inject into a shared species should accumulate.
+        """
+        for species in other.species:
+            self.add_species(species)
+        seen = set(self.reactions)
+        for reaction in other.reactions:
+            if reaction not in seen:
+                self.add_reaction(reaction)
+                seen.add(reaction)
+        for name, value in other._initial.items():
+            self._initial[name] = self._initial.get(name, 0.0) + value
+        return self
+
+    def copy(self, name: str | None = None) -> "Network":
+        clone = Network(name or self.name)
+        clone.merge(self)
+        return clone
+
+    # -- matrices ------------------------------------------------------------
+
+    def reactant_matrix(self) -> np.ndarray:
+        """Exponent matrix E: E[j, s] = reactant coefficient of species s
+        in reaction j (mass-action exponents)."""
+        index = self.index_map()
+        matrix = np.zeros((self.n_reactions, self.n_species))
+        for j, reaction in enumerate(self.reactions):
+            for species, coeff in reaction.reactants.items():
+                matrix[j, index[species.name]] = coeff
+        return matrix
+
+    def product_matrix(self) -> np.ndarray:
+        index = self.index_map()
+        matrix = np.zeros((self.n_reactions, self.n_species))
+        for j, reaction in enumerate(self.reactions):
+            for species, coeff in reaction.products.items():
+                matrix[j, index[species.name]] = coeff
+        return matrix
+
+    def stoichiometry_matrix(self) -> np.ndarray:
+        """Net stoichiometry S: S[s, j] = net change of species s per firing
+        of reaction j.  The ODE right-hand side is ``S @ rates``."""
+        return (self.product_matrix() - self.reactant_matrix()).T
+
+    def rate_vector(self, scheme) -> np.ndarray:
+        """Resolved numeric rate constants aligned with :attr:`reactions`."""
+        return np.array([scheme.resolve(rxn.rate) for rxn in self.reactions])
+
+    # -- validation / inspection ----------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raise :class:`NetworkError` on problems."""
+        if not self.reactions:
+            raise NetworkError(f"network {self.name!r} has no reactions")
+        for reaction in self.reactions:
+            for species in reaction.species:
+                if species.name not in self._species:
+                    raise NetworkError(
+                        f"reaction {reaction} references unregistered "
+                        f"species {species.name!r}")
+
+    def conservation_laws(self, tol: float = 1e-9) -> np.ndarray:
+        """Left null space of the stoichiometry matrix.
+
+        Each row is a vector ``w`` such that ``w . x(t)`` is constant along
+        every trajectory.  Rows are returned as an orthonormal basis.
+        """
+        from scipy.linalg import null_space
+
+        stoich = self.stoichiometry_matrix()
+        basis = null_space(stoich.T, rcond=tol)
+        return basis.T
+
+    def conserved_total(self, weights: np.ndarray, state: np.ndarray) -> float:
+        return float(np.dot(weights, state))
+
+    def summary(self) -> str:
+        """One-line size summary used in reports."""
+        return (f"{self.name}: {self.n_species} species, "
+                f"{self.n_reactions} reactions")
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Serialise to the text format accepted by :mod:`repro.crn.parser`."""
+        lines = [f"network: {self.name}"]
+        # Every species is listed (even metadata-free ones) so that the
+        # registration order -- and with it the state-vector layout --
+        # survives a round trip through the text format.
+        for species in self.species:
+            attrs = []
+            if species.color:
+                attrs.append(f"color={species.color}")
+            if species.role != "signal":
+                attrs.append(f"role={species.role}")
+            line = f"species {species.name}"
+            if attrs:
+                line = f"{line} {' '.join(attrs)}"
+            lines.append(line)
+        for name, value in sorted(self._initial.items()):
+            lines.append(f"init {name} = {value:g}")
+        for reaction in self.reactions:
+            lines.append(str(reaction))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.summary()
+
+    def __repr__(self) -> str:
+        return f"<Network {self.summary()}>"

@@ -1,0 +1,155 @@
+"""Coarse rate categories and their numeric resolution.
+
+The paper's central robustness idea is that reactions fall into just two
+coarse categories, ``fast`` and ``slow``:
+
+    "it does not matter how fast any 'fast' reaction is relative to
+    another, or how slow any 'slow' reaction is relative to another --
+    only that 'fast' reactions are fast relative to 'slow' reactions."
+
+A :class:`RateScheme` maps category names to numeric rate constants used by
+a particular simulation.  Keeping reactions *symbolic* until simulation time
+is what lets the rate-robustness benchmarks re-run one network under many
+different schemes (including per-reaction jitter) without rebuilding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+#: Category names used throughout the library.
+FAST = "fast"
+SLOW = "slow"
+#: Zeroth-order absence-indicator generation used by the sharpened
+#: ("catalytic") gating mode.  It only *seeds* the indicator amplifier, so
+#: it is small; like ``amp`` it scales with the slow category in
+#: robustness sweeps.  (The companion-faithful "consuming" mode generates
+#: indicators at ``k_slow`` itself, as published.)
+GEN = "gen"
+
+#: First-order indicator self-amplification (``b -> 2b``) used by the
+#: sharpened ("catalytic") gating mode.  The ratio ``amp / fast`` is the
+#: absence threshold: a colour whose total quantity exceeds it pins its
+#: indicator at a tiny floor; below it the indicator switches on
+#: exponentially.  Like ``gen`` it scales with the slow category.
+AMP = "amp"
+
+#: Second-order indicator self-damping (``2b -> b``).  Together with
+#: ``amp`` it caps the ON level of an amplified indicator at ``amp/damp``.
+#: Raising it (relative to ``k_slow``) lowers both the gate's ON level and
+#: -- more importantly -- the standing residue of the linearised-division
+#: intermediates (``h_ss = (amp/damp) * k_slow/k_fast``), keeping the sum
+#: of all residues below the absence threshold ``amp/k_fast``.
+DAMP = "damp"
+
+#: Numeric values from the paper's ODE validation (unitless time).
+DEFAULT_FAST = 1000.0
+DEFAULT_SLOW = 1.0
+DEFAULT_GEN = 0.01
+DEFAULT_AMP = 30.0
+DEFAULT_DAMP = 1.0
+
+
+@dataclass(frozen=True)
+class RateScheme:
+    """Numeric interpretation of symbolic rate categories.
+
+    Parameters
+    ----------
+    values:
+        mapping from category name to rate constant.  ``fast`` and ``slow``
+        default to the paper's values (1000 and 1).
+    """
+
+    values: dict[str, float] = field(
+        default_factory=lambda: {FAST: DEFAULT_FAST, SLOW: DEFAULT_SLOW,
+                                 GEN: DEFAULT_GEN, AMP: DEFAULT_AMP,
+                                 DAMP: DEFAULT_DAMP})
+
+    def __post_init__(self):
+        for name, value in self.values.items():
+            if not np.isfinite(value) or value <= 0:
+                raise NetworkError(
+                    f"rate category {name!r} must be positive and finite, "
+                    f"got {value!r}")
+        if GEN not in self.values:
+            # Generation tracks the slow category by default.
+            self.values[GEN] = self.values.get(SLOW, DEFAULT_SLOW) \
+                * DEFAULT_GEN
+        if AMP not in self.values:
+            self.values[AMP] = self.values.get(SLOW, DEFAULT_SLOW) \
+                * DEFAULT_AMP
+        if DAMP not in self.values:
+            self.values[DAMP] = self.values.get(SLOW, DEFAULT_SLOW) \
+                * DEFAULT_DAMP
+
+    @property
+    def fast(self) -> float:
+        return self.values[FAST]
+
+    @property
+    def slow(self) -> float:
+        return self.values[SLOW]
+
+    @property
+    def separation(self) -> float:
+        """Ratio k_fast / k_slow -- the time-scale separation."""
+        return self.fast / self.slow
+
+    def resolve(self, rate: "float | str") -> float:
+        """Resolve a symbolic or numeric rate to a number."""
+        if isinstance(rate, str):
+            try:
+                return self.values[rate]
+            except KeyError:
+                raise NetworkError(f"unknown rate category {rate!r}; "
+                                   f"scheme defines {sorted(self.values)}")
+        value = float(rate)
+        if not np.isfinite(value) or value < 0:
+            raise NetworkError(f"invalid numeric rate {rate!r}")
+        return value
+
+    def scaled(self, fast_factor: float = 1.0,
+               slow_factor: float = 1.0) -> "RateScheme":
+        """A new scheme with the fast/slow values multiplied by factors.
+
+        The generation category scales with the slow factor (it is a slow
+        reaction from an abundant source).
+        """
+        values = dict(self.values)
+        values[FAST] = values[FAST] * fast_factor
+        values[SLOW] = values[SLOW] * slow_factor
+        values[GEN] = values[GEN] * slow_factor
+        values[AMP] = values[AMP] * slow_factor
+        values[DAMP] = values[DAMP] * slow_factor
+        return RateScheme(values)
+
+    @classmethod
+    def with_separation(cls, separation: float, slow: float = DEFAULT_SLOW,
+                        generation: float | None = None) -> "RateScheme":
+        """A scheme with the given k_fast / k_slow ratio."""
+        if separation <= 0:
+            raise NetworkError("separation must be positive")
+        if generation is None:
+            generation = slow * DEFAULT_GEN
+        return cls({FAST: slow * separation, SLOW: slow, GEN: generation,
+                    AMP: slow * DEFAULT_AMP, DAMP: slow * DEFAULT_DAMP})
+
+
+def jittered_rates(network, scheme: RateScheme, rng: np.random.Generator,
+                   low: float = 0.5, high: float = 2.0) -> np.ndarray:
+    """Per-reaction rate constants with independent multiplicative jitter.
+
+    Every reaction's resolved rate is multiplied by an independent uniform
+    factor in ``[low, high)``.  This models the paper's claim that only the
+    *category* matters: within a category the constants may vary freely.
+
+    Returns an array aligned with ``network.reactions``.
+    """
+    rates = np.array([scheme.resolve(rxn.rate) for rxn in network.reactions])
+    jitter = rng.uniform(low, high, size=rates.shape)
+    return rates * jitter

@@ -1,0 +1,23 @@
+"""Simulation engines for chemical reaction networks."""
+
+from repro.crn.simulation.events import (species_above, species_below,
+                                         total_above, total_below)
+from repro.crn.simulation.ode import METHODS, OdeSimulator, simulate
+from repro.crn.simulation.result import Trajectory
+from repro.crn.simulation.rk import integrate_rk45
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.crn.simulation.tau_leaping import TauLeapingSimulator
+
+__all__ = [
+    "METHODS",
+    "OdeSimulator",
+    "StochasticSimulator",
+    "TauLeapingSimulator",
+    "Trajectory",
+    "integrate_rk45",
+    "simulate",
+    "species_above",
+    "species_below",
+    "total_above",
+    "total_below",
+]

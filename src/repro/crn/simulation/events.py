@@ -1,0 +1,70 @@
+"""Event functions for piecewise integration.
+
+Events are callables ``event(t, x) -> float`` whose sign change stops the
+integrator (scipy ``solve_ivp`` semantics).  The cycle driver uses them to
+detect phase completion -- e.g. "total red signal mass has drained below a
+threshold" -- without assuming anything about absolute phase durations,
+which are rate-dependent even though the computed values are not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.crn.network import Network
+
+Event = Callable[[float, np.ndarray], float]
+
+
+def _mark_terminal(event: Event, terminal: bool, direction: float) -> Event:
+    event.terminal = terminal          # type: ignore[attr-defined]
+    event.direction = direction        # type: ignore[attr-defined]
+    return event
+
+
+def species_below(network: Network, name: str, threshold: float,
+                  terminal: bool = True) -> Event:
+    """Fires when a species quantity falls below ``threshold``."""
+    index = network.species_index(name)
+
+    def event(t: float, x: np.ndarray) -> float:
+        return x[index] - threshold
+
+    return _mark_terminal(event, terminal, direction=-1.0)
+
+
+def species_above(network: Network, name: str, threshold: float,
+                  terminal: bool = True) -> Event:
+    """Fires when a species quantity rises above ``threshold``."""
+    index = network.species_index(name)
+
+    def event(t: float, x: np.ndarray) -> float:
+        return x[index] - threshold
+
+    return _mark_terminal(event, terminal, direction=1.0)
+
+
+def total_below(network: Network, names: Iterable[str], threshold: float,
+                terminal: bool = True) -> Event:
+    """Fires when the summed quantity of a species group drains below
+    ``threshold``.  Used for "category empty" phase detection."""
+    indices = [network.species_index(name) for name in names]
+
+    def event(t: float, x: np.ndarray) -> float:
+        return float(x[indices].sum()) - threshold
+
+    return _mark_terminal(event, terminal, direction=-1.0)
+
+
+def total_above(network: Network, names: Iterable[str], threshold: float,
+                terminal: bool = True) -> Event:
+    """Fires when the summed quantity of a species group exceeds
+    ``threshold``."""
+    indices = [network.species_index(name) for name in names]
+
+    def event(t: float, x: np.ndarray) -> float:
+        return float(x[indices].sum()) - threshold
+
+    return _mark_terminal(event, terminal, direction=1.0)

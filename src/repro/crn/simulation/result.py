@@ -1,0 +1,131 @@
+"""Trajectory container returned by all simulators."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class Trajectory:
+    """Time series of species quantities.
+
+    Attributes
+    ----------
+    times:
+        1-D array of sample times, strictly non-decreasing.
+    states:
+        2-D array ``(len(times), n_species)``.
+    names:
+        species names aligned with the state columns.
+    """
+
+    def __init__(self, times: np.ndarray, states: np.ndarray,
+                 names: Sequence[str], meta: dict | None = None):
+        self.times = np.asarray(times, dtype=float)
+        self.states = np.asarray(states, dtype=float)
+        self.names = list(names)
+        self.meta = dict(meta or {})
+        if self.states.ndim != 2:
+            raise SimulationError("states must be 2-D")
+        if self.states.shape != (self.times.size, len(self.names)):
+            raise SimulationError(
+                f"shape mismatch: times {self.times.shape}, states "
+                f"{self.states.shape}, {len(self.names)} names")
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.times.size
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> np.ndarray:
+        """Full time series for one species."""
+        try:
+            return self.states[:, self._index[name]]
+        except KeyError:
+            raise SimulationError(f"trajectory has no species {name!r}")
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def final(self, name: str | None = None):
+        """Final quantity of one species, or the full final state vector."""
+        if name is None:
+            return self.states[-1].copy()
+        return float(self.column(name)[-1])
+
+    def final_state(self) -> dict[str, float]:
+        return {name: float(v) for name, v in zip(self.names, self.states[-1])}
+
+    def at(self, t: float, name: str) -> float:
+        """Linearly interpolated quantity of ``name`` at time ``t``."""
+        series = self.column(name)
+        return float(np.interp(t, self.times, series))
+
+    def total(self, names: Iterable[str]) -> np.ndarray:
+        """Summed time series over a group of species."""
+        result = np.zeros_like(self.times)
+        for name in names:
+            result = result + self.column(name)
+        return result
+
+    @property
+    def t_final(self) -> float:
+        return float(self.times[-1])
+
+    # -- composition ----------------------------------------------------------
+
+    def concat(self, other: "Trajectory") -> "Trajectory":
+        """Append a continuation trajectory (same species set).
+
+        Used by the cycle driver, which integrates phase by phase and
+        stitches the pieces together.  A duplicated boundary sample is
+        dropped.
+        """
+        if self.names != other.names:
+            raise SimulationError("cannot concat trajectories with "
+                                  "different species")
+        times = other.times
+        states = other.states
+        if times.size and self.times.size and times[0] <= self.times[-1] + 1e-15:
+            times = times[1:]
+            states = states[1:]
+        return Trajectory(np.concatenate([self.times, times]),
+                          np.vstack([self.states, states]),
+                          self.names, {**self.meta, **other.meta})
+
+    def window(self, t0: float, t1: float) -> "Trajectory":
+        """Sub-trajectory restricted to ``t0 <= t <= t1``."""
+        mask = (self.times >= t0) & (self.times <= t1)
+        return Trajectory(self.times[mask], self.states[mask], self.names,
+                          self.meta)
+
+    def resampled(self, times: np.ndarray) -> "Trajectory":
+        """Linear-interpolation resample onto new time points."""
+        times = np.asarray(times, dtype=float)
+        states = np.empty((times.size, len(self.names)))
+        for i in range(len(self.names)):
+            states[:, i] = np.interp(times, self.times, self.states[:, i])
+        return Trajectory(times, states, self.names, self.meta)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_csv(self, path, species: Sequence[str] | None = None) -> None:
+        names = list(species) if species else self.names
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("time," + ",".join(names) + "\n")
+            columns = [self.column(n) for n in names]
+            for i, t in enumerate(self.times):
+                row = ",".join(f"{col[i]:.8g}" for col in columns)
+                handle.write(f"{t:.8g},{row}\n")
+
+    def __repr__(self) -> str:
+        return (f"<Trajectory {len(self)} samples, {len(self.names)} species, "
+                f"t in [{self.times[0] if len(self) else 0:g}, "
+                f"{self.t_final if len(self) else 0:g}]>")

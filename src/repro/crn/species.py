@@ -1,0 +1,95 @@
+"""Molecular species.
+
+A species is the unit of "signal" in molecular computation: following the
+paper, *all signals are quantities of chemical types*.  Species carry
+optional metadata used by the synchronous framework:
+
+``color``
+    one of ``"red"``, ``"green"``, ``"blue"`` for signal/clock types that
+    take part in the three-phase transfer protocol, or ``None`` for types
+    outside the protocol (absence indicators, feedback intermediates,
+    auxiliary loop species).
+
+``role``
+    a coarse classification used by analysis and bookkeeping tools:
+    ``"signal"``, ``"clock"``, ``"indicator"``, ``"feedback"`` or ``"aux"``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+#: Colour categories of the three-phase protocol, in rotation order.
+COLORS = ("red", "green", "blue")
+
+#: Recognised species roles.
+ROLES = ("signal", "clock", "indicator", "feedback", "aux")
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\[\]]*$")
+
+
+def next_color(color: str) -> str:
+    """Return the colour that follows ``color`` in the rotation.
+
+    >>> next_color("red")
+    'green'
+    >>> next_color("blue")
+    'red'
+    """
+    try:
+        index = COLORS.index(color)
+    except ValueError:
+        raise NetworkError(f"unknown colour {color!r}; expected one of {COLORS}")
+    return COLORS[(index + 1) % len(COLORS)]
+
+
+def previous_color(color: str) -> str:
+    """Return the colour that precedes ``color`` in the rotation."""
+    try:
+        index = COLORS.index(color)
+    except ValueError:
+        raise NetworkError(f"unknown colour {color!r}; expected one of {COLORS}")
+    return COLORS[(index - 1) % len(COLORS)]
+
+
+@dataclass(frozen=True)
+class Species:
+    """A molecular type.
+
+    Species compare and hash by name only, so two ``Species`` objects with
+    the same name refer to the same chemical type even if their metadata
+    differs; the network registry rejects conflicting re-declarations.
+    """
+
+    name: str
+    color: str | None = field(default=None, compare=False)
+    role: str = field(default="signal", compare=False)
+    doc: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if not _NAME_RE.match(self.name):
+            raise NetworkError(f"invalid species name {self.name!r}")
+        if self.color is not None and self.color not in COLORS:
+            raise NetworkError(
+                f"species {self.name!r}: unknown colour {self.color!r}")
+        if self.role not in ROLES:
+            raise NetworkError(
+                f"species {self.name!r}: unknown role {self.role!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def same_metadata(self, other: "Species") -> bool:
+        """True if ``other`` declares identical colour and role."""
+        return (self.name == other.name and self.color == other.color
+                and self.role == other.role)
+
+
+def as_species(value: "Species | str") -> Species:
+    """Coerce a name or species object to a :class:`Species`."""
+    if isinstance(value, Species):
+        return value
+    return Species(str(value))

@@ -1,0 +1,31 @@
+"""Digital (Boolean, sequential) layer on molecular reactions."""
+
+from repro.digital.bits import Bit, bits_to_int, int_to_bits
+from repro.digital.counter import BinaryCounter, CounterRun
+from repro.digital.fsm import (FsmRun, MolecularFSM, parity_machine,
+                               sequence_detector)
+from repro.digital.gates import (and_gate, binary_gate, fan_out, full_adder,
+                                 half_adder, nand_gate, nor_gate, not_gate,
+                                 or_gate, xor_gate)
+
+__all__ = [
+    "BinaryCounter",
+    "Bit",
+    "CounterRun",
+    "FsmRun",
+    "MolecularFSM",
+    "and_gate",
+    "binary_gate",
+    "bits_to_int",
+    "fan_out",
+    "full_adder",
+    "half_adder",
+    "int_to_bits",
+    "nand_gate",
+    "nor_gate",
+    "not_gate",
+    "or_gate",
+    "parity_machine",
+    "sequence_detector",
+    "xor_gate",
+]

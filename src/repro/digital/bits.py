@@ -1,0 +1,75 @@
+"""Dual-rail molecular bits.
+
+A bit is a pair of molecular types ``<name>_hi`` / ``<name>_lo`` with the
+invariant that exactly one of the two holds one unit of quantity.  With
+low concentration = logical 0 and high = logical 1 (as the paper frames
+clock levels), the dual-rail pair makes both polarities *available as
+reactants*, which is what lets ordinary mass-action reactions implement
+complete Boolean logic: a reaction can test a bit by consuming the rail
+that carries the unit.
+"""
+
+from __future__ import annotations
+
+from repro.crn.network import Network
+from repro.crn.simulation.result import Trajectory
+from repro.crn.species import Species
+from repro.errors import NetworkError
+
+#: Quantity representing one logical unit.
+UNIT = 1.0
+
+#: Classification margin: rails must be this close to 0 or UNIT.
+MARGIN = 0.2
+
+
+class Bit:
+    """Names and helpers for one dual-rail bit."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hi = f"{name}_hi"
+        self.lo = f"{name}_lo"
+
+    def declare(self, network: Network, value: bool | None = None) -> "Bit":
+        """Register both rails; optionally set the initial logical value."""
+        network.add_species(Species(self.hi))
+        network.add_species(Species(self.lo))
+        if value is not None:
+            self.set(network, value)
+        return self
+
+    def set(self, network: Network, value: bool) -> None:
+        network.set_initial(self.hi, UNIT if value else 0.0)
+        network.set_initial(self.lo, 0.0 if value else UNIT)
+
+    def read_state(self, get) -> bool:
+        """Classify the bit from a ``get(species_name) -> float`` accessor.
+
+        Raises :class:`NetworkError` if the rails are not cleanly settled
+        (both present, both absent, or mid-scale quantities).
+        """
+        hi, lo = float(get(self.hi)), float(get(self.lo))
+        if abs(hi - UNIT) <= MARGIN and abs(lo) <= MARGIN:
+            return True
+        if abs(lo - UNIT) <= MARGIN and abs(hi) <= MARGIN:
+            return False
+        raise NetworkError(
+            f"bit {self.name!r} is not settled: hi={hi:.3f} lo={lo:.3f}")
+
+    def read(self, trajectory: Trajectory, t: float | None = None) -> bool:
+        if t is None:
+            return self.read_state(lambda n: trajectory.final(n))
+        return self.read_state(lambda n: trajectory.at(t, n))
+
+
+def bits_to_int(values: list[bool]) -> int:
+    """LSB-first bit list to integer."""
+    return sum(1 << i for i, v in enumerate(values) if v)
+
+
+def int_to_bits(value: int, width: int) -> list[bool]:
+    """Integer to LSB-first bit list of fixed width."""
+    if value < 0 or value >= (1 << width):
+        raise NetworkError(f"{value} does not fit in {width} bits")
+    return [bool((value >> i) & 1) for i in range(width)]

@@ -1,0 +1,201 @@
+"""Finite-state machines with molecular reactions.
+
+A Moore machine maps directly onto a CRN with **one-hot state encoding**:
+each state is a molecular type, exactly one of which holds one unit; each
+input symbol is a pulse type; each transition is one fast reaction
+
+    symbol_pulse + state -> next_state (+ output_pulse if emitting)
+
+Exactly one transition reaction is enabled per (pulse, state) pair, so
+the machine is deterministic and rate-independent.  Outputs accumulate in
+uncoloured counter types (e.g. an "accept" event counter).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.crn.network import Network
+from repro.crn.rates import FAST, RateScheme
+from repro.crn.simulation.ode import OdeSimulator
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.crn.species import Species
+from repro.errors import NetworkError, SimulationError
+
+
+class MolecularFSM:
+    """Compile a Moore machine to reactions and drive it with symbols.
+
+    Parameters
+    ----------
+    states:
+        state names; the first is the initial state.
+    symbols:
+        input alphabet.
+    transitions:
+        mapping ``(state, symbol) -> next_state``; must be total.
+    emit:
+        optional mapping ``(state, symbol) -> output_name`` -- an output
+        event counter bumped when that transition fires (Mealy outputs;
+        Moore outputs are simply functions of the observable state).
+    """
+
+    def __init__(self, states: list[str], symbols: list[str],
+                 transitions: Mapping[tuple[str, str], str],
+                 emit: Mapping[tuple[str, str], str] | None = None,
+                 name: str = "fsm"):
+        if not states:
+            raise NetworkError("FSM needs at least one state")
+        if len(set(states)) != len(states):
+            raise NetworkError("duplicate state names")
+        self.states = list(states)
+        self.symbols = list(symbols)
+        self.transitions = dict(transitions)
+        self.emit = dict(emit or {})
+        self.name = name
+        self._check_total()
+        self.network = Network(f"fsm_{name}")
+        self.outputs = sorted(set(self.emit.values()))
+        self._build()
+
+    def _check_total(self) -> None:
+        for state in self.states:
+            for symbol in self.symbols:
+                if (state, symbol) not in self.transitions:
+                    raise NetworkError(
+                        f"transition missing for ({state!r}, {symbol!r})")
+                target = self.transitions[(state, symbol)]
+                if target not in self.states:
+                    raise NetworkError(f"unknown target state {target!r}")
+
+    def _state_species(self, state: str) -> str:
+        return f"{self.name}_S_{state}"
+
+    def _symbol_species(self, symbol: str) -> str:
+        return f"{self.name}_I_{symbol}"
+
+    def _output_species(self, output: str) -> str:
+        return f"{self.name}_O_{output}"
+
+    def _build(self) -> None:
+        for state in self.states:
+            self.network.add_species(Species(self._state_species(state)))
+        for symbol in self.symbols:
+            self.network.add_species(
+                Species(self._symbol_species(symbol), role="aux"))
+        for output in self.outputs:
+            self.network.add_species(
+                Species(self._output_species(output), role="aux"))
+        self.network.set_initial(self._state_species(self.states[0]), 1.0)
+        for (state, symbol), target in self.transitions.items():
+            products = {self._state_species(target): 1}
+            if (state, symbol) in self.emit:
+                output = self._output_species(self.emit[(state, symbol)])
+                products[output] = products.get(output, 0) + 1
+            self.network.add(
+                {self._symbol_species(symbol): 1,
+                 self._state_species(state): 1},
+                products, FAST,
+                label=f"{state} --{symbol}--> {target}")
+
+    # -- driving -------------------------------------------------------------------
+
+    def run(self, word: Iterable[str], scheme: RateScheme | None = None,
+            settle_time: float | None = None, stochastic: bool = True,
+            seed: int | None = None) -> "FsmRun":
+        """Feed a symbol sequence; return the state/output trace."""
+        scheme = scheme or RateScheme()
+        settle = settle_time or 100.0 / scheme.fast
+        if stochastic:
+            simulator = StochasticSimulator(self.network, scheme, seed=seed)
+        else:
+            simulator = OdeSimulator(self.network, scheme)
+        state = self.network.initial_vector()
+        trace = [self.read_state(state)]
+        output_counts = {o: [0] for o in self.outputs}
+        for symbol in word:
+            if symbol not in self.symbols:
+                raise NetworkError(f"unknown symbol {symbol!r}")
+            state = state.copy()
+            state[self.network.species_index(
+                self._symbol_species(symbol))] += 1.0
+            trajectory = simulator.simulate(settle, initial=state,
+                                            n_samples=4)
+            state = trajectory.final()
+            trace.append(self.read_state(state))
+            for output in self.outputs:
+                count = state[self.network.species_index(
+                    self._output_species(output))]
+                output_counts[output].append(int(round(float(count))))
+        return FsmRun(trace=trace, output_counts=output_counts)
+
+    def read_state(self, state: np.ndarray) -> str:
+        """The (unique) occupied state, or raise if not settled."""
+        occupied = []
+        for name in self.states:
+            value = float(state[self.network.species_index(
+                self._state_species(name))])
+            if value > 0.5:
+                occupied.append((name, value))
+        if len(occupied) != 1 or abs(occupied[0][1] - 1.0) > 0.2:
+            raise SimulationError(f"FSM state not settled: {occupied}")
+        return occupied[0][0]
+
+
+class FsmRun:
+    """State trace plus cumulative output event counts."""
+
+    def __init__(self, trace: list[str],
+                 output_counts: dict[str, list[int]]):
+        self.trace = trace
+        self.output_counts = output_counts
+
+    def emissions(self, output: str) -> list[int]:
+        """Per-step emission increments of one output."""
+        counts = self.output_counts[output]
+        return [b - a for a, b in zip(counts, counts[1:])]
+
+
+def parity_machine(name: str = "parity") -> MolecularFSM:
+    """Tracks the parity of '1' symbols seen; emits on odd->even."""
+    transitions = {
+        ("even", "0"): "even", ("even", "1"): "odd",
+        ("odd", "0"): "odd", ("odd", "1"): "even",
+    }
+    emit = {("odd", "1"): "even_again"}
+    return MolecularFSM(["even", "odd"], ["0", "1"], transitions, emit,
+                        name=name)
+
+
+def sequence_detector(pattern: str = "101",
+                      name: str = "detector") -> MolecularFSM:
+    """Detects (overlapping) occurrences of a binary pattern, emitting a
+    ``hit`` event on each completion."""
+    if not pattern or any(c not in "01" for c in pattern):
+        raise NetworkError("pattern must be a non-empty binary string")
+    prefixes = [pattern[:i] for i in range(len(pattern))]
+
+    def next_prefix(prefix: str, symbol: str) -> str:
+        candidate = prefix + symbol
+        while candidate and candidate not in (prefixes + [pattern]):
+            candidate = candidate[1:]
+        if candidate == pattern:
+            # Overlap: fall back to the longest proper prefix-suffix.
+            candidate = candidate[1:]
+            while candidate and candidate not in prefixes:
+                candidate = candidate[1:]
+        return candidate
+
+    states = [f"p{len(p)}" for p in prefixes]
+    transitions = {}
+    emit = {}
+    for prefix, state in zip(prefixes, states):
+        for symbol in "01":
+            candidate = prefix + symbol
+            if candidate == pattern or candidate.endswith(pattern):
+                emit[(state, symbol)] = "hit"
+            target = next_prefix(prefix, symbol)
+            transitions[(state, symbol)] = f"p{len(target)}"
+    return MolecularFSM(states, ["0", "1"], transitions, emit, name=name)

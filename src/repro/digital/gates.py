@@ -1,0 +1,128 @@
+"""Combinational Boolean gates on dual-rail bits.
+
+Each gate consumes one unit from one rail of each input bit and produces
+one unit on the correct rail of the output bit.  Because exactly one rail
+of each input carries the unit, exactly one of the gate's reactions can
+fire -- the evaluation is deterministic and rate-independent (all gate
+reactions are fast; which one fires is decided by *which reactants exist*,
+never by rate ratios).
+
+Gates destroy their inputs (as molecular events do); use :func:`fan_out`
+to copy a bit that feeds several gates.
+"""
+
+from __future__ import annotations
+
+from repro.crn.network import Network
+from repro.crn.rates import FAST
+
+from repro.digital.bits import Bit
+from repro.errors import NetworkError
+
+#: Truth tables, keyed by (a, b) for binary gates.
+_TABLES = {
+    "and": {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+    "or": {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1},
+    "xor": {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+    "nand": {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+    "nor": {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0},
+    "xnor": {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+}
+
+
+def _rail(bit: Bit, value: int) -> str:
+    return bit.hi if value else bit.lo
+
+
+def binary_gate(network: Network, kind: str, a: Bit, b: Bit,
+                out: Bit) -> Bit:
+    """Emit the four reactions of a two-input gate (inputs consumed)."""
+    try:
+        table = _TABLES[kind]
+    except KeyError:
+        raise NetworkError(f"unknown gate kind {kind!r}; "
+                           f"expected one of {sorted(_TABLES)}")
+    out.declare(network)
+    for (va, vb), vo in table.items():
+        network.add(
+            {_rail(a, va): 1, _rail(b, vb): 1}, {_rail(out, vo): 1},
+            FAST, label=f"{kind}({a.name}={va},{b.name}={vb})")
+    return out
+
+
+def and_gate(network: Network, a: Bit, b: Bit, out: Bit) -> Bit:
+    return binary_gate(network, "and", a, b, out)
+
+
+def or_gate(network: Network, a: Bit, b: Bit, out: Bit) -> Bit:
+    return binary_gate(network, "or", a, b, out)
+
+
+def xor_gate(network: Network, a: Bit, b: Bit, out: Bit) -> Bit:
+    return binary_gate(network, "xor", a, b, out)
+
+
+def nand_gate(network: Network, a: Bit, b: Bit, out: Bit) -> Bit:
+    return binary_gate(network, "nand", a, b, out)
+
+
+def nor_gate(network: Network, a: Bit, b: Bit, out: Bit) -> Bit:
+    return binary_gate(network, "nor", a, b, out)
+
+
+def not_gate(network: Network, a: Bit, out: Bit) -> Bit:
+    """Inverter: swap rails (input consumed)."""
+    out.declare(network)
+    network.add({a.hi: 1}, {out.lo: 1}, FAST, label=f"not {a.name} hi")
+    network.add({a.lo: 1}, {out.hi: 1}, FAST, label=f"not {a.name} lo")
+    return out
+
+
+def fan_out(network: Network, a: Bit, copies: list[Bit]) -> list[Bit]:
+    """Copy a bit into several fresh bits (input consumed).
+
+    One reaction per rail produces the same rail of every copy at once.
+    """
+    if not copies:
+        raise NetworkError("fan_out needs at least one copy")
+    for copy in copies:
+        copy.declare(network)
+    network.add({a.hi: 1}, {c.hi: 1 for c in copies}, FAST,
+                label=f"fanout {a.name} hi")
+    network.add({a.lo: 1}, {c.lo: 1 for c in copies}, FAST,
+                label=f"fanout {a.name} lo")
+    return copies
+
+
+def half_adder(network: Network, a: Bit, b: Bit, total: Bit,
+               carry: Bit) -> tuple[Bit, Bit]:
+    """Sum and carry of two bits (inputs consumed)."""
+    total.declare(network)
+    carry.declare(network)
+    table = {(0, 0): (0, 0), (0, 1): (1, 0), (1, 0): (1, 0), (1, 1): (0, 1)}
+    for (va, vb), (vs, vc) in table.items():
+        network.add({_rail(a, va): 1, _rail(b, vb): 1},
+                    {_rail(total, vs): 1, _rail(carry, vc): 1},
+                    FAST, label=f"half_adder({va},{vb})")
+    return total, carry
+
+
+def full_adder(network: Network, a: Bit, b: Bit, carry_in: Bit,
+               total: Bit, carry_out: Bit) -> tuple[Bit, Bit]:
+    """Three-input adder as a single reaction family (inputs consumed).
+
+    A direct eight-reaction realisation: molecular logic permits
+    multi-input "gates" with one reaction per input combination.
+    """
+    total.declare(network)
+    carry_out.declare(network)
+    for va in (0, 1):
+        for vb in (0, 1):
+            for vc in (0, 1):
+                s = va + vb + vc
+                network.add(
+                    {_rail(a, va): 1, _rail(b, vb): 1,
+                     _rail(carry_in, vc): 1},
+                    {_rail(total, s & 1): 1, _rail(carry_out, s >> 1): 1},
+                    FAST, label=f"full_adder({va},{vb},{vc})")
+    return total, carry_out

@@ -1,0 +1,26 @@
+"""DNA strand displacement compilation -- the experimental chassis."""
+
+from repro.dsd.compiler import (DEFAULT_C_MAX, DEFAULT_K_MAX, DsdCompilation,
+                                DsdCompiler, compile_network)
+from repro.dsd.sequences import (SequenceDesigner, gc_fraction,
+                                 reverse_complement, validate_assignment)
+from repro.dsd.structures import (Complex, Domain, Strand,
+                                  StructureInventory, recognition, toehold)
+
+__all__ = [
+    "Complex",
+    "DEFAULT_C_MAX",
+    "DEFAULT_K_MAX",
+    "Domain",
+    "DsdCompilation",
+    "DsdCompiler",
+    "SequenceDesigner",
+    "Strand",
+    "StructureInventory",
+    "compile_network",
+    "gc_fraction",
+    "recognition",
+    "reverse_complement",
+    "toehold",
+    "validate_assignment",
+]

@@ -1,0 +1,139 @@
+"""Concrete nucleotide sequence assignment for DSD structures.
+
+Turns the domain-level inventory of a compilation into actual A/C/G/T
+sequences ready for an order sheet:
+
+- each domain gets a fresh sequence; its complement is the reverse
+  complement (Watson-Crick);
+- three-letter code option (no G on signal strands -- a standard DSD
+  design trick that suppresses unwanted secondary structure);
+- constraints enforced per domain: GC fraction within bounds, no
+  homopolymer runs beyond a limit, and pairwise Hamming separation
+  between distinct domains of the same length.
+
+This is deliberately a *lightweight* designer (constraint checking +
+rejection sampling), not a thermodynamic optimiser; it exists so the
+wet-lab interface of the reproduction is complete end to end, down to
+FASTA output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsd.structures import Domain, Strand, StructureInventory
+from repro.errors import NetworkError
+
+_COMPLEMENT = {"A": "T", "T": "A", "C": "G", "G": "C"}
+
+
+def reverse_complement(sequence: str) -> str:
+    return "".join(_COMPLEMENT[base] for base in reversed(sequence))
+
+
+def gc_fraction(sequence: str) -> float:
+    if not sequence:
+        return 0.0
+    return sum(1 for base in sequence if base in "GC") / len(sequence)
+
+
+def longest_run(sequence: str) -> int:
+    best = run = 1
+    for a, b in zip(sequence, sequence[1:]):
+        run = run + 1 if a == b else 1
+        best = max(best, run)
+    return best
+
+
+def hamming(a: str, b: str) -> int:
+    if len(a) != len(b):
+        raise NetworkError("hamming distance needs equal lengths")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+@dataclass
+class SequenceDesigner:
+    """Rejection-sampling sequence assignment with per-domain checks."""
+
+    seed: int = 0
+    alphabet: str = "ACT"          # three-letter code by default
+    gc_bounds: tuple[float, float] = (0.0, 0.7)
+    max_run: int = 4
+    min_separation_fraction: float = 0.3
+    max_attempts: int = 2000
+    _assigned: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.seed)
+
+    def sequence_for(self, domain: Domain) -> str:
+        """The sequence of a domain (complements derived, cached)."""
+        if domain.complemented:
+            return reverse_complement(self.sequence_for(domain.complement))
+        key = f"{domain.name}:{domain.length}"
+        if key not in self._assigned:
+            self._assigned[key] = self._fresh(domain.length)
+        return self._assigned[key]
+
+    def _fresh(self, length: int) -> str:
+        peers = [s for s in self._assigned.values() if len(s) == length]
+        min_distance = int(np.ceil(self.min_separation_fraction * length))
+        letters = list(self.alphabet)
+        for _ in range(self.max_attempts):
+            candidate = "".join(self._rng.choice(letters)
+                                for _ in range(length))
+            low, high = self.gc_bounds
+            if not low <= gc_fraction(candidate) <= high:
+                continue
+            if longest_run(candidate) > self.max_run:
+                continue
+            if any(hamming(candidate, peer) < min_distance
+                   for peer in peers):
+                continue
+            return candidate
+        raise NetworkError(
+            f"could not place a length-{length} domain within "
+            f"{self.max_attempts} attempts; relax the constraints")
+
+    # -- strand/inventory level --------------------------------------------------
+
+    def strand_sequence(self, strand: Strand) -> str:
+        return "".join(self.sequence_for(d) for d in strand.domains)
+
+    def assign(self, inventory: StructureInventory) -> dict[str, str]:
+        """Sequences for every strand in an inventory, keyed by name."""
+        sequences: dict[str, str] = {}
+        for strand in inventory.signal_strands.values():
+            sequences[strand.name] = self.strand_sequence(strand)
+        for complex_ in inventory.fuel_complexes:
+            for strand in complex_.strands:
+                sequences.setdefault(strand.name,
+                                     self.strand_sequence(strand))
+        return sequences
+
+    def to_fasta(self, inventory: StructureInventory) -> str:
+        """FASTA order sheet for the whole inventory."""
+        sequences = self.assign(inventory)
+        lines = []
+        for name in sorted(sequences):
+            lines.append(f">{name}")
+            sequence = sequences[name]
+            for start in range(0, len(sequence), 60):
+                lines.append(sequence[start:start + 60])
+        return "\n".join(lines) + "\n"
+
+
+def validate_assignment(designer: SequenceDesigner,
+                        inventory: StructureInventory) -> None:
+    """Check Watson-Crick consistency of every recorded bond."""
+    for complex_ in inventory.fuel_complexes:
+        for (si, di), (sj, dj) in complex_.bound:
+            a = complex_.strands[si].domains[di]
+            b = complex_.strands[sj].domains[dj]
+            if designer.sequence_for(a) != reverse_complement(
+                    designer.sequence_for(b)):
+                raise NetworkError(
+                    f"complex {complex_.name}: bound domains {a} / {b} "
+                    f"are not reverse complements")

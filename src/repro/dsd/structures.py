@@ -1,0 +1,155 @@
+"""Domain-level DNA strand displacement structures.
+
+The paper names DNA strand displacement as its experimental chassis,
+citing the Soloveichik-Seelig-Winfree construction ("DNA as a universal
+substrate for chemical kinetics", PNAS 2010): any formal CRN can be
+emulated by synthesized DNA strands, with each formal species mapped to a
+*signal strand* and each reaction to a small set of fuel complexes.
+
+This module models the structural side at the domain level -- enough to
+enumerate every strand and complex a wet-lab realisation would need, to
+check complementarity bookkeeping, and to estimate synthesis cost
+(distinct strands, total nucleotides).  Sequence design proper (assigning
+concrete A/C/G/T) is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+#: Default domain lengths (nucleotides), following common DSD practice.
+TOEHOLD_LENGTH = 6
+RECOGNITION_LENGTH = 15
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named DNA domain or its complement.
+
+    The complement of ``d`` is written ``~d``; complementing twice yields
+    the original.
+    """
+
+    name: str
+    length: int
+    is_toehold: bool = False
+    complemented: bool = False
+
+    def __post_init__(self):
+        if self.length < 1:
+            raise NetworkError("domain length must be positive")
+
+    @property
+    def complement(self) -> "Domain":
+        return Domain(self.name, self.length, self.is_toehold,
+                      not self.complemented)
+
+    def is_complement_of(self, other: "Domain") -> bool:
+        return (self.name == other.name and self.length == other.length
+                and self.complemented != other.complemented)
+
+    def __str__(self) -> str:
+        return ("~" if self.complemented else "") + self.name
+
+
+def toehold(name: str) -> Domain:
+    return Domain(name, TOEHOLD_LENGTH, is_toehold=True)
+
+
+def recognition(name: str) -> Domain:
+    return Domain(name, RECOGNITION_LENGTH, is_toehold=False)
+
+
+@dataclass(frozen=True)
+class Strand:
+    """A single DNA strand: an ordered 5'->3' run of domains."""
+
+    name: str
+    domains: tuple[Domain, ...]
+
+    def __post_init__(self):
+        if not self.domains:
+            raise NetworkError("strand needs at least one domain")
+
+    @property
+    def length(self) -> int:
+        return sum(d.length for d in self.domains)
+
+    def __str__(self) -> str:
+        body = "-".join(str(d) for d in self.domains)
+        return f"{self.name}: 5'-{body}-3'"
+
+
+@dataclass(frozen=True)
+class Complex:
+    """A multi-strand fuel complex (gate), listed by its strands.
+
+    ``bound`` records which domain pairs are hybridised, as index pairs
+    ((strand_index, domain_index), (strand_index, domain_index)).
+    """
+
+    name: str
+    strands: tuple[Strand, ...]
+    bound: tuple[tuple[tuple[int, int], tuple[int, int]], ...] = ()
+
+    def validate(self) -> None:
+        for (si, di), (sj, dj) in self.bound:
+            try:
+                a = self.strands[si].domains[di]
+                b = self.strands[sj].domains[dj]
+            except IndexError:
+                raise NetworkError(f"complex {self.name}: bad bond index")
+            if not a.is_complement_of(b):
+                raise NetworkError(
+                    f"complex {self.name}: domains {a} and {b} are not "
+                    f"complementary")
+
+    @property
+    def total_nucleotides(self) -> int:
+        return sum(s.length for s in self.strands)
+
+
+@dataclass
+class StructureInventory:
+    """Everything a wet-lab realisation must synthesize."""
+
+    signal_strands: dict[str, Strand] = field(default_factory=dict)
+    fuel_complexes: list[Complex] = field(default_factory=list)
+
+    def signal_strand_for(self, species_name: str) -> Strand:
+        """The canonical signal strand of a formal species:
+        ``5'-history-toehold-identity-3'``."""
+        if species_name not in self.signal_strands:
+            strand = Strand(
+                name=f"sig_{species_name}",
+                domains=(recognition(f"h_{species_name}"),
+                         toehold(f"t_{species_name}"),
+                         recognition(f"x_{species_name}")))
+            self.signal_strands[species_name] = strand
+        return self.signal_strands[species_name]
+
+    def add_complex(self, complex_: Complex) -> Complex:
+        complex_.validate()
+        self.fuel_complexes.append(complex_)
+        return complex_
+
+    @property
+    def n_distinct_strands(self) -> int:
+        names = {s.name for s in self.signal_strands.values()}
+        for complex_ in self.fuel_complexes:
+            names.update(s.name for s in complex_.strands)
+        return len(names)
+
+    @property
+    def total_nucleotides(self) -> int:
+        total = sum(s.length for s in self.signal_strands.values())
+        total += sum(c.total_nucleotides for c in self.fuel_complexes)
+        return total
+
+    def summary(self) -> str:
+        return (f"{len(self.signal_strands)} signal strands, "
+                f"{len(self.fuel_complexes)} fuel complexes, "
+                f"{self.n_distinct_strands} distinct strands, "
+                f"{self.total_nucleotides} nt")

@@ -1,0 +1,16 @@
+"""Reporting: ASCII figures and markdown tables for the benchmarks."""
+
+from repro.reporting.ascii_plot import (plot_samples, plot_series,
+                                        plot_trajectory)
+from repro.reporting.tables import (csv_table, format_cell, markdown_table,
+                                    write_report)
+
+__all__ = [
+    "csv_table",
+    "format_cell",
+    "markdown_table",
+    "plot_samples",
+    "plot_series",
+    "plot_trajectory",
+    "write_report",
+]

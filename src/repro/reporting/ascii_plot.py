@@ -1,0 +1,77 @@
+"""Terminal-friendly plots for trajectories and series.
+
+The benchmarks regenerate the paper's figures as text: an ASCII line plot
+is enough to verify the *shape* (oscillation, crisp staircase transfers,
+filter tracking) without a graphics stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.crn.simulation.result import Trajectory
+
+_GLYPHS = "#*+xo@%&"
+
+
+def plot_series(times: np.ndarray, series_map: dict[str, np.ndarray],
+                width: int = 72, height: int = 18,
+                title: str = "") -> str:
+    """Render several aligned series as one ASCII chart."""
+    times = np.asarray(times, dtype=float)
+    if times.size < 2:
+        raise ValueError("need at least two samples")
+    all_values = np.concatenate([np.asarray(v, dtype=float)
+                                 for v in series_map.values()])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, series) in enumerate(series_map.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        series = np.asarray(series, dtype=float)
+        columns = np.linspace(times[0], times[-1], width)
+        values = np.interp(columns, times, series)
+        for col, value in enumerate(values):
+            row = int(round((hi - value) / (hi - lo) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{_GLYPHS[k % len(_GLYPHS)]}={name}"
+                        for k, name in enumerate(series_map))
+    lines.append(legend)
+    lines.append(f"{hi:10.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.3f} +" + "-" * width)
+    lines.append(" " * 12 + f"t = {times[0]:g} ... {times[-1]:g}")
+    return "\n".join(lines)
+
+
+def plot_trajectory(trajectory: Trajectory, species: Sequence[str],
+                    width: int = 72, height: int = 18,
+                    title: str = "") -> str:
+    """ASCII chart of selected species of one trajectory."""
+    series = {name: trajectory.column(name) for name in species}
+    return plot_series(trajectory.times, series, width=width,
+                       height=height, title=title)
+
+
+def plot_samples(series_map: dict[str, Sequence[float]], width: int = 72,
+                 height: int = 14, title: str = "") -> str:
+    """ASCII chart of per-cycle sample sequences (stairstep x-axis)."""
+    lengths = {len(v) for v in series_map.values()}
+    n = max(lengths)
+    times = np.arange(n, dtype=float)
+    padded = {}
+    for name, values in series_map.items():
+        values = np.asarray(values, dtype=float)
+        if values.size < n:
+            values = np.pad(values, (0, n - values.size), mode="edge")
+        padded[name] = values
+    return plot_series(times, padded, width=width, height=height,
+                       title=title)

@@ -1,0 +1,100 @@
+"""Integration tests for the molecular clock."""
+
+import numpy as np
+import pytest
+
+from repro.crn.rates import RateScheme
+from repro.crn.simulation.ode import OdeSimulator
+from repro.core.clock import MolecularClock, build_clock
+from repro.errors import NetworkError, SimulationError
+
+
+@pytest.fixture(scope="module")
+def clock_run():
+    network, clock, _ = build_clock(mass=20.0)
+    trajectory = OdeSimulator(network).simulate(60.0, n_samples=3000)
+    return clock, trajectory
+
+
+class TestOscillation:
+    def test_sustained_oscillation(self, clock_run):
+        clock, trajectory = clock_run
+        edges = clock.rising_edges(trajectory)
+        assert len(edges) >= 10
+
+    def test_period_stability(self, clock_run):
+        clock, trajectory = clock_run
+        assert clock.period(trajectory) == pytest.approx(1.7, rel=0.3)
+        assert clock.period_jitter(trajectory) < 0.05
+
+    def test_full_amplitude_swings(self, clock_run):
+        clock, trajectory = clock_run
+        low, high = clock.amplitude(trajectory)
+        assert low < 0.5
+        assert high > 0.85 * 20.0
+
+    def test_mass_erodes_only_slowly(self, clock_run):
+        """Scavenging flushes the clock's sub-threshold tails, so a
+        free-running clock loses a little mass per rotation (the machine
+        driver replenishes it).  The erosion must stay below ~1.5% per
+        cycle and the total must never grow."""
+        clock, trajectory = clock_run
+        total = trajectory.total(clock.species_names())
+        n_cycles = len(clock.rising_edges(trajectory))
+        assert total.max() <= 20.0 + 1e-6
+        per_cycle = (total[0] - total[-1]) / max(n_cycles, 1)
+        assert 0.0 <= per_cycle < 0.3
+
+    def test_phase_fractions_sum_to_one(self, clock_run):
+        clock, trajectory = clock_run
+        fractions = clock.phase_fractions(trajectory)
+        assert np.allclose(fractions.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_dominant_phase_cycles_through_all(self, clock_run):
+        clock, trajectory = clock_run
+        dominant = clock.dominant_phase(trajectory)
+        assert set(np.unique(dominant)) == {0, 1, 2}
+
+    def test_phases_rotate_in_order(self, clock_run):
+        clock, trajectory = clock_run
+        dominant = clock.dominant_phase(trajectory)
+        changes = dominant[np.nonzero(np.diff(dominant))[0] + 1]
+        previous = dominant[0]
+        for current in changes:
+            assert current == (previous + 1) % 3, \
+                "phases must advance red->green->blue->red"
+            previous = current
+
+
+class TestRateRobustness:
+    def test_period_scales_with_slow_timescale(self):
+        # Doubling every rate (within categories) halves the period but
+        # leaves the waveform shape intact -- rate "independence" is about
+        # values, not about absolute speed.
+        network, clock, _ = build_clock(mass=20.0)
+        fast = OdeSimulator(network, RateScheme().scaled(2.0, 2.0))
+        trajectory = fast.simulate(30.0, n_samples=2000)
+        assert clock.period(trajectory) == pytest.approx(1.7 / 2, rel=0.3)
+
+    def test_oscillates_at_low_separation(self):
+        network, clock, _ = build_clock(mass=20.0)
+        scheme = RateScheme.with_separation(100.0)
+        trajectory = OdeSimulator(network, scheme).simulate(
+            80.0, n_samples=3000)
+        assert len(clock.rising_edges(trajectory)) >= 5
+
+
+class TestApi:
+    def test_invalid_mass(self):
+        with pytest.raises(NetworkError):
+            MolecularClock(mass=0.0)
+
+    def test_species_names(self):
+        clock = MolecularClock(name="K")
+        assert clock.species_names() == ["K_red", "K_green", "K_blue"]
+
+    def test_period_requires_edges(self):
+        network, clock, _ = build_clock(mass=20.0)
+        trajectory = OdeSimulator(network).simulate(0.2, n_samples=50)
+        with pytest.raises(SimulationError):
+            clock.period(trajectory)

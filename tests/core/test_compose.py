@@ -1,0 +1,87 @@
+"""Tests for design composition (cascade / parallel / rename)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.apps import iir_first_order, moving_average
+from repro.core.compose import cascade, parallel_sum, rename
+from repro.errors import SynthesisError
+
+
+class TestRename:
+    def test_ports_relabelled(self):
+        design = moving_average(2).to_matrix()
+        renamed = rename(design, inputs={"x": "u"}, outputs={"y": "v"})
+        assert renamed.inputs == ["u"]
+        assert renamed.outputs == ["v"]
+        assert renamed.coefficient("v", "u") == Fraction(1, 2)
+
+    def test_dynamics_unchanged(self):
+        design = iir_first_order().to_matrix()
+        renamed = rename(design, outputs={"y": "out"})
+        a = design.reference_run({"x": [8.0, 0.0, 4.0]})["y"]
+        b = renamed.reference_run({"x": [8.0, 0.0, 4.0]})["out"]
+        assert a == b
+
+    def test_unknown_port_rejected(self):
+        design = moving_average(2).to_matrix()
+        with pytest.raises(SynthesisError):
+            rename(design, inputs={"nope": "u"})
+
+
+class TestCascade:
+    def test_reference_equals_staged_pipeline(self):
+        """cascade(A, B) == B applied to A's output delayed one cycle."""
+        first = moving_average(2).to_matrix()
+        second = rename(iir_first_order().to_matrix(),
+                        inputs={"x": "y"}, outputs={"y": "z"})
+        composite = cascade(first, second)
+        samples = [10.0, 20.0, 40.0, 0.0, 30.0, 30.0]
+        staged_mid = first.reference_run({"x": samples})["y"]
+        delayed = [0.0] + staged_mid[:-1]
+        staged_out = second.reference_run({"y": delayed})["z"]
+        composite_out = composite.reference_run({"x": samples})["z"]
+        assert np.allclose(composite_out, staged_out)
+
+    def test_port_mismatch_rejected(self):
+        first = moving_average(2).to_matrix()
+        second = iir_first_order().to_matrix()  # input is "x", not "y"
+        with pytest.raises(SynthesisError):
+            cascade(first, second)
+
+    def test_delay_namespaces_do_not_collide(self):
+        first = moving_average(3).to_matrix()
+        second = rename(moving_average(3).to_matrix(),
+                        inputs={"x": "y"}, outputs={"y": "z"})
+        composite = cascade(first, second)
+        assert len(set(composite.delays)) == len(composite.delays)
+
+    def test_composite_synthesizes_and_runs(self):
+        from repro.core.machine import SynchronousMachine
+
+        first = moving_average(2).to_matrix()
+        second = rename(moving_average(2).to_matrix(),
+                        inputs={"x": "y"}, outputs={"y": "z"})
+        composite = cascade(first, second)
+        machine = SynchronousMachine(composite)
+        run = machine.run({"x": [10.0, 20.0, 40.0]}, extra_cycles=2)
+        assert run.max_error() < 0.3
+
+
+class TestParallelSum:
+    def test_outputs_add(self):
+        a = moving_average(2).to_matrix()
+        b = moving_average(2).to_matrix()
+        combined = parallel_sum(a, b)
+        samples = [4.0, 8.0, 2.0]
+        single = a.reference_run({"x": samples})["y"]
+        double = combined.reference_run({"x": samples})["y"]
+        assert np.allclose(double, [2 * v for v in single])
+
+    def test_different_ports_rejected(self):
+        a = moving_average(2).to_matrix()
+        b = rename(moving_average(2).to_matrix(), inputs={"x": "u"})
+        with pytest.raises(SynthesisError):
+            parallel_sum(a, b)

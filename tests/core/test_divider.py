@@ -1,0 +1,49 @@
+"""Tests for the iterative division construct."""
+
+import pytest
+
+from repro.core.iterative import build_divider
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.errors import NetworkError
+
+
+def _divide(x, y, seed=None, t=400.0):
+    network, q, r = build_divider(x, y)
+    counts = StochasticSimulator(network,
+                                 seed=seed if seed is not None
+                                 else x * 13 + y).final_counts(t)
+    return counts[q], counts[r]
+
+
+class TestDivider:
+    @pytest.mark.parametrize("x,y", [
+        (13, 4), (12, 4), (3, 7), (0, 5), (20, 1), (9, 3), (17, 5),
+        (1, 1), (7, 7), (25, 6)])
+    def test_quotient_and_remainder(self, x, y):
+        quotient, remainder = _divide(x, y)
+        assert quotient == x // y
+        assert remainder == x % y
+
+    def test_multiple_seeds(self):
+        for seed in range(4):
+            quotient, remainder = _divide(11, 3, seed=seed)
+            assert (quotient, remainder) == (3, 2)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(NetworkError):
+            build_divider(5, 0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(NetworkError):
+            build_divider(5.5, 2)
+
+    def test_x_consumed(self):
+        network, _, _ = build_divider(10, 3)
+        counts = StochasticSimulator(network, seed=0).final_counts(400.0)
+        assert counts["X"] == 0
+
+    def test_divisor_reduced_by_remainder(self):
+        """Documented semantics: Y ends as Y - R."""
+        network, _, _ = build_divider(10, 3)
+        counts = StochasticSimulator(network, seed=0).final_counts(400.0)
+        assert counts["Y"] == 3 - (10 % 3)

@@ -1,0 +1,67 @@
+"""Machine tests beyond single-input single-output designs."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.dfg import SignalFlowGraph
+from repro.core.machine import SynchronousMachine
+
+
+def _mixer() -> SignalFlowGraph:
+    """Two inputs, two outputs: s[n] = a+b (delayed), d[n] = a-b."""
+    sfg = SignalFlowGraph("mixer")
+    a = sfg.input("a")
+    b = sfg.input("b")
+    total = sfg.delay("dt", source=sfg.add(a, b))
+    sfg.output("s", total)
+    sfg.output("d", sfg.subtract(a, b))
+    return sfg
+
+
+class TestMimo:
+    @pytest.fixture(scope="class")
+    def run(self):
+        machine = SynchronousMachine(_mixer())
+        return machine.run({"a": [10.0, 4.0, 7.0],
+                            "b": [3.0, 9.0, 7.0]}, extra_cycles=2)
+
+    def test_both_outputs_tracked(self, run):
+        assert set(run.outputs) == {"s", "d"}
+        assert run.reference["s"].tolist() == [0.0, 13.0, 13.0]
+        assert run.reference["d"].tolist() == [7.0, -5.0, 0.0]
+
+    def test_errors_bounded(self, run):
+        assert run.max_error("s") < 0.3
+        assert run.max_error("d") < 0.3
+
+
+class TestInitialState:
+    def test_preloaded_delay_shows_in_first_output(self):
+        sfg = SignalFlowGraph("preload")
+        x = sfg.input("x")
+        d = sfg.delay("d", source=x, initial=12.0)
+        sfg.output("y", d)
+        machine = SynchronousMachine(sfg)
+        run = machine.run({"x": [5.0, 0.0]}, extra_cycles=2)
+        assert run.reference["y"][0] == 12.0
+        assert abs(run.outputs["y"][0] - 12.0) < 0.3
+        assert abs(run.outputs["y"][1] - 5.0) < 0.3
+
+
+class TestFanoutHeavyDesign:
+    def test_one_source_feeding_four_sinks(self):
+        sfg = SignalFlowGraph("fan4")
+        x = sfg.input("x")
+        d1 = sfg.delay("d1", source=x)
+        d2 = sfg.delay("d2", source=x)
+        y = sfg.add(sfg.gain(Fraction(1, 4), x),
+                    sfg.gain(Fraction(1, 4), d1),
+                    sfg.gain(Fraction(1, 2), d2))
+        sfg.output("y", y)
+        machine = SynchronousMachine(sfg)
+        run = machine.run({"x": [8.0, 16.0, 4.0]}, extra_cycles=2)
+        expected = np.array([2.0, 10.0, 13.0])
+        assert np.allclose(run.reference["y"][:3], expected)
+        assert run.max_error() < 0.3

@@ -1,0 +1,86 @@
+"""Integration tests for delay elements and chains (companion Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.crn.simulation.ode import OdeSimulator
+from repro.core.analysis import effective_series, effective_value
+from repro.core.memory import DelayElement, DelayLine, build_delay_chain
+from repro.errors import NetworkError
+
+
+class TestDelayElement:
+    def test_species_names_and_colors(self):
+        element = DelayElement("d1")
+        red, green, blue = element.species()
+        assert (red.name, green.name, blue.name) == \
+            ("R_d1", "G_d1", "B_d1")
+        assert (red.color, green.color, blue.color) == \
+            ("red", "green", "blue")
+
+
+class TestDelayLine:
+    def test_needs_elements(self):
+        with pytest.raises(NetworkError):
+            DelayLine(0)
+
+    def test_signal_species_order(self):
+        line = DelayLine(2)
+        assert line.signal_species() == \
+            ["X", "R_d1", "G_d1", "B_d1", "R_d2", "G_d2", "B_d2", "Y"]
+
+    def test_drain_output_uncolors_terminal(self):
+        assert DelayLine(1).output.color == "red"
+        assert DelayLine(1, drain_output=True).output.color is None
+
+
+class TestOneShotTransfer:
+    """The companion abstract's experiment, dimer-accelerated."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        network, line, _ = build_delay_chain(n=2, initial=50.0)
+        trajectory = OdeSimulator(network).simulate(40.0, n_samples=600)
+        return network, line, trajectory
+
+    def test_full_quantity_arrives(self, run):
+        _, _, trajectory = run
+        assert effective_value(trajectory, "Y") == pytest.approx(50.0,
+                                                                 rel=1e-3)
+
+    def test_intermediate_stages_empty_at_end(self, run):
+        _, line, trajectory = run
+        for name in line.signal_species()[:-1]:
+            assert effective_value(trajectory, name) < 0.2
+
+    def test_stage_order_is_respected(self, run):
+        """Each stage peaks strictly after its predecessor."""
+        _, line, trajectory = run
+        peaks = [trajectory.times[np.argmax(effective_series(trajectory,
+                                                             name))]
+                 for name in line.signal_species()]
+        assert all(b > a for a, b in zip(peaks, peaks[1:]))
+
+    def test_transfers_are_crisp(self, run):
+        """Each intermediate holds nearly the full quantity at its peak --
+        the 'very crisp transfer of signal values' of the companion."""
+        _, line, trajectory = run
+        for name in line.signal_species()[1:-1]:
+            peak = effective_series(trajectory, name).max()
+            assert peak > 40.0, f"{name} peaked at only {peak:.1f}"
+
+    def test_mass_never_exceeds_initial(self, run):
+        _, line, trajectory = run
+        total = sum(effective_series(trajectory, name)
+                    for name in line.signal_species())
+        assert total.max() < 50.0 * 1.001
+
+
+class TestChainLengths:
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_arrival_for_various_lengths(self, n):
+        network, _, _ = build_delay_chain(n=n, initial=30.0)
+        trajectory = OdeSimulator(network).simulate(
+            25.0 * n, n_samples=200)
+        assert effective_value(trajectory, "Y") == pytest.approx(30.0,
+                                                                 rel=1e-2)

@@ -1,0 +1,218 @@
+"""Unit tests for the three-phase transfer protocol."""
+
+import pytest
+
+from repro.crn.network import Network
+from repro.crn.species import Species
+from repro.core.phases import (CATALYTIC, CONSUMING, DIMER, GATED, NONE,
+                               PhaseProtocol, rational_gain)
+from repro.errors import NetworkError
+
+
+class TestProtocolConfiguration:
+    def test_default_is_catalytic_without_acceleration(self):
+        protocol = PhaseProtocol()
+        assert protocol.gating == CATALYTIC
+        assert protocol.acceleration == NONE
+
+    def test_consuming_defaults_to_dimer(self):
+        protocol = PhaseProtocol(gating=CONSUMING)
+        assert protocol.acceleration == DIMER
+
+    def test_unknown_gating_rejected(self):
+        with pytest.raises(NetworkError):
+            PhaseProtocol(gating="psychic")
+
+    def test_unknown_acceleration_rejected(self):
+        with pytest.raises(NetworkError):
+            PhaseProtocol(acceleration="warp")
+
+    def test_generation_rate_defaults_per_mode(self):
+        assert PhaseProtocol().generation_rate == "gen"
+        assert PhaseProtocol(gating=CONSUMING).generation_rate == "slow"
+
+
+class TestIndicators:
+    def test_names_match_companion(self):
+        protocol = PhaseProtocol()
+        assert protocol.indicator_name("red") == "r"
+        assert protocol.indicator_name("green") == "g"
+        assert protocol.indicator_name("blue") == "b"
+
+    def test_prefix(self):
+        protocol = PhaseProtocol(prefix="sub_")
+        assert protocol.indicator_name("red") == "sub_r"
+
+    @pytest.mark.parametrize("source,gate", [
+        ("red", "b"), ("green", "r"), ("blue", "g")])
+    def test_gate_assignment(self, source, gate):
+        # red->green waits for blue to clear, etc.
+        assert PhaseProtocol().gate_indicator(source).name == gate
+
+    def test_unknown_color(self):
+        with pytest.raises(NetworkError):
+            PhaseProtocol().indicator_name("mauve")
+
+
+class TestAddTransfer:
+    def test_products_auto_colored(self):
+        network = Network()
+        protocol = PhaseProtocol()
+        protocol.add_transfer(network, Species("R1", color="red"), "G1")
+        assert network.get_species("G1").color == "green"
+
+    def test_wrong_product_color_rejected(self):
+        network = Network()
+        network.add_species(Species("B1", color="blue"))
+        protocol = PhaseProtocol()
+        with pytest.raises(NetworkError):
+            protocol.add_transfer(network, Species("R1", color="red"), "B1")
+
+    def test_uncolored_source_rejected(self):
+        with pytest.raises(NetworkError):
+            PhaseProtocol().add_transfer(Network(), "X", "Y")
+
+    def test_catalytic_transfer_returns_gate(self):
+        network = Network()
+        PhaseProtocol().add_transfer(network,
+                                     Species("R1", color="red"), "G1")
+        reaction = network.reactions[0]
+        assert reaction.is_catalytic_in("b")
+
+    def test_consuming_transfer_consumes_gate(self):
+        network = Network()
+        protocol = PhaseProtocol(gating=CONSUMING, acceleration=NONE)
+        protocol.add_transfer(network, Species("R1", color="red"), "G1")
+        reaction = network.reactions[0]
+        assert Species("b") in reaction.reactants
+        assert Species("b") not in reaction.products
+
+    def test_dimer_acceleration_reactions(self):
+        network = Network()
+        protocol = PhaseProtocol(gating=CONSUMING, acceleration=DIMER)
+        protocol.add_transfer(network, Species("R1", color="red"), "G1")
+        labels = [str(r) for r in network.reactions]
+        assert any("I_G1" in text and "2 G1" in text for text in labels)
+        # dimer pair + fire + seed = 4 reactions
+        assert network.n_reactions == 4
+
+    def test_gated_acceleration_reaction(self):
+        network = Network()
+        protocol = PhaseProtocol(gating=CONSUMING, acceleration=GATED)
+        protocol.add_transfer(network, Species("R1", color="red"), "G1")
+        accel = network.reactions[-1]
+        assert accel.is_catalytic_in("b")
+        assert accel.reactants[Species("G1")] == 1
+        assert accel.products[Species("G1")] == 2
+
+    def test_consume_stoichiometry(self):
+        network = Network()
+        protocol = PhaseProtocol()
+        protocol.add_transfer(network, Species("G1", color="green"),
+                              {"B1": 3}, consume=2)
+        reaction = network.reactions[0]
+        assert reaction.reactants[Species("G1")] == 2
+        assert reaction.products[Species("B1")] == 3
+
+    def test_invalid_consume(self):
+        with pytest.raises(NetworkError):
+            PhaseProtocol().add_transfer(Network(),
+                                         Species("R", color="red"),
+                                         "G", consume=0)
+
+    def test_transfer_after_finalize_rejected(self):
+        network = Network()
+        protocol = PhaseProtocol()
+        protocol.add_transfer(network, Species("R", color="red"), "G")
+        protocol.finalize(network)
+        with pytest.raises(NetworkError):
+            protocol.add_transfer(network, Species("G", color="green"), "B")
+
+
+class TestDrainAndAnnihilation:
+    def test_drain_to_uncolored(self):
+        network = Network()
+        protocol = PhaseProtocol()
+        protocol.add_drain(network, Species("B1", color="blue"), "Y")
+        assert network.get_species("Y").color is None
+        reaction = network.reactions[0]
+        assert reaction.is_catalytic_in("g")
+
+    def test_drain_to_colored_rejected(self):
+        network = Network()
+        network.add_species(Species("Z", color="red"))
+        with pytest.raises(NetworkError):
+            PhaseProtocol().add_drain(network,
+                                      Species("B1", color="blue"), "Z")
+
+    def test_annihilation(self):
+        network = Network()
+        PhaseProtocol().add_annihilation(network, "P", "N")
+        reaction = network.reactions[0]
+        assert reaction.products == {}
+        assert reaction.rate == "fast"
+
+
+class TestFinalize:
+    def _build(self, gating=CATALYTIC):
+        network = Network()
+        protocol = PhaseProtocol(gating=gating)
+        protocol.add_transfer(network, Species("R1", color="red"), "G1")
+        protocol.add_transfer(network, Species("G1", color="green"), "B1")
+        protocol.finalize(network)
+        return network, protocol
+
+    def test_generation_reactions_emitted(self):
+        network, _ = self._build()
+        sources = [r for r in network.reactions if not r.reactants]
+        assert len(sources) == 3  # one per indicator
+
+    def test_consumption_for_every_colored_species(self):
+        network, _ = self._build()
+        # R1 consumes r; G1 consumes g; B1 consumes b.
+        for species, indicator in [("R1", "r"), ("G1", "g"), ("B1", "b")]:
+            matching = [r for r in network.reactions
+                        if r.reactants.get(Species(indicator)) == 1
+                        and r.is_catalytic_in(species)
+                        and r.products.get(Species(indicator), 0) == 0]
+            assert matching, f"{species} should consume {indicator}"
+
+    def test_catalytic_mode_has_amplifiers_and_scavengers(self):
+        network, _ = self._build()
+        amps = [r for r in network.reactions
+                if r.products.get(Species("r"), 0) == 2]
+        assert amps
+        scavengers = [r for r in network.reactions
+                      if r.is_catalytic_in("r")
+                      and r.reactants.get(Species("R1")) == 1
+                      and not r.products.get(Species("R1"))]
+        assert scavengers
+
+    def test_consuming_mode_has_no_amplifiers(self):
+        network, _ = self._build(gating=CONSUMING)
+        amps = [r for r in network.reactions
+                if r.products.get(Species("r"), 0) == 2]
+        assert not amps
+
+    def test_double_finalize_rejected(self):
+        network, protocol = self._build()
+        with pytest.raises(NetworkError):
+            protocol.finalize(network)
+
+
+class TestRationalGain:
+    def test_exact_fraction_passthrough(self):
+        from fractions import Fraction
+
+        assert rational_gain(Fraction(3, 7)) == Fraction(3, 7)
+
+    def test_int(self):
+        from fractions import Fraction
+
+        assert rational_gain(2) == Fraction(2)
+
+    def test_float_snapped(self):
+        from fractions import Fraction
+
+        assert rational_gain(0.5) == Fraction(1, 2)
+        assert rational_gain(0.25) == Fraction(1, 4)

@@ -1,0 +1,86 @@
+"""Tests for the exact-stochastic machine driver.
+
+These validate the library's central discreteness claims: the synthesized
+network runs natively under SSA (integer counts, absence = literally zero
+molecules) and matches the discrete-time reference to within a few
+molecules.
+"""
+
+import pytest
+
+from repro.core.stochastic_machine import StochasticMachine
+from repro.errors import SynthesisError
+
+
+@pytest.fixture(scope="module")
+def ma2_ssa_run():
+    from fractions import Fraction
+
+    from repro.core.dfg import SignalFlowGraph
+
+    sfg = SignalFlowGraph("ma2")
+    x = sfg.input("x")
+    d = sfg.delay("d1", source=x)
+    sfg.output("y", sfg.add(sfg.gain(Fraction(1, 2), x),
+                            sfg.gain(Fraction(1, 2), d)))
+    machine = StochasticMachine(sfg, seed=0)
+    run = machine.run({"x": [40, 80, 20, 60]})
+    return machine, run
+
+
+class TestExactness:
+    def test_matches_reference_to_molecules(self, ma2_ssa_run):
+        _, run = ma2_ssa_run
+        assert run.max_error() <= 2.0
+
+    def test_outputs_are_integers(self, ma2_ssa_run):
+        _, run = ma2_ssa_run
+        for value in run.outputs["y"]:
+            assert value == int(value)
+
+    def test_state_history_integral(self, ma2_ssa_run):
+        _, run = ma2_ssa_run
+        assert run.state_history[1]["d1"] == 40
+
+    def test_boundaries_progress(self, ma2_ssa_run):
+        _, run = ma2_ssa_run
+        import numpy as np
+
+        assert np.all(np.diff(run.boundary_times) > 0)
+
+
+class TestRecovery:
+    def test_straggler_flush_counted(self):
+        """Some seeds wedge on single-molecule stragglers; the driver
+        must recover with a bounded number of flushes and bounded
+        error."""
+        from fractions import Fraction
+
+        from repro.core.dfg import SignalFlowGraph
+
+        sfg = SignalFlowGraph("ma2b")
+        x = sfg.input("x")
+        d = sfg.delay("d1", source=x)
+        sfg.output("y", sfg.add(sfg.gain(Fraction(1, 2), x),
+                                sfg.gain(Fraction(1, 2), d)))
+        machine = StochasticMachine(sfg, seed=1)
+        run = machine.run({"x": [40, 80, 20, 60]})
+        assert run.max_error() <= 4.0
+        assert machine.flush_events <= 6
+
+
+class TestApi:
+    def test_non_integer_samples_rejected(self, ma2_ssa_run):
+        machine, _ = ma2_ssa_run
+        with pytest.raises(SynthesisError):
+            machine.run({"x": [1.5]})
+
+    def test_wrong_stream_names_rejected(self, ma2_ssa_run):
+        machine, _ = ma2_ssa_run
+        with pytest.raises(SynthesisError):
+            machine.run({"z": [1]})
+
+    def test_generation_seed_is_brisk(self, ma2_ssa_run):
+        machine, _ = ma2_ssa_run
+        assert machine.scheme.resolve("gen") == pytest.approx(
+            machine.scheme.slow)

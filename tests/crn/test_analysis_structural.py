@@ -1,0 +1,122 @@
+"""Tests for structural CRN analysis (graphs, deficiency, catalysis)."""
+
+import pytest
+
+from repro.crn.analysis import (catalytic_summary, complex_graph,
+                                complexes, deficiency,
+                                is_weakly_reversible, linkage_classes,
+                                reachable_species,
+                                reaction_order_histogram,
+                                species_reaction_graph, stranded_species)
+from repro.crn.network import Network
+
+
+def _cycle_network():
+    network = Network()
+    network.add("A", "B", 1.0)
+    network.add("B", "C", 1.0)
+    network.add("C", "A", 1.0)
+    return network
+
+
+class TestGraphs:
+    def test_species_reaction_graph_structure(self):
+        network = _cycle_network()
+        graph = species_reaction_graph(network)
+        assert graph.number_of_nodes() == 3 + 3
+        assert graph.has_edge("S:A", "R:0")
+        assert graph.has_edge("R:0", "S:B")
+        assert graph.nodes["S:A"]["kind"] == "species"
+
+    def test_complexes_deduplicated(self):
+        network = _cycle_network()
+        assert len(complexes(network)) == 3
+
+    def test_complex_graph_edges(self):
+        graph = complex_graph(_cycle_network())
+        assert graph.number_of_edges() == 3
+
+
+class TestReachability:
+    def test_requires_all_reactants(self):
+        network = Network()
+        network.add({"A": 1, "B": 1}, "C", 1.0)
+        assert "C" not in reachable_species(network, ["A"])
+        assert "C" in reachable_species(network, ["A", "B"])
+
+    def test_zeroth_order_always_available(self):
+        network = Network()
+        network.add(None, "X", 1.0)
+        network.add("X", "Y", 1.0)
+        assert reachable_species(network, []) == {"X", "Y"}
+
+    def test_transitive_closure(self):
+        network = _cycle_network()
+        assert reachable_species(network, ["A"]) == {"A", "B", "C"}
+
+
+class TestCrnTheory:
+    def test_cycle_is_weakly_reversible(self):
+        assert is_weakly_reversible(_cycle_network())
+
+    def test_chain_is_not(self):
+        network = Network()
+        network.add("A", "B", 1.0)
+        network.add("B", "C", 1.0)
+        assert not is_weakly_reversible(network)
+
+    def test_cycle_deficiency_zero(self):
+        network = _cycle_network()
+        assert linkage_classes(network) == 1
+        assert deficiency(network) == 0
+
+    def test_two_linkage_classes(self):
+        network = Network()
+        network.add("A", "B", 1.0)
+        network.add("C", "D", 1.0)
+        assert linkage_classes(network) == 2
+
+
+class TestCatalysis:
+    def test_pure_catalyst_identified(self):
+        network = Network()
+        network.add({"E": 1, "S": 1}, {"E": 1, "P": 1}, 1.0)
+        summary = catalytic_summary(network)
+        assert "E" in summary.catalysts
+        assert "S" in summary.sinks_only
+        assert "P" in summary.sources_only
+
+    def test_stranded_species(self):
+        network = Network()
+        network.add("A", "B", 1.0)   # B produced, never consumed
+        network.add("A", None, 1.0)
+        assert stranded_species(network) == {"B"}
+
+    def test_order_histogram(self):
+        network = Network()
+        network.add(None, "A", 1.0)
+        network.add("A", "B", 1.0)
+        network.add({"A": 1, "B": 1}, "C", 1.0)
+        network.add({"A": 1, "B": 1, "C": 1}, "D", 1.0)
+        assert reaction_order_histogram(network) == \
+            {0: 1, 1: 1, 2: 1, 3: 1}
+
+
+class TestProtocolNetworks:
+    def test_machine_network_orders_within_dsd_limits(self, ma2_sfg):
+        from repro.core.synthesis import synthesize
+
+        circuit = synthesize(ma2_sfg)
+        histogram = reaction_order_histogram(circuit.network)
+        assert max(histogram) <= 3
+
+    def test_machine_readouts_are_stranded_on_purpose(self, ma2_sfg):
+        from repro.core.synthesis import synthesize
+
+        circuit = synthesize(ma2_sfg)
+        stranded = stranded_species(circuit.network)
+        assert "y_y_p" in stranded
+        # But no *coloured* species may be stranded.
+        colored = {s.name for s in circuit.network.species
+                   if s.color is not None}
+        assert not (stranded & colored)

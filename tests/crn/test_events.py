@@ -1,0 +1,50 @@
+"""Unit tests for the event helpers."""
+
+import pytest
+
+from repro.crn.network import Network
+from repro.crn.simulation.events import (species_above, species_below,
+                                         total_above, total_below)
+from repro.crn.simulation.ode import OdeSimulator
+
+
+@pytest.fixture
+def splitter():
+    """A -> B and A -> C in parallel; totals drain/accumulate."""
+    network = Network()
+    network.add("A", "B", 1.0)
+    network.add("A", "C", 1.0)
+    network.set_initial("A", 10.0)
+    return network
+
+
+class TestEventDirections:
+    def test_species_below_marks_terminal(self, splitter):
+        event = species_below(splitter, "A", 2.0)
+        assert event.terminal is True
+        assert event.direction == -1.0
+
+    def test_non_terminal_event_records_nothing(self, splitter):
+        event = species_below(splitter, "A", 5.0, terminal=False)
+        simulator = OdeSimulator(splitter)
+        trajectory = simulator.simulate(3.0, events=[event])
+        assert trajectory.t_final == pytest.approx(3.0)
+
+    def test_total_below_fires_on_group(self, splitter):
+        event = total_below(splitter, ["A"], 1.0)
+        simulator = OdeSimulator(splitter)
+        trajectory = simulator.simulate(10.0, events=[event])
+        assert trajectory.final("A") == pytest.approx(1.0, rel=1e-3)
+
+    def test_total_above_fires_on_group(self, splitter):
+        event = total_above(splitter, ["B", "C"], 8.0)
+        simulator = OdeSimulator(splitter)
+        trajectory = simulator.simulate(10.0, events=[event])
+        assert (trajectory.final("B") + trajectory.final("C")) == \
+            pytest.approx(8.0, rel=1e-3)
+
+    def test_unknown_species_rejected(self, splitter):
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            species_above(splitter, "Z", 1.0)

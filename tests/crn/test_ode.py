@@ -1,0 +1,148 @@
+"""Integration tests for the deterministic simulators."""
+
+import numpy as np
+import pytest
+
+from repro.crn.network import Network
+from repro.crn.rates import RateScheme
+from repro.crn.simulation.events import species_above, species_below
+from repro.crn.simulation.ode import METHODS, OdeSimulator, simulate
+from repro.errors import SimulationError
+
+
+def _decay_network(k=0.7, x0=10.0):
+    network = Network("decay")
+    network.add("A", "B", k)
+    network.set_initial("A", x0)
+    return network
+
+
+class TestAnalyticSolutions:
+    def test_first_order_decay(self):
+        network = _decay_network(k=0.7, x0=10.0)
+        trajectory = simulate(network, 5.0)
+        expected = 10.0 * np.exp(-0.7 * trajectory.times)
+        assert np.allclose(trajectory["A"], expected, atol=1e-5)
+        assert np.allclose(trajectory["A"] + trajectory["B"], 10.0,
+                           atol=1e-6)
+
+    def test_bimolecular_annihilation(self):
+        # A + A -> 0 with rate k: dA/dt = -2k A^2,
+        # A(t) = A0 / (1 + 2 k A0 t).
+        network = Network()
+        network.add({"A": 2}, None, 0.25)
+        network.set_initial("A", 8.0)
+        trajectory = simulate(network, 4.0)
+        expected = 8.0 / (1 + 2 * 0.25 * 8.0 * trajectory.times)
+        assert np.allclose(trajectory["A"], expected, rtol=1e-4)
+
+    def test_equilibrium_of_reversible_pair(self):
+        network = Network()
+        network.add("A", "B", 2.0)
+        network.add("B", "A", 1.0)
+        network.set_initial("A", 9.0)
+        final = simulate(network, 50.0).final_state()
+        assert final["B"] / final["A"] == pytest.approx(2.0, rel=1e-4)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_methods_agree(self, method):
+        network = _decay_network()
+        simulator = OdeSimulator(network, method=method)
+        trajectory = simulator.simulate(3.0)
+        assert trajectory.final("A") == pytest.approx(
+            10.0 * np.exp(-0.7 * 3.0), rel=1e-3)
+
+
+class TestSimulatorApi:
+    def test_initial_override_mapping(self):
+        network = _decay_network()
+        simulator = OdeSimulator(network)
+        trajectory = simulator.simulate(1.0, initial={"A": 20.0})
+        assert trajectory["A"][0] == pytest.approx(20.0)
+
+    def test_initial_override_vector(self):
+        network = _decay_network()
+        simulator = OdeSimulator(network)
+        x0 = np.array([5.0, 1.0])
+        trajectory = simulator.simulate(1.0, initial=x0)
+        assert trajectory["B"][0] == pytest.approx(1.0)
+
+    def test_bad_initial_vector_shape(self):
+        simulator = OdeSimulator(_decay_network())
+        with pytest.raises(SimulationError):
+            simulator.simulate(1.0, initial=np.ones(5))
+
+    def test_bad_time_span(self):
+        simulator = OdeSimulator(_decay_network())
+        with pytest.raises(SimulationError):
+            simulator.simulate(0.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(SimulationError):
+            OdeSimulator(_decay_network(), method="Euler")
+
+    def test_symbolic_rates_resolved_by_scheme(self):
+        network = Network()
+        network.add("A", "B", "slow")
+        network.set_initial("A", 1.0)
+        fast_scheme = RateScheme({"fast": 1000.0, "slow": 10.0})
+        t1 = simulate(network, 0.1)
+        t2 = simulate(network, 0.1, scheme=fast_scheme)
+        assert t2.final("B") > t1.final("B")
+
+    def test_steady_state(self):
+        network = Network()
+        network.add("A", "B", 1.0)
+        network.set_initial("A", 4.0)
+        state = OdeSimulator(network).steady_state(t_final=100.0)
+        assert state["B"] == pytest.approx(4.0, abs=1e-5)
+
+    def test_steady_state_unsettled_raises(self):
+        network = Network()
+        network.add(None, "A", 1.0)  # grows forever
+        with pytest.raises(SimulationError):
+            OdeSimulator(network).steady_state(t_final=10.0)
+
+
+class TestEvents:
+    def test_terminal_event_stops_and_records(self):
+        network = _decay_network(k=1.0, x0=10.0)
+        simulator = OdeSimulator(network)
+        event = species_below(network, "A", 5.0)
+        trajectory = simulator.simulate(20.0, events=[event])
+        assert trajectory.meta["event"] == 0
+        assert trajectory.t_final == pytest.approx(np.log(2.0), rel=1e-3)
+        assert trajectory.final("A") == pytest.approx(5.0, rel=1e-3)
+
+    def test_rising_event(self):
+        network = _decay_network(k=1.0, x0=10.0)
+        simulator = OdeSimulator(network)
+        event = species_above(network, "B", 9.0)
+        trajectory = simulator.simulate(20.0, events=[event])
+        assert trajectory.final("B") == pytest.approx(9.0, rel=1e-3)
+
+    def test_no_event_runs_to_completion(self):
+        network = _decay_network()
+        simulator = OdeSimulator(network)
+        event = species_below(network, "A", -1.0)  # never fires
+        trajectory = simulator.simulate(2.0, events=[event])
+        assert "event" not in trajectory.meta
+        assert trajectory.t_final == pytest.approx(2.0)
+
+
+class TestInternalIntegrator:
+    def test_matches_scipy_on_stiff_transfer(self):
+        from repro.core.memory import build_delay_chain
+
+        network, line, _ = build_delay_chain(n=1, initial=20.0)
+        scipy_y = OdeSimulator(network).simulate(20.0).final("Y")
+        internal = OdeSimulator(network, method="internal-rk45",
+                                rtol=1e-7, atol=1e-9)
+        internal_y = internal.simulate(20.0).final("Y")
+        assert internal_y == pytest.approx(scipy_y, rel=1e-3)
+
+    def test_internal_rejects_events(self):
+        network = _decay_network()
+        simulator = OdeSimulator(network, method="internal-rk45")
+        with pytest.raises(SimulationError):
+            simulator.simulate(1.0, events=[species_below(network, "A", 1)])

@@ -1,0 +1,88 @@
+"""Unit tests for rate categories and schemes."""
+
+import numpy as np
+import pytest
+
+from repro.crn.network import Network
+from repro.crn.rates import (AMP, DAMP, DEFAULT_FAST, DEFAULT_SLOW, FAST,
+                             GEN, SLOW, RateScheme, jittered_rates)
+from repro.errors import NetworkError
+
+
+class TestRateScheme:
+    def test_defaults_match_paper(self):
+        scheme = RateScheme()
+        assert scheme.fast == DEFAULT_FAST == 1000.0
+        assert scheme.slow == DEFAULT_SLOW == 1.0
+        assert scheme.separation == 1000.0
+
+    def test_all_categories_present(self):
+        scheme = RateScheme()
+        for category in (FAST, SLOW, GEN, AMP, DAMP):
+            assert scheme.resolve(category) > 0
+
+    def test_resolve_numeric_passthrough(self):
+        assert RateScheme().resolve(3.5) == 3.5
+        assert RateScheme().resolve(0) == 0.0
+
+    def test_resolve_unknown_category(self):
+        with pytest.raises(NetworkError):
+            RateScheme().resolve("medium")
+
+    def test_resolve_invalid_numeric(self):
+        with pytest.raises(NetworkError):
+            RateScheme().resolve(-1.0)
+        with pytest.raises(NetworkError):
+            RateScheme().resolve(float("nan"))
+
+    def test_nonpositive_category_rejected(self):
+        with pytest.raises(NetworkError):
+            RateScheme({FAST: 0.0, SLOW: 1.0})
+
+    def test_missing_aux_categories_filled(self):
+        scheme = RateScheme({FAST: 100.0, SLOW: 2.0})
+        assert scheme.resolve(GEN) == pytest.approx(2.0 * 0.01)
+        assert scheme.resolve(AMP) == pytest.approx(2.0 * 30.0)
+        assert scheme.resolve(DAMP) == pytest.approx(2.0)
+
+    def test_with_separation(self):
+        scheme = RateScheme.with_separation(50.0, slow=2.0)
+        assert scheme.separation == pytest.approx(50.0)
+        assert scheme.slow == 2.0
+
+    def test_with_separation_invalid(self):
+        with pytest.raises(NetworkError):
+            RateScheme.with_separation(0.0)
+
+    def test_scaled_tracks_slow_for_aux(self):
+        scheme = RateScheme().scaled(fast_factor=2.0, slow_factor=3.0)
+        assert scheme.fast == pytest.approx(2000.0)
+        assert scheme.slow == pytest.approx(3.0)
+        assert scheme.resolve(GEN) == pytest.approx(0.01 * 3.0)
+        assert scheme.resolve(AMP) == pytest.approx(30.0 * 3.0)
+
+
+class TestJitteredRates:
+    def _network(self):
+        network = Network()
+        network.add("A", "B", "slow")
+        network.add("B", "C", "fast")
+        network.add("C", "A", 5.0)
+        return network
+
+    def test_shape_and_bounds(self):
+        network = self._network()
+        rng = np.random.default_rng(0)
+        rates = jittered_rates(network, RateScheme(), rng,
+                               low=0.5, high=2.0)
+        nominal = network.rate_vector(RateScheme())
+        assert rates.shape == nominal.shape
+        assert np.all(rates >= 0.5 * nominal)
+        assert np.all(rates <= 2.0 * nominal)
+
+    def test_jitter_actually_varies(self):
+        network = self._network()
+        rng = np.random.default_rng(1)
+        a = jittered_rates(network, RateScheme(), rng)
+        b = jittered_rates(network, RateScheme(), rng)
+        assert not np.allclose(a, b)

@@ -1,0 +1,89 @@
+"""Unit tests for species and colour categories."""
+
+import pytest
+
+from repro.crn.species import (COLORS, Species, as_species, next_color,
+                               previous_color)
+from repro.errors import NetworkError
+
+
+class TestSpecies:
+    def test_basic_construction(self):
+        s = Species("X")
+        assert s.name == "X"
+        assert s.color is None
+        assert s.role == "signal"
+
+    def test_colored_construction(self):
+        s = Species("R_1", color="red", role="clock")
+        assert s.color == "red"
+        assert s.role == "clock"
+
+    @pytest.mark.parametrize("bad", ["", "1X", "a b", "x-y", "@x"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(NetworkError):
+            Species(bad)
+
+    @pytest.mark.parametrize("good", ["X", "x_1", "R_d1", "a.b", "s[3]",
+                                      "_tmp"])
+    def test_valid_names_accepted(self, good):
+        assert Species(good).name == good
+
+    def test_invalid_color_rejected(self):
+        with pytest.raises(NetworkError):
+            Species("X", color="purple")
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(NetworkError):
+            Species("X", role="villain")
+
+    def test_equality_is_by_name_only(self):
+        assert Species("X", color="red") == Species("X", color="blue")
+        assert Species("X") != Species("Y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Species("X", color="red")) == hash(Species("X"))
+        assert len({Species("X", color="red"), Species("X")}) == 1
+
+    def test_same_metadata(self):
+        a = Species("X", color="red")
+        assert a.same_metadata(Species("X", color="red"))
+        assert not a.same_metadata(Species("X", color="green"))
+        assert not a.same_metadata(Species("Y", color="red"))
+
+    def test_str(self):
+        assert str(Species("R_1", color="red")) == "R_1"
+
+
+class TestColors:
+    def test_rotation_order(self):
+        assert COLORS == ("red", "green", "blue")
+
+    @pytest.mark.parametrize("color,expected", [
+        ("red", "green"), ("green", "blue"), ("blue", "red")])
+    def test_next_color(self, color, expected):
+        assert next_color(color) == expected
+
+    @pytest.mark.parametrize("color,expected", [
+        ("red", "blue"), ("green", "red"), ("blue", "green")])
+    def test_previous_color(self, color, expected):
+        assert previous_color(color) == expected
+
+    def test_next_previous_inverse(self):
+        for color in COLORS:
+            assert previous_color(next_color(color)) == color
+
+    def test_unknown_color_raises(self):
+        with pytest.raises(NetworkError):
+            next_color("violet")
+        with pytest.raises(NetworkError):
+            previous_color("violet")
+
+
+class TestAsSpecies:
+    def test_from_string(self):
+        assert as_species("X") == Species("X")
+
+    def test_identity_on_species(self):
+        s = Species("X", color="red")
+        assert as_species(s) is s

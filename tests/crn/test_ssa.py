@@ -1,0 +1,90 @@
+"""Integration tests for the stochastic simulators."""
+
+import numpy as np
+import pytest
+
+from repro.crn.network import Network
+from repro.crn.simulation.ode import simulate
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.crn.simulation.tau_leaping import TauLeapingSimulator
+from repro.errors import SimulationError
+
+
+def _decay(x0=200):
+    network = Network()
+    network.add("A", "B", 0.5)
+    network.set_initial("A", x0)
+    return network
+
+
+class TestSSA:
+    def test_counts_conserved(self):
+        network = _decay()
+        trajectory = StochasticSimulator(network, seed=0).simulate(5.0)
+        totals = trajectory["A"] + trajectory["B"]
+        assert np.all(totals == 200)
+
+    def test_absorbing_state_halts(self):
+        network = _decay(x0=3)
+        trajectory = StochasticSimulator(network, seed=1).simulate(100.0)
+        assert trajectory.final("A") == 0
+        assert trajectory.final("B") == 3
+
+    def test_mean_converges_to_ode(self):
+        network = _decay(x0=300)
+        ssa = StochasticSimulator(network, seed=2)
+        mean = ssa.mean_trajectory(2.0, n_runs=30, n_samples=20)
+        ode = simulate(network, 2.0).resampled(mean.times)
+        error = np.abs(mean["A"] - ode["A"]) / 300.0
+        assert error.max() < 0.05
+
+    def test_final_counts_are_ints(self):
+        counts = StochasticSimulator(_decay(5), seed=3).final_counts(50.0)
+        assert counts["B"] == 5
+        assert isinstance(counts["B"], int)
+
+    def test_reproducible_with_seed(self):
+        a = StochasticSimulator(_decay(), seed=42).simulate(1.0)
+        b = StochasticSimulator(_decay(), seed=42).simulate(1.0)
+        assert np.array_equal(a.states, b.states)
+
+    def test_negative_initial_rejected(self):
+        network = _decay()
+        simulator = StochasticSimulator(network, seed=0)
+        with pytest.raises(SimulationError):
+            simulator.simulate(1.0, initial=np.array([-1.0, 0.0]))
+
+    def test_bimolecular_needs_two(self):
+        network = Network()
+        network.add({"X": 2}, "Y", 10.0)
+        network.set_initial("X", 1)
+        trajectory = StochasticSimulator(network, seed=0).simulate(10.0)
+        assert trajectory.final("X") == 1  # lone molecule cannot pair
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(SimulationError):
+            StochasticSimulator(_decay(), seed=0).mean_trajectory(
+                1.0, n_runs=0)
+
+
+class TestTauLeaping:
+    def test_tracks_ode_for_large_counts(self):
+        network = _decay(x0=5000)
+        tau = TauLeapingSimulator(network, seed=0)
+        trajectory = tau.simulate(2.0, n_samples=20)
+        ode = simulate(network, 2.0).resampled(trajectory.times)
+        error = np.abs(trajectory["A"] - ode["A"]) / 5000.0
+        assert error.max() < 0.03
+
+    def test_counts_stay_non_negative(self):
+        network = Network()
+        network.add({"A": 1, "B": 1}, "C", 5.0)
+        network.set_initial("A", 50)
+        network.set_initial("B", 30)
+        trajectory = TauLeapingSimulator(network, seed=1).simulate(5.0)
+        assert trajectory.states.min() >= 0
+        assert trajectory.final("C") == 30
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(SimulationError):
+            TauLeapingSimulator(_decay(), epsilon=1.5)

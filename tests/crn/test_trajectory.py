@@ -1,0 +1,85 @@
+"""Unit tests for the trajectory container."""
+
+import numpy as np
+import pytest
+
+from repro.crn.simulation.result import Trajectory
+from repro.errors import SimulationError
+
+
+def _trajectory():
+    times = np.linspace(0.0, 4.0, 5)
+    states = np.column_stack([times ** 2, 10 - times])
+    return Trajectory(times, states, ["A", "B"])
+
+
+class TestAccess:
+    def test_column_and_getitem(self):
+        trajectory = _trajectory()
+        assert np.allclose(trajectory.column("A"), trajectory["A"])
+        assert trajectory["B"][0] == 10.0
+
+    def test_unknown_species(self):
+        with pytest.raises(SimulationError):
+            _trajectory().column("Z")
+
+    def test_final(self):
+        trajectory = _trajectory()
+        assert trajectory.final("A") == 16.0
+        assert np.allclose(trajectory.final(), [16.0, 6.0])
+
+    def test_final_state_dict(self):
+        assert _trajectory().final_state() == {"A": 16.0, "B": 6.0}
+
+    def test_interpolated_at(self):
+        assert _trajectory().at(0.5, "B") == pytest.approx(9.5)
+
+    def test_total(self):
+        trajectory = _trajectory()
+        assert np.allclose(trajectory.total(["A", "B"]),
+                           trajectory["A"] + trajectory["B"])
+
+    def test_len_and_contains(self):
+        trajectory = _trajectory()
+        assert len(trajectory) == 5
+        assert "A" in trajectory and "Z" not in trajectory
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Trajectory(np.zeros(3), np.zeros((2, 2)), ["A", "B"])
+
+
+class TestComposition:
+    def test_concat_drops_duplicate_boundary(self):
+        a = _trajectory()
+        b = Trajectory(np.array([4.0, 5.0]), np.array([[16.0, 6.0],
+                                                       [25.0, 5.0]]),
+                       ["A", "B"])
+        joined = a.concat(b)
+        assert len(joined) == 6
+        assert joined.t_final == 5.0
+        assert np.all(np.diff(joined.times) > 0)
+
+    def test_concat_requires_same_species(self):
+        a = _trajectory()
+        b = Trajectory(np.array([5.0]), np.array([[1.0]]), ["A"])
+        with pytest.raises(SimulationError):
+            a.concat(b)
+
+    def test_window(self):
+        window = _trajectory().window(1.0, 3.0)
+        assert window.times[0] == 1.0 and window.times[-1] == 3.0
+
+    def test_resampled(self):
+        dense = _trajectory().resampled(np.linspace(0, 4, 17))
+        assert len(dense) == 17
+        assert dense.at(2.0, "B") == pytest.approx(8.0)
+
+
+class TestExport:
+    def test_to_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        _trajectory().to_csv(path, species=["B"])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,B"
+        assert len(lines) == 6

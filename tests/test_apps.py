@@ -1,0 +1,138 @@
+"""Tests for the DSP application builders."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.apps import (biquad, fir, iir_first_order, moving_average,
+                        run_filter, tone)
+from repro.baselines import (biquad_reference, fir_reference,
+                             iir_first_order_reference,
+                             moving_average_reference)
+from repro.errors import SynthesisError
+
+
+class TestBuilders:
+    def test_moving_average_structure(self):
+        design = moving_average(4).to_matrix()
+        assert design.delays == ["d1", "d2", "d3"]
+        for source in design.sources:
+            assert design.coefficient("y", source) == Fraction(1, 4)
+
+    def test_moving_average_needs_tap(self):
+        with pytest.raises(SynthesisError):
+            moving_average(0)
+
+    def test_fir_zero_coefficients_skipped(self):
+        design = fir([Fraction(1, 2), 0, Fraction(1, 4)]).to_matrix()
+        assert ("y", "d1") not in design.coefficients
+        assert design.coefficient("y", "d2") == Fraction(1, 4)
+
+    def test_fir_all_zero_rejected(self):
+        with pytest.raises(SynthesisError):
+            fir([0, 0])
+
+    def test_iir_stability_guard(self):
+        with pytest.raises(SynthesisError):
+            iir_first_order(feedback=Fraction(3, 2))
+
+    def test_biquad_structure(self):
+        design = biquad(Fraction(1, 4), Fraction(1, 2), Fraction(1, 4),
+                        Fraction(-1, 2), Fraction(1, 4)).to_matrix()
+        assert design.coefficient("y", "y1") == Fraction(1, 2)
+        assert design.coefficient("y", "y2") == Fraction(-1, 4)
+        assert design.signed
+
+
+class TestReferenceAgreement:
+    """The SFG reference semantics must equal the hand-written DSP."""
+
+    def test_moving_average(self):
+        samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        design = moving_average(3).to_matrix()
+        ours = design.reference_run({"x": samples})["y"]
+        golden = moving_average_reference(3, samples)
+        assert np.allclose(ours, golden)
+
+    def test_fir(self):
+        coefficients = [Fraction(1, 2), Fraction(-1, 4), Fraction(1, 8)]
+        samples = [2.0, 7.0, 1.0, 8.0, 2.0]
+        design = fir(coefficients).to_matrix()
+        ours = design.reference_run({"x": samples})["y"]
+        golden = fir_reference(coefficients, samples)
+        assert np.allclose(ours, golden)
+
+    def test_iir(self):
+        samples = [16.0, 0.0, 4.0, 0.0]
+        design = iir_first_order().to_matrix()
+        ours = design.reference_run({"x": samples})["y"]
+        golden = iir_first_order_reference(0.5, 0.5, samples)
+        assert np.allclose(ours, golden)
+
+    def test_biquad(self):
+        b = (Fraction(1, 4), Fraction(1, 2), Fraction(1, 4))
+        a = (Fraction(-1, 2), Fraction(1, 4))
+        samples = [8.0, 0.0, 4.0, 2.0, 0.0]
+        design = biquad(*b, *a).to_matrix()
+        ours = design.reference_run({"x": samples})["y"]
+        golden = biquad_reference(*(float(v) for v in b),
+                                  *(float(v) for v in a), samples)
+        assert np.allclose(ours, golden)
+
+
+class TestEndToEnd:
+    def test_moving_average_machine(self):
+        run = run_filter(moving_average(2), [10.0, 30.0, 20.0])
+        assert run.max_error() < 0.3
+
+    def test_tone_is_non_negative(self):
+        samples = tone(16, period=8, amplitude=5.0)
+        assert len(samples) == 16
+        assert min(samples) >= 0.0
+
+
+class TestExtendedFilters:
+    def test_leaky_integrator_reference(self):
+        from repro.apps import leaky_integrator
+
+        design = leaky_integrator(Fraction(1, 2)).to_matrix()
+        outputs = design.reference_run({"x": [8.0, 0.0, 0.0, 4.0]})["y"]
+        assert outputs == [8.0, 4.0, 2.0, 5.0]
+
+    def test_leaky_integrator_retention_guard(self):
+        from repro.apps import leaky_integrator
+
+        with pytest.raises(SynthesisError):
+            leaky_integrator(Fraction(3, 2))
+
+    def test_dc_blocker_kills_constant_input(self):
+        from repro.apps import dc_blocker
+
+        design = dc_blocker(Fraction(1, 2)).to_matrix()
+        outputs = design.reference_run({"x": [10.0] * 10})["y"]
+        assert abs(outputs[-1]) < 0.1      # DC removed
+        assert outputs[0] == 10.0          # transient passes
+        assert design.signed
+
+    def test_comb_echo(self):
+        from repro.apps import comb
+
+        design = comb(delay_taps=2, gain=Fraction(1, 2)).to_matrix()
+        outputs = design.reference_run(
+            {"x": [8.0, 0.0, 0.0, 0.0]})["y"]
+        assert outputs == [8.0, 0.0, 4.0, 0.0]
+
+    def test_comb_needs_delay(self):
+        from repro.apps import comb
+
+        with pytest.raises(SynthesisError):
+            comb(delay_taps=0)
+
+    def test_dc_blocker_machine_e2e(self):
+        from repro.apps import dc_blocker
+        from repro.core.machine import SynchronousMachine
+
+        machine = SynchronousMachine(dc_blocker(Fraction(1, 2)))
+        run = machine.run({"x": [10.0, 10.0, 10.0, 10.0]})
+        assert run.max_error() < 0.3

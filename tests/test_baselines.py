@@ -1,0 +1,90 @@
+"""Tests for the baselines: naive chains and reference DSP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (arrival_spread, arrival_time,
+                             build_naive_chain, fir_reference,
+                             frequency_response, jitter_sensitivity,
+                             measured_gain_at_period)
+from repro.crn.rates import RateScheme
+from repro.errors import NetworkError
+
+
+class TestNaiveChain:
+    def test_structure(self):
+        network = build_naive_chain(n_stages=4, initial=10.0)
+        assert network.n_reactions == 4
+        assert network.get_initial("X") == 10.0
+
+    def test_needs_stage(self):
+        with pytest.raises(NetworkError):
+            build_naive_chain(0)
+
+    def test_quantity_eventually_arrives(self):
+        network = build_naive_chain(n_stages=3, initial=10.0)
+        assert arrival_time(network, t_final=300.0, fraction=0.99) > 0
+
+    def test_spread_grows_with_length(self):
+        short = arrival_spread(build_naive_chain(2), t_final=300.0)
+        long = arrival_spread(build_naive_chain(8), t_final=300.0)
+        assert long > short
+
+    def test_jitter_shifts_arrival_time(self):
+        times = jitter_sensitivity(
+            lambda: build_naive_chain(4),
+            lambda network, rates: arrival_time(network, rates=rates,
+                                                t_final=300.0),
+            n_trials=5, seed=0)
+        assert times.std() / times.mean() > 0.05
+
+
+class TestReferenceDsp:
+    def test_fir_impulse_recovers_coefficients(self):
+        coefficients = [0.5, 0.25, -0.125]
+        impulse = [1.0, 0.0, 0.0, 0.0]
+        assert np.allclose(fir_reference(coefficients, impulse)[:3],
+                           coefficients)
+
+    def test_frequency_response_dc_gain(self):
+        # Moving average of 2: |H(1)| = 1 at DC.
+        response = frequency_response([0.5, 0.5], [], n_points=16)
+        assert response[0] == pytest.approx(1.0)
+        # Nyquist: |H(-1)| = 0 for the two-tap average.
+        assert response[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_measured_gain_matches_theory(self):
+        period = 8
+        n = np.arange(64)
+        x = 10 + 5 * np.sin(2 * np.pi * n / period)
+        y = fir_reference([0.5, 0.5], x)
+        measured = measured_gain_at_period(y, x, period, skip=8)
+        omega = 2 * np.pi / period
+        theory = abs(0.5 + 0.5 * np.exp(-1j * omega))
+        assert measured == pytest.approx(theory, rel=1e-3)
+
+    def test_measured_gain_requires_component(self):
+        x = np.ones(32)
+        with pytest.raises(ValueError):
+            measured_gain_at_period(x, x, period=8)
+
+
+class TestPhasedVsNaiveContrast:
+    def test_phased_chain_is_crisper(self):
+        """The headline qualitative contrast for experiment E9."""
+        from repro.crn.simulation.ode import OdeSimulator
+        from repro.core.analysis import effective_series
+        from repro.core.memory import build_delay_chain
+
+        naive = build_naive_chain(n_stages=6, initial=30.0)
+        naive_spread = arrival_spread(naive, t_final=300.0)
+
+        network, _, _ = build_delay_chain(n=2, initial=30.0)
+        trajectory = OdeSimulator(network).simulate(40.0, n_samples=2000)
+        series = effective_series(trajectory, "Y")
+        final = series[-1]
+        t10 = np.interp(0.1 * final, series, trajectory.times)
+        t90 = np.interp(0.9 * final, series, trajectory.times)
+        phased_spread = t90 - t10
+
+        assert phased_spread < naive_spread

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def demo_crn(tmp_path):
+    path = tmp_path / "demo.crn"
+    path.write_text("X -> Y @ fast\nY -> Z @ slow\ninit X = 10\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSimulate:
+    def test_runs_and_prints(self, demo_crn, capsys):
+        assert main(["simulate", demo_crn, "--t", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "final quantities" in out
+        assert "Z" in out
+
+    def test_plot_option(self, demo_crn, capsys):
+        assert main(["simulate", demo_crn, "--t", "4",
+                     "--plot", "X,Z"]) == 0
+        assert "#=X" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, capsys):
+        with pytest.raises(OSError):
+            main(["simulate", "/nonexistent.crn"])
+
+    def test_bad_species_reports_error(self, demo_crn, capsys):
+        code = main(["simulate", demo_crn, "--plot", "NOPE"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestClock:
+    def test_reports_period(self, capsys):
+        assert main(["clock", "--mass", "20", "--t", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "period" in out and "jitter" in out
+
+
+class TestFilter:
+    def test_moving_average(self, capsys):
+        assert main(["filter", "ma", "--taps", "2",
+                     "--input", "10,20,40"]) == 0
+        out = capsys.readouterr().out
+        assert "max |error|" in out
+        assert "reference" in out
+
+
+class TestCounter:
+    def test_counts(self, capsys):
+        assert main(["counter", "--bits", "2", "--pulses", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "[0, 1, 2, 3, 0, 1]" in out
+
+
+class TestDsd:
+    def test_compile_and_fasta(self, demo_crn, tmp_path, capsys):
+        fasta = tmp_path / "order.fasta"
+        assert main(["dsd", demo_crn, "--fasta", str(fasta)]) == 0
+        assert fasta.exists()
+        content = fasta.read_text()
+        assert content.startswith(">")

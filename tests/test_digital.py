@@ -1,0 +1,189 @@
+"""Tests for the digital layer: bits, gates, counter, FSMs."""
+
+import itertools
+
+import pytest
+
+from repro.crn.network import Network
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.digital import (BinaryCounter, Bit, MolecularFSM, and_gate,
+                           binary_gate, bits_to_int, fan_out, full_adder,
+                           half_adder, int_to_bits, not_gate,
+                           parity_machine, sequence_detector, xor_gate)
+from repro.errors import NetworkError, SimulationError
+
+
+def _evaluate(network, bits):
+    """Settle a one-shot logic network under exact SSA and read bits."""
+    simulator = StochasticSimulator(network, seed=0)
+    trajectory = simulator.simulate(1.0, n_samples=2)
+    final = trajectory.final_state()
+    return [bit.read_state(lambda n: final[n]) for bit in bits]
+
+
+class TestBits:
+    def test_declare_and_set(self):
+        network = Network()
+        bit = Bit("a").declare(network, value=True)
+        assert network.get_initial(bit.hi) == 1.0
+        assert network.get_initial(bit.lo) == 0.0
+
+    def test_read_state_clean(self):
+        bit = Bit("a")
+        assert bit.read_state(lambda n: {"a_hi": 1.0, "a_lo": 0.0}[n])
+        assert not bit.read_state(lambda n: {"a_hi": 0.0, "a_lo": 1.0}[n])
+
+    def test_read_state_unsettled_raises(self):
+        bit = Bit("a")
+        with pytest.raises(NetworkError):
+            bit.read_state(lambda n: 0.5)
+
+    def test_int_round_trip(self):
+        for value in range(16):
+            assert bits_to_int(int_to_bits(value, 4)) == value
+
+    def test_int_to_bits_range_checked(self):
+        with pytest.raises(NetworkError):
+            int_to_bits(16, 4)
+
+
+class TestGates:
+    @pytest.mark.parametrize("kind,table", [
+        ("and", lambda a, b: a and b),
+        ("or", lambda a, b: a or b),
+        ("xor", lambda a, b: a != b),
+        ("nand", lambda a, b: not (a and b)),
+        ("nor", lambda a, b: not (a or b)),
+        ("xnor", lambda a, b: a == b),
+    ])
+    def test_binary_gate_truth_tables(self, kind, table):
+        for va, vb in itertools.product([False, True], repeat=2):
+            network = Network()
+            a = Bit("a").declare(network, va)
+            b = Bit("b").declare(network, vb)
+            out = binary_gate(network, kind, a, b, Bit("o"))
+            assert _evaluate(network, [out]) == [bool(table(va, vb))], \
+                f"{kind}({va},{vb})"
+
+    def test_not_gate(self):
+        for value in (False, True):
+            network = Network()
+            a = Bit("a").declare(network, value)
+            out = not_gate(network, a, Bit("o"))
+            assert _evaluate(network, [out]) == [not value]
+
+    def test_unknown_gate_kind(self):
+        network = Network()
+        a = Bit("a").declare(network, True)
+        b = Bit("b").declare(network, True)
+        with pytest.raises(NetworkError):
+            binary_gate(network, "maybe", a, b, Bit("o"))
+
+    def test_fan_out_copies(self):
+        network = Network()
+        a = Bit("a").declare(network, True)
+        copies = fan_out(network, a, [Bit("c1"), Bit("c2")])
+        assert _evaluate(network, copies) == [True, True]
+
+    def test_composed_circuit(self):
+        """(a AND b) XOR c over all eight input combinations."""
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            network = Network()
+            a = Bit("a").declare(network, va)
+            b = Bit("b").declare(network, vb)
+            c = Bit("c").declare(network, vc)
+            ab = and_gate(network, a, b, Bit("ab"))
+            out = xor_gate(network, ab, c, Bit("o"))
+            assert _evaluate(network, [out]) == [(va and vb) != vc]
+
+
+class TestAdders:
+    def test_half_adder(self):
+        for va, vb in itertools.product([False, True], repeat=2):
+            network = Network()
+            a = Bit("a").declare(network, va)
+            b = Bit("b").declare(network, vb)
+            total, carry = half_adder(network, a, b, Bit("s"), Bit("c"))
+            s, c = _evaluate(network, [total, carry])
+            assert (int(c) << 1) + int(s) == int(va) + int(vb)
+
+    def test_full_adder(self):
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            network = Network()
+            a = Bit("a").declare(network, va)
+            b = Bit("b").declare(network, vb)
+            cin = Bit("ci").declare(network, vc)
+            total, carry = full_adder(network, a, b, cin, Bit("s"),
+                                      Bit("co"))
+            s, c = _evaluate(network, [total, carry])
+            assert (int(c) << 1) + int(s) == int(va) + int(vb) + int(vc)
+
+
+class TestCounter:
+    def test_counts_and_wraps(self):
+        counter = BinaryCounter(3)
+        run = counter.count(10, seed=0)
+        run.check(8)
+        assert run.overflow == 1
+
+    def test_two_bit_counter(self):
+        run = BinaryCounter(2).count(6, seed=1)
+        assert run.values == [0, 1, 2, 3, 0, 1, 2]
+
+    def test_invalid_width(self):
+        with pytest.raises(NetworkError):
+            BinaryCounter(0)
+
+
+class TestFSM:
+    def test_parity_machine(self):
+        fsm = parity_machine()
+        run = fsm.run("110101", seed=0)
+        expected = ["even"]
+        for symbol in "110101":
+            if symbol == "1":
+                expected.append("odd" if expected[-1] == "even"
+                                else "even")
+            else:
+                expected.append(expected[-1])
+        assert run.trace == expected
+
+    def test_sequence_detector_overlapping(self):
+        fsm = sequence_detector("101")
+        run = fsm.run("10101", seed=0)
+        # hits at positions 3 and 5 (overlap allowed)
+        assert run.output_counts["hit"][-1] == 2
+        assert run.emissions("hit") == [0, 0, 1, 0, 1]
+
+    def test_detector_no_false_hits(self):
+        fsm = sequence_detector("111")
+        run = fsm.run("110110", seed=0)
+        assert run.output_counts["hit"][-1] == 0
+
+    def test_missing_transition_rejected(self):
+        with pytest.raises(NetworkError):
+            MolecularFSM(["a"], ["0"], {})
+
+    def test_unknown_symbol_rejected(self):
+        fsm = parity_machine()
+        with pytest.raises(NetworkError):
+            fsm.run("2")
+
+    def test_random_words_match_python_model(self):
+        import random
+
+        rng = random.Random(4)
+        fsm = sequence_detector("110")
+        for trial in range(3):
+            word = "".join(rng.choice("01") for _ in range(12))
+            run = fsm.run(word, seed=trial)
+            hits = sum(1 for i in range(len(word) - 2)
+                       if word[i:i + 3] == "110")
+            assert run.output_counts["hit"][-1] == hits, word
+
+    def test_unsettled_state_detection(self):
+        fsm = parity_machine()
+        import numpy as np
+
+        with pytest.raises(SimulationError):
+            fsm.read_state(np.zeros(fsm.network.n_species))

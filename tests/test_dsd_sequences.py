@@ -1,0 +1,103 @@
+"""Tests for nucleotide sequence assignment."""
+
+import pytest
+
+from repro.crn.network import Network
+from repro.dsd import compile_network, recognition, toehold
+from repro.dsd.sequences import (SequenceDesigner, gc_fraction, hamming,
+                                 longest_run, reverse_complement,
+                                 validate_assignment)
+from repro.dsd.structures import Strand
+from repro.errors import NetworkError
+
+
+class TestPrimitives:
+    def test_reverse_complement(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAAC") == "GTTT"
+
+    def test_gc_fraction(self):
+        assert gc_fraction("GGCC") == 1.0
+        assert gc_fraction("ATAT") == 0.0
+        assert gc_fraction("") == 0.0
+
+    def test_longest_run(self):
+        assert longest_run("AAAT") == 3
+        assert longest_run("ACAC") == 1
+
+    def test_hamming(self):
+        assert hamming("ACGT", "ACGA") == 1
+        with pytest.raises(NetworkError):
+            hamming("A", "AA")
+
+
+class TestDesigner:
+    def test_deterministic_per_seed(self):
+        a = SequenceDesigner(seed=5).sequence_for(toehold("t1"))
+        b = SequenceDesigner(seed=5).sequence_for(toehold("t1"))
+        assert a == b
+
+    def test_domain_and_complement_consistent(self):
+        designer = SequenceDesigner()
+        domain = recognition("x1")
+        forward = designer.sequence_for(domain)
+        backward = designer.sequence_for(domain.complement)
+        assert backward == reverse_complement(forward)
+        assert len(forward) == domain.length
+
+    def test_constraints_respected(self):
+        designer = SequenceDesigner(seed=1)
+        for i in range(12):
+            sequence = designer.sequence_for(recognition(f"x{i}"))
+            assert gc_fraction(sequence) <= 0.7
+            assert longest_run(sequence) <= 4
+
+    def test_same_length_domains_separated(self):
+        designer = SequenceDesigner(seed=2)
+        a = designer.sequence_for(recognition("xa"))
+        b = designer.sequence_for(recognition("xb"))
+        assert hamming(a, b) >= int(0.3 * len(a))
+
+    def test_three_letter_code_on_forward_domains(self):
+        designer = SequenceDesigner(seed=3)
+        sequence = designer.sequence_for(recognition("x"))
+        assert "G" not in sequence
+
+    def test_strand_sequence_concatenates(self):
+        designer = SequenceDesigner()
+        strand = Strand("s", (toehold("t"), recognition("x")))
+        sequence = designer.strand_sequence(strand)
+        assert len(sequence) == strand.length
+
+    def test_impossible_constraints_raise(self):
+        designer = SequenceDesigner(gc_bounds=(0.9, 1.0),
+                                    alphabet="AT", max_attempts=50)
+        with pytest.raises(NetworkError):
+            designer.sequence_for(toehold("t"))
+
+
+class TestInventoryAssignment:
+    @pytest.fixture(scope="class")
+    def compilation(self):
+        network = Network()
+        network.add("A", "B", 1.0)
+        network.add({"A": 1, "B": 1}, "C", 0.5)
+        return compile_network(network)
+
+    def test_assign_covers_all_strands(self, compilation):
+        designer = SequenceDesigner()
+        sequences = designer.assign(compilation.inventory)
+        assert len(sequences) == \
+            compilation.inventory.n_distinct_strands
+
+    def test_bonds_are_watson_crick(self, compilation):
+        designer = SequenceDesigner()
+        designer.assign(compilation.inventory)
+        validate_assignment(designer, compilation.inventory)
+
+    def test_fasta_format(self, compilation):
+        text = SequenceDesigner().to_fasta(compilation.inventory)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith(">")
+        assert all(set(line) <= set("ACGT") for line in lines
+                   if not line.startswith(">"))

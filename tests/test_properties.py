@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crn.network import Network
+from repro.crn.parser import parse_network
+from repro.crn.reaction import Reaction
+from repro.crn.simulation.ssa import StochasticSimulator
+from repro.core.dfg import SignalFlowGraph
+
+_NAMES = st.sampled_from(list("ABCDEFG"))
+_COEFF = st.integers(min_value=1, max_value=3)
+_SIDE = st.dictionaries(_NAMES, _COEFF, min_size=0, max_size=3)
+
+
+@st.composite
+def reactions(draw):
+    reactants = draw(_SIDE)
+    products = draw(_SIDE)
+    if not reactants and not products:
+        products = {"A": 1}
+    rate = draw(st.sampled_from(["fast", "slow", 0.5, 2.0]))
+    return Reaction(reactants, products, rate)
+
+
+@st.composite
+def networks(draw):
+    network = Network("prop")
+    for reaction in draw(st.lists(reactions(), min_size=1, max_size=6)):
+        network.add_reaction(reaction)
+    for name in draw(st.lists(_NAMES, max_size=4, unique=True)):
+        if name in network:
+            network.set_initial(name, float(draw(
+                st.integers(min_value=0, max_value=20))))
+    return network
+
+
+class TestParserRoundTrip:
+    @given(networks())
+    @settings(max_examples=50, deadline=None)
+    def test_to_text_parse_identity(self, network):
+        parsed = parse_network(network.to_text())
+        assert parsed.species_names == network.species_names
+        assert parsed.reactions == network.reactions
+        assert parsed.initial == network.initial
+
+
+class TestStoichiometry:
+    @given(reactions())
+    @settings(max_examples=100, deadline=None)
+    def test_net_change_consistent_with_matrices(self, reaction):
+        network = Network()
+        network.add_reaction(reaction)
+        stoich = network.stoichiometry_matrix()[:, 0]
+        delta = reaction.net_change()
+        for species in network.species:
+            index = network.species_index(species)
+            assert stoich[index] == delta.get(species, 0)
+
+    @given(networks())
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_laws_annihilate_stoichiometry(self, network):
+        laws = network.conservation_laws()
+        stoich = network.stoichiometry_matrix()
+        if laws.size:
+            assert np.allclose(laws @ stoich, 0.0, atol=1e-8)
+
+
+class TestSsaInvariants:
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_closed_cycle_conserves_counts(self, total, seed):
+        network = Network()
+        network.add("A", "B", "slow")
+        network.add("B", "C", "fast")
+        network.add("C", "A", 2.0)
+        network.set_initial("A", float(total))
+        trajectory = StochasticSimulator(network, seed=seed).simulate(
+            5.0, n_samples=10)
+        sums = trajectory["A"] + trajectory["B"] + trajectory["C"]
+        assert np.all(sums == total)
+
+    @given(st.integers(min_value=0, max_value=30),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_never_negative(self, x0, seed):
+        network = Network()
+        network.add({"A": 2}, "B", "fast")
+        network.add("B", None, "slow")
+        network.set_initial("A", float(x0))
+        trajectory = StochasticSimulator(network, seed=seed).simulate(
+            10.0, n_samples=20)
+        assert trajectory.states.min() >= 0
+
+
+class TestReferenceSemantics:
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_delay_line_is_pure_delay(self, samples):
+        sfg = SignalFlowGraph("line")
+        x = sfg.input("x")
+        d1 = sfg.delay("d1", source=x)
+        d2 = sfg.delay("d2", source=d1)
+        sfg.output("y", d2)
+        outputs = sfg.to_matrix().reference_run({"x": samples})["y"]
+        expected = [0.0, 0.0] + samples[:-2]
+        assert np.allclose(outputs, expected[:len(outputs)])
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50,
+                              allow_nan=False), min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_gain_scales_exactly(self, samples, p, q):
+        sfg = SignalFlowGraph("gain")
+        x = sfg.input("x")
+        sfg.output("y", sfg.gain(Fraction(p, q), x))
+        outputs = sfg.to_matrix().reference_run({"x": samples})["y"]
+        assert np.allclose(outputs, [s * p / q for s in samples])
+
+    @given(st.lists(st.floats(min_value=0, max_value=50,
+                              allow_nan=False), min_size=3, max_size=10))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_iir_bibo_bounded(self, samples):
+        """|feedback| < 1 implies bounded output for bounded input."""
+        sfg = SignalFlowGraph("iir")
+        x = sfg.input("x")
+        s = sfg.delay("s")
+        y = sfg.add(sfg.gain(Fraction(1, 2), x),
+                    sfg.gain(Fraction(1, 2), s))
+        sfg.output("y", y)
+        sfg.connect(y, s)
+        outputs = sfg.to_matrix().reference_run({"x": samples})["y"]
+        bound = max(samples) if samples else 0.0
+        assert all(value <= bound + 1e-9 for value in outputs)
+
+
+class TestEffectiveValueAccounting:
+    @given(st.floats(min_value=1.0, max_value=200.0))
+    @settings(max_examples=10, deadline=None)
+    def test_one_shot_transfer_conserves_effective_mass(self, initial):
+        """Mass accounting through one dimer-accelerated transfer is exact
+        for any initial quantity."""
+        from repro.crn.simulation.ode import OdeSimulator
+        from repro.core.analysis import effective_series
+        from repro.core.memory import build_delay_chain
+
+        network, line, _ = build_delay_chain(n=1, initial=initial)
+        trajectory = OdeSimulator(network).simulate(10.0, n_samples=20)
+        total = sum(effective_series(trajectory, name)[-1]
+                    for name in line.signal_species())
+        assert total == np.float64(total)
+        assert abs(total - initial) / initial < 1e-4
