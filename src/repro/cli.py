@@ -7,6 +7,7 @@ clock      run the molecular clock and report period/jitter
 filter     stream samples through a synthesized filter
 counter    run the binary counter
 dsd        compile a ``.crn`` file to strand displacement (+ FASTA)
+lint       static analysis of ``.crn`` files and built-in circuits
 """
 
 from __future__ import annotations
@@ -158,6 +159,86 @@ def _run_dsd(args) -> int:
     return 0
 
 
+def _add_lint(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint", help="statically analyse .crn files / built-in circuits")
+    parser.add_argument("files", nargs="*",
+                        help="paths to .crn network files")
+    parser.add_argument("--circuit", action="append", default=[],
+                        metavar="NAME",
+                        help="lint a built-in target by name "
+                             "('all' for every one); repeatable")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text", dest="fmt")
+    parser.add_argument("--output", default="",
+                        help="write the report to this path instead of "
+                             "stdout")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings, not just errors")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="disable a rule by name; "
+                                             "repeatable")
+    parser.add_argument("--verbose", action="store_true",
+                        help="show notes, clean targets and skipped rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and codes, then exit")
+    parser.set_defaults(run=_run_lint)
+
+
+def _run_lint(args) -> int:
+    from repro.crn.network import Network
+    from repro.lint import LintConfig, lint_circuit, lint_network
+    from repro.lint.builtins import BUILTIN_CIRCUITS, build_target
+    from repro.lint.engine import RULE_REGISTRY
+    from repro.lint.output import render_json, render_sarif, render_text
+
+    if args.list_rules:
+        for registered in RULE_REGISTRY.values():
+            codes = ", ".join(registered.codes)
+            print(f"{registered.name:25s} {codes}")
+            print(f"{'':25s} {registered.description}")
+        return 0
+    names = []
+    for name in args.circuit:
+        if name == "all":
+            names.extend(BUILTIN_CIRCUITS)
+        else:
+            names.append(name)
+    if not args.files and not names:
+        print("error: nothing to lint; pass .crn files and/or --circuit",
+              file=sys.stderr)
+        return 2
+    config = LintConfig(disable=frozenset(args.disable))
+    results = []
+    for path in args.files:
+        try:
+            network = load_network(path)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        results.append((path, lint_network(network, config, path=path)))
+    for name in names:
+        target = build_target(name)
+        display = f"circuit:{name}"
+        if isinstance(target, Network):
+            report = lint_network(target, config, path=display)
+        else:
+            report = lint_circuit(target, config, path=display)
+        results.append((display, report))
+    renderer = {"text": lambda r: render_text(r, verbose=args.verbose),
+                "json": render_json, "sarif": render_sarif}[args.fmt]
+    rendered = renderer(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.fmt} report to {args.output}")
+    else:
+        print(rendered)
+    return max(report.exit_code(strict=args.strict)
+               for _, report in results)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_filter(subparsers)
     _add_counter(subparsers)
     _add_dsd(subparsers)
+    _add_lint(subparsers)
     return parser
 
 

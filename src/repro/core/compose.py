@@ -23,6 +23,20 @@ from repro.core.dfg import MatrixDesign
 from repro.errors import SynthesisError
 
 
+def _check_distinct(names: list[str], what: str) -> None:
+    """Composite name spaces must stay collision-free (REPRO-E701)."""
+    seen: set[str] = set()
+    clashes: set[str] = set()
+    for name in names:
+        if name in seen:
+            clashes.add(name)
+        seen.add(name)
+    if clashes:
+        raise SynthesisError(
+            f"{what} collide across modules: {sorted(clashes)} "
+            f"(REPRO-E701); rename the ports before composing")
+
+
 def _prefixed(design: MatrixDesign, prefix: str) -> MatrixDesign:
     """Internal: a copy with every *delay* name prefixed (ports kept)."""
     mapping = {name: f"{prefix}{name}" for name in design.delays}
@@ -99,6 +113,9 @@ def cascade(first: MatrixDesign, second: MatrixDesign,
     inputs = list(a.inputs) + [p for p in b.inputs
                                if p not in first.outputs]
     outputs = list(b.outputs)
+    _check_distinct(inputs, "cascade: composite input names")
+    _check_distinct(delays + inputs,
+                    "cascade: register and port names")
     coefficients: dict[tuple[str, str], Fraction] = {}
 
     # Stage 1: outputs redirected into the link registers.

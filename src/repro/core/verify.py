@@ -16,6 +16,12 @@ bugs the way a netlist linter would:
 - **implementability**: reaction orders within what the DSD chassis can
   compile.
 
+The checks themselves now live in :mod:`repro.lint` as registered rules
+(``parking``, ``gate-legality``, ``coefficient-realisation``,
+``implementability`` -- codes REPRO-E101..E105, REPRO-W106); this module
+is the compatibility layer that runs exactly those four rules and
+re-shapes their diagnostics into the original string report.
+
 ``verify_circuit`` returns a report; ``check_circuit`` raises on the
 first failure.
 """
@@ -23,13 +29,19 @@ first failure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 
-from repro.crn.analysis import reaction_order_histogram
-from repro.crn.species import next_color
-from repro.core.phases import INDICATOR_NAMES
 from repro.core.synthesis import SynthesizedCircuit
 from repro.errors import SynthesisError
+
+#: Lint rules behind the legacy checks, paired with their legacy labels.
+#: Order matters: it is the historical check (and report) order, and it
+#: matches lint registry order, so diagnostics come out pre-sorted.
+_LEGACY_CHECKS = (
+    ("parking", "parking"),
+    ("gate-legality", "gate legality"),
+    ("coefficient-realisation", "coefficient realisation"),
+    ("implementability", "implementability"),
+)
 
 
 @dataclass
@@ -56,11 +68,18 @@ class VerificationReport:
 
 def verify_circuit(circuit: SynthesizedCircuit) -> VerificationReport:
     """Run all static checks on a synthesized circuit."""
+    from repro.lint import LintConfig, Severity, lint_circuit
+
+    config = LintConfig(
+        select=frozenset(name for name, _ in _LEGACY_CHECKS))
+    lint_report = lint_circuit(circuit, config)
     report = VerificationReport()
-    _check_parking(circuit, report)
-    _check_gate_legality(circuit, report)
-    _check_coefficient_realisation(circuit, report)
-    _check_implementability(circuit, report)
+    for diagnostic in lint_report.diagnostics:
+        if diagnostic.severity >= Severity.ERROR:
+            report.errors.append(diagnostic.message)
+        else:
+            report.warnings.append(diagnostic.message)
+    report.checked.extend(label for _, label in _LEGACY_CHECKS)
     return report
 
 
@@ -69,138 +88,3 @@ def check_circuit(circuit: SynthesizedCircuit) -> None:
     report = verify_circuit(circuit)
     if not report.ok:
         raise SynthesisError(report.summary())
-
-
-# -- individual checks -------------------------------------------------------------
-
-def _check_parking(circuit: SynthesizedCircuit,
-                   report: VerificationReport) -> None:
-    """Every coloured species needs a quantity-consuming reaction."""
-    network = circuit.network
-    indicator_names = set(INDICATOR_NAMES.values())
-    for species in network.species:
-        if species.color is None or species.name in indicator_names:
-            continue
-        consuming = [r for r in network.reactions
-                     if r.reactants.get(species, 0)
-                     > r.products.get(species, 0)]
-        if not consuming:
-            report.errors.append(
-                f"coloured species {species.name!r} has no way out of "
-                f"its colour: standing quantity would block the "
-                f"{species.color}-absence indicator forever")
-    report.checked.append("parking")
-
-
-def _check_gate_legality(circuit: SynthesizedCircuit,
-                         report: VerificationReport) -> None:
-    """Gated transfers use the right indicator and advance one colour."""
-    network = circuit.network
-    protocol = circuit.protocol
-    indicator_names = set(INDICATOR_NAMES.values())
-    for reaction in network.reactions:
-        gates = [s for s in reaction.reactants
-                 if s.name in indicator_names]
-        if not gates:
-            continue
-        gate = gates[0]
-        colored_inputs = [s for s in reaction.reactants
-                          if s.color is not None
-                          and s.name not in indicator_names]
-        if not colored_inputs:
-            continue  # indicator generation/consumption bookkeeping
-        if reaction.is_catalytic_in(colored_inputs[0]):
-            continue  # consumption reaction (species kills indicator)
-        source_color = colored_inputs[0].color
-        own_indicator = protocol.indicator_name(source_color)
-        if (gate.name == own_indicator
-                and reaction.is_catalytic_in(gate)
-                and all(p.name == gate.name for p in reaction.products)):
-            continue  # scavenger: the colour's own indicator flushes
-            # sub-threshold residue once it has switched on -- legal.
-        expected = protocol.gate_indicator(source_color).name
-        if gate.name != expected:
-            report.errors.append(
-                f"reaction {reaction} gates a {source_color} source "
-                f"with {gate.name!r}; the protocol assigns {expected!r}")
-        for product in reaction.products:
-            if product.color is None or product.name in indicator_names:
-                continue
-            if product.color not in (source_color,
-                                     next_color(source_color)):
-                report.errors.append(
-                    f"reaction {reaction} moves {source_color} quantity "
-                    f"to {product.color} -- not an adjacent colour")
-    report.checked.append("gate legality")
-
-
-def _check_coefficient_realisation(circuit: SynthesizedCircuit,
-                                   report: VerificationReport) -> None:
-    """The reactions must realise the design matrix exactly.
-
-    For each (sink, source) pair, multiply the per-stage ratios along
-    the synthesized path: fan-out emits one copy per source unit, the
-    gain stage turns q copies into p accumulator units, and landing is
-    one-to-one.  The product must equal |coefficient|.
-    """
-    design = circuit.design
-    network = circuit.network
-    for (sink, source), coefficient in design.coefficients.items():
-        for rail in circuit.rails():
-            copy_name = f"c_{source}__{sink}_{rail}"
-            if copy_name not in network:
-                report.errors.append(
-                    f"missing copy species {copy_name!r} for "
-                    f"coefficient ({sink}, {source})")
-                continue
-            realised = _gain_ratio(circuit, copy_name)
-            if realised is None:
-                report.errors.append(
-                    f"no gain stage consumes {copy_name!r}")
-            elif realised != abs(coefficient):
-                report.errors.append(
-                    f"coefficient ({sink}, {source}) is "
-                    f"{coefficient} but the reactions realise "
-                    f"{realised}")
-    report.checked.append("coefficient realisation")
-
-
-def _gain_ratio(circuit: SynthesizedCircuit,
-                copy_name: str) -> Fraction | None:
-    """Units of accumulator produced per unit of copy consumed."""
-    network = circuit.network
-    copy = network.get_species(copy_name)
-    direct = [r for r in network.reactions
-              if r.reactants.get(copy, 0) > r.products.get(copy, 0)
-              and "scavenges" not in r.label]
-    if not direct:
-        return None
-    consumed = Fraction(0)
-    produced = Fraction(0)
-    # Follow the linearised-division chain: count total copy consumption
-    # and accumulator production over one full q-unit bite.
-    stages = sorted(direct, key=lambda r: r.label)
-    for reaction in stages:
-        consumed += reaction.reactants.get(copy, 0) \
-            - reaction.products.get(copy, 0)
-        for product, coeff in reaction.products.items():
-            if product.name.startswith("a_"):
-                produced += coeff
-    if consumed == 0:
-        return None
-    return produced / consumed
-
-
-def _check_implementability(circuit: SynthesizedCircuit,
-                            report: VerificationReport) -> None:
-    histogram = reaction_order_histogram(circuit.network)
-    for order, count in sorted(histogram.items()):
-        if order > 3:
-            report.errors.append(
-                f"{count} reactions of order {order}: not compilable "
-                f"to the strand-displacement chassis (max order 3)")
-        elif order == 3:
-            report.warnings.append(
-                f"{count} trimolecular reactions: compiled via a "
-                f"pre-pairing step (extra fuel complexes)")
-    report.checked.append("implementability")

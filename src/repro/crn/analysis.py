@@ -14,6 +14,7 @@ import networkx as nx
 import numpy as np
 
 from repro.crn.network import Network
+from repro.crn.species import as_species
 
 
 def species_reaction_graph(network: Network) -> nx.DiGraph:
@@ -37,14 +38,24 @@ def species_reaction_graph(network: Network) -> nx.DiGraph:
     return graph
 
 
-def reachable_species(network: Network, sources: list[str]) -> set[str]:
+def reachable_species(network: Network,
+                      sources: "list | None" = None) -> set[str]:
     """Species producible (transitively) from the given source species.
 
-    A reaction fires only if *all* its reactants are available, so the
-    closure iterates to a fixed point rather than walking edges blindly.
-    Zeroth-order reactions are always available.
+    A reaction fires only if *all* its reactants are available -- pure
+    catalysts included -- so the closure iterates to a fixed point rather
+    than walking edges blindly.  Zeroth-order reactions need no reactants
+    and are always available.
+
+    ``sources`` accepts species objects or names; ``None`` seeds the
+    closure from every species with a non-zero initial quantity (so a
+    pure catalyst whose only supply is its initial condition correctly
+    enables its reactions).
     """
-    available = {name for name in sources}
+    if sources is None:
+        sources = [name for name, value in network.initial.items()
+                   if value > 0]
+    available = {as_species(source).name for source in sources}
     changed = True
     while changed:
         changed = False
@@ -55,6 +66,22 @@ def reachable_species(network: Network, sources: list[str]) -> set[str]:
                         available.add(product.name)
                         changed = True
     return available
+
+
+def external_species(network: Network) -> set[str]:
+    """Species never net-produced by any reaction.
+
+    These can only enter the system from outside -- initial conditions
+    or driver-injected inputs -- so reachability analyses treat them as
+    potentially available.  Pure catalysts (only ever appearing on both
+    sides) are external by this definition: nothing manufactures them.
+    """
+    produced: set[str] = set()
+    for reaction in network.reactions:
+        for species, change in reaction.net_change().items():
+            if change > 0:
+                produced.add(species.name)
+    return set(network.species_names) - produced
 
 
 def complexes(network: Network) -> list[frozenset[tuple[str, int]]]:
@@ -142,15 +169,43 @@ def catalytic_summary(network: Network) -> CatalyticSummary:
         sinks_only=consumed - produced)
 
 
-def stranded_species(network: Network) -> set[str]:
+def stranded_species(network: Network,
+                     sources: "list | None" = None) -> set[str]:
     """Species that some reaction produces but nothing ever consumes
     (other than catalytically) -- quantity parks there forever.
 
     Legitimate for readout accumulators and wastes; a bug for anything
-    colour-coded (see :mod:`repro.core.verify`).
+    colour-coded (see :mod:`repro.lint`).
+
+    With the default ``sources=None`` the check is purely stoichiometric:
+    every reaction counts as a potential consumer.  Passing an iterable
+    of available species (or names) restricts the analysis to *fireable*
+    reactions -- those whose reactants are in the reachable closure of
+    ``sources`` -- which catches the zeroth-order trap where a source
+    species' only consumer is gated on a catalyst that is never
+    available:
+
+        -> X @ slow           # X generated forever
+        X + Y -> Y @ fast     # ...but Y has no supply: X parks
+
+    Stoichiometrically X looks consumed; with ``sources=[]`` (or any
+    seed that cannot produce ``Y``) it is correctly reported stranded.
     """
-    summary = catalytic_summary(network)
-    return summary.sources_only
+    if sources is None:
+        summary = catalytic_summary(network)
+        return summary.sources_only
+    reach = reachable_species(network, sources)
+    produced: set[str] = set()
+    consumed: set[str] = set()
+    for reaction in network.reactions:
+        if not all(s.name in reach for s in reaction.reactants):
+            continue  # can never fire: not a real producer or consumer
+        for species, change in reaction.net_change().items():
+            if change > 0:
+                produced.add(species.name)
+            elif change < 0:
+                consumed.add(species.name)
+    return produced - consumed
 
 
 def reaction_order_histogram(network: Network) -> dict[int, int]:

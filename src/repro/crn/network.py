@@ -27,6 +27,9 @@ class Network:
         self._order: list[str] = []
         self.reactions: list[Reaction] = []
         self._initial: dict[str, float] = {}
+        #: Optional source spans for diagnostics, populated by the parser:
+        #: ``("reaction", index) -> line`` and ``("species", name) -> line``.
+        self.provenance: dict[tuple[str, object], int] = {}
 
     # -- species registry ---------------------------------------------------
 

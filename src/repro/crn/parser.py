@@ -99,9 +99,14 @@ def _parse_species_line(network: Network, line: str, line_no: int,
     try:
         species = Species(name, color=attrs.get("color"),
                           role=attrs.get("role", "signal"))
+        network.add_species(species)
+    except ParseError:
+        raise
     except Exception as exc:
+        # Bad colour/role, invalid name, or a re-declaration that
+        # conflicts with an earlier line -- all user errors in the file.
         raise ParseError(str(exc), line_no, raw)
-    network.add_species(species)
+    network.provenance[("species", name)] = line_no
 
 
 def _parse_init_line(network: Network, line: str, line_no: int,
@@ -143,10 +148,13 @@ def _parse_reaction_line(network: Network, line: str, line_no: int,
         fwd = _parse_rate(fwd_text, line_no, raw)
         bwd = _parse_rate(bwd_text, line_no, raw)
         network.add_reaction(Reaction(left, right, fwd, label=label))
+        network.provenance[("reaction", network.n_reactions - 1)] = line_no
         network.add_reaction(Reaction(right, left, bwd, label=label))
+        network.provenance[("reaction", network.n_reactions - 1)] = line_no
     else:
         rate = _parse_rate(rate_text, line_no, raw)
         network.add_reaction(Reaction(left, right, rate, label=label))
+        network.provenance[("reaction", network.n_reactions - 1)] = line_no
 
 
 def load_network(path, name: str | None = None) -> Network:

@@ -1,0 +1,54 @@
+"""Static analysis for molecular reaction programs.
+
+A rule registry plus ~10 concrete rules covering the three-phase
+transfer protocol, rate-category hygiene, absence-indicator usage,
+conservation structure, reachability, implementability and
+composition.  Rules run over raw :class:`~repro.crn.network.Network`
+objects (parsed ``.crn`` files) or full synthesized circuits; some
+rules need circuit-level structure and are skipped for raw networks.
+
+Entry points:
+
+- :func:`lint_network` / :func:`lint_circuit` -- run all enabled rules
+  and return a :class:`LintReport`;
+- ``python -m repro lint`` -- the CLI with text/JSON/SARIF output;
+- :data:`RULE_REGISTRY` -- the registered rules, in report order.
+
+Diagnostic codes live in the ``REPRO-Exxx`` (error) / ``REPRO-Wxxx``
+(warning/note) namespace; ``docs/lint.md`` catalogues every code.
+"""
+
+from repro.lint.engine import (
+    Diagnostic,
+    LintConfig,
+    LintConfigError,
+    LintContext,
+    LintReport,
+    Rule,
+    RULE_REGISTRY,
+    Severity,
+    all_codes,
+    lint_circuit,
+    lint_network,
+    rule,
+    run_rules,
+)
+from repro.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.lint.rules.composition import merge_diagnostics
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintConfigError",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "RULE_REGISTRY",
+    "Severity",
+    "all_codes",
+    "lint_circuit",
+    "lint_network",
+    "merge_diagnostics",
+    "rule",
+    "run_rules",
+]

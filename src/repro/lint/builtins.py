@@ -1,0 +1,75 @@
+"""Built-in lintable targets: the repository's reference machines.
+
+Each entry is a zero-argument factory returning either a raw
+:class:`~repro.crn.network.Network` (clock, counter, FSM -- hand-built
+reaction programs) or a full synthesized circuit (the filters), so the
+CLI and CI can lint every shipped design with ``--circuit all``.
+Factories are lazy: building a biquad synthesizes a full dual-rail
+circuit, which only happens when that target is requested.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable
+
+
+def _clock():
+    from repro.core.clock import build_clock
+    network, _, _ = build_clock(mass=20.0)
+    return network
+
+
+def _counter():
+    from repro.digital.counter import BinaryCounter
+    return BinaryCounter(3).network
+
+
+def _fsm():
+    from repro.digital.fsm import parity_machine
+    return parity_machine().network
+
+
+def _moving_average():
+    from repro.apps.filters import moving_average
+    from repro.core.synthesis import synthesize
+    return synthesize(moving_average(2))
+
+
+def _iir():
+    from repro.apps.filters import iir_first_order
+    from repro.core.synthesis import synthesize
+    return synthesize(iir_first_order())
+
+
+def _biquad():
+    from repro.apps.filters import biquad
+    from repro.core.synthesis import synthesize
+    # Coefficients of examples/biquad_filter.py: signed feedback forces
+    # dual-rail synthesis, the most general circuit shape we ship.
+    return synthesize(biquad(Fraction(1, 4), Fraction(1, 2),
+                             Fraction(1, 4), Fraction(-1, 4),
+                             Fraction(1, 8)))
+
+
+#: name -> factory returning a Network or a synthesized circuit.
+BUILTIN_CIRCUITS: dict[str, Callable] = {
+    "clock": _clock,
+    "counter": _counter,
+    "fsm": _fsm,
+    "moving-average": _moving_average,
+    "iir": _iir,
+    "biquad": _biquad,
+}
+
+
+def build_target(name: str):
+    """Instantiate a built-in target by name."""
+    try:
+        factory = BUILTIN_CIRCUITS[name]
+    except KeyError:
+        from repro.errors import ReproError
+        raise ReproError(
+            f"unknown built-in circuit {name!r}; choose from "
+            f"{', '.join(sorted(BUILTIN_CIRCUITS))}")
+    return factory()

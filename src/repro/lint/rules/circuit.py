@@ -1,0 +1,77 @@
+"""Circuit-level rule: the reactions must realise the design matrix.
+
+``coefficient-realisation`` (REPRO-E104) needs the synthesized circuit's
+design bookkeeping, so it is skipped on raw networks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.lint.engine import LintContext, rule
+
+
+def _gain_ratio(circuit, copy_name: str) -> Fraction | None:
+    """Units of accumulator produced per unit of copy consumed."""
+    network = circuit.network
+    copy = network.get_species(copy_name)
+    direct = [r for r in network.reactions
+              if r.reactants.get(copy, 0) > r.products.get(copy, 0)
+              and "scavenges" not in r.label]
+    if not direct:
+        return None
+    consumed = Fraction(0)
+    produced = Fraction(0)
+    # Follow the linearised-division chain: count total copy consumption
+    # and accumulator production over one full q-unit bite.
+    stages = sorted(direct, key=lambda r: r.label)
+    for reaction in stages:
+        consumed += reaction.reactants.get(copy, 0) \
+            - reaction.products.get(copy, 0)
+        for product, coeff in reaction.products.items():
+            if product.name.startswith("a_"):
+                produced += coeff
+    if consumed == 0:
+        return None
+    return produced / consumed
+
+
+@rule("coefficient-realisation",
+      codes=("REPRO-E104",),
+      description="Summed over a cycle, the reactions must realise the "
+                  "design's coefficient matrix exactly.",
+      needs_circuit=True)
+def check_coefficient_realisation(ctx: LintContext):
+    circuit = ctx.circuit
+    design = circuit.design
+    network = circuit.network
+    for (sink, source), coefficient in design.coefficients.items():
+        for rail in circuit.rails():
+            copy_name = f"c_{source}__{sink}_{rail}"
+            if copy_name not in network:
+                yield ctx.diag(
+                    "REPRO-E104",
+                    f"missing copy species {copy_name!r} for "
+                    f"coefficient ({sink}, {source})",
+                    species=copy_name,
+                    fix_hint="re-synthesize the design; the fan-out "
+                             "stage must emit one copy per edge")
+                continue
+            realised = _gain_ratio(circuit, copy_name)
+            if realised is None:
+                yield ctx.diag(
+                    "REPRO-E104",
+                    f"no gain stage consumes {copy_name!r}",
+                    species=copy_name,
+                    fix_hint="every copy species needs a gain stage "
+                             "feeding its sink's accumulator")
+            elif realised != abs(coefficient):
+                yield ctx.diag(
+                    "REPRO-E104",
+                    f"coefficient ({sink}, {source}) is "
+                    f"{coefficient} but the reactions realise "
+                    f"{realised}",
+                    species=copy_name,
+                    fix_hint="the gain stage must consume q copies and "
+                             "produce p accumulator units for a p/q "
+                             "coefficient")

@@ -1,0 +1,71 @@
+"""Conservation-law rules derived from the stoichiometric left null space.
+
+``conservation`` (REPRO-W401, REPRO-W402; notes by default)
+    Each row of the left null space of the stoichiometry matrix is an
+    invariant ``w . x(t)``.  A coloured signal species covered by no
+    invariant has no structurally-protected total (REPRO-W401), and a
+    coloured network whose summed coloured quantity changes under some
+    reaction leaks value through the rotation (REPRO-W402).  Both are
+    informational: synthesized machines *intentionally* leak (gains
+    rescale, scavengers flush residue), but the report tells a designer
+    exactly where.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lint.engine import LintContext, Severity, rule
+
+#: Roles whose totals a designer expects to be protected.
+_SIGNAL_ROLES = ("signal", "clock")
+
+
+@rule("conservation",
+      codes=("REPRO-W401", "REPRO-W402"),
+      description="Derive conservation laws from the left null space; "
+                  "flag signals with no invariant and leaky coloured "
+                  "totals.",
+      severities={"REPRO-W401": Severity.NOTE,
+                  "REPRO-W402": Severity.NOTE})
+def check_conservation(ctx: LintContext):
+    network = ctx.network
+    colored = [s for s in network.species
+               if s.color is not None and s.role in _SIGNAL_ROLES]
+    if not colored:
+        return
+    basis = network.conservation_laws()
+    index = network.index_map()
+    covered: set[str] = set()
+    if basis.size:
+        magnitudes = np.max(np.abs(basis), axis=0)
+        covered = {name for name, i in index.items()
+                   if magnitudes[i] > 1e-8}
+    for species in colored:
+        if species.name not in covered:
+            yield ctx.diag(
+                "REPRO-W401",
+                f"no conservation law covers {species.name!r}: its "
+                f"quantity is not structurally invariant along any "
+                f"combination of species",
+                species=species.name,
+                fix_hint="expected for rescaled or drained signals; "
+                         "otherwise check for a missing landing or "
+                         "annihilation reaction")
+    weights = np.zeros(network.n_species)
+    for species in colored:
+        weights[index[species.name]] = 1.0
+    drift = weights @ network.stoichiometry_matrix()
+    leaky = [j for j in range(network.n_reactions)
+             if abs(drift[j]) > 1e-9]
+    if leaky:
+        example = network.reactions[leaky[0]]
+        yield ctx.diag(
+            "REPRO-W402",
+            f"total coloured quantity is not conserved: {len(leaky)} "
+            f"reactions change it (e.g. {example} changes it by "
+            f"{drift[leaky[0]]:+g})",
+            reaction_index=leaky[0],
+            fix_hint="gains, drains and scavengers legitimately "
+                     "rescale value; audit the listed reactions if "
+                     "the rotation should be lossless")

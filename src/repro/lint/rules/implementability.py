@@ -1,0 +1,37 @@
+"""Implementability of reaction orders on the DSD chassis.
+
+The strand-displacement compiler (:mod:`repro.dsd.compiler`) implements
+reactions up to molecularity 3 (trimolecular reactions cost an extra
+pre-pairing step); anything higher has no chassis mapping.
+
+``implementability`` emits REPRO-E105 (order > 3) and REPRO-W106
+(trimolecular, warning).
+"""
+
+from __future__ import annotations
+
+from repro.crn.analysis import reaction_order_histogram
+from repro.lint.engine import LintContext, rule
+
+
+@rule("implementability",
+      codes=("REPRO-E105", "REPRO-W106"),
+      description="Reaction orders must be within what the DSD chassis "
+                  "can compile (max order 3).")
+def check_implementability(ctx: LintContext):
+    histogram = reaction_order_histogram(ctx.network)
+    for order, count in sorted(histogram.items()):
+        if order > 3:
+            yield ctx.diag(
+                "REPRO-E105",
+                f"{count} reactions of order {order}: not compilable "
+                f"to the strand-displacement chassis (max order 3)",
+                fix_hint="decompose the reaction into bimolecular "
+                         "steps via explicit intermediates")
+        elif order == 3:
+            yield ctx.diag(
+                "REPRO-W106",
+                f"{count} trimolecular reactions: compiled via a "
+                f"pre-pairing step (extra fuel complexes)",
+                fix_hint="prefer bimolecular formulations where the "
+                         "extra fuel complexes matter")

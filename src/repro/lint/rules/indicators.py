@@ -1,0 +1,73 @@
+"""Absence-indicator misuse rules.
+
+An absence indicator for colour ``k`` may only be *net*-consumed by:
+
+- an absence-detection reaction -- a species of colour ``k`` consumes
+  it catalytically (``i + X_k -> X_k``);
+- a consuming-mode gated transfer out of colour ``next(k)`` (the colour
+  the indicator gates: ``i + X_next(k) -> ...``);
+- indicator self-damping (``2 i -> i``).
+
+Anything else couples the phase machinery to data in a way the protocol
+does not license (REPRO-E301).  Conversely, an indicator that is
+generated but never net-consumed grows without bound and its colour's
+"absence" can never be read (REPRO-W302).
+"""
+
+from __future__ import annotations
+
+from repro.crn.species import next_color
+from repro.lint.engine import LintContext, rule
+
+
+@rule("indicator-misuse",
+      codes=("REPRO-E301", "REPRO-W302"),
+      description="Absence indicators may only be consumed by their "
+                  "colour's detection reactions or the transfers they "
+                  "gate, and every generated indicator needs a drain.")
+def check_indicator_misuse(ctx: LintContext):
+    network = ctx.network
+    indicators = ctx.indicators()
+    if not indicators:
+        return
+    produced: set[str] = set()
+    consumed: set[str] = set()
+    for index, reaction in enumerate(network.reactions):
+        net = {s.name: c for s, c in reaction.net_change().items()}
+        for name, color in indicators.items():
+            change = net.get(name, 0)
+            if change > 0:
+                produced.add(name)
+                continue
+            if change >= 0:
+                continue
+            consumed.add(name)
+            non_indicator = [s for s in reaction.reactants
+                             if s.name not in indicators]
+            detection = any(ctx.meta(s).color == color
+                            and reaction.is_catalytic_in(s)
+                            for s in non_indicator)
+            gated_transfer = any(ctx.meta(s).color == next_color(color)
+                                 for s in non_indicator)
+            self_damping = not non_indicator
+            if not (detection or gated_transfer or self_damping):
+                yield ctx.diag(
+                    "REPRO-E301",
+                    f"indicator {name!r} ({color}-absence) is consumed "
+                    f"by reaction {reaction} outside its colour: only "
+                    f"{color} detection or transfers out of "
+                    f"{next_color(color)} may drain it",
+                    reaction_index=index,
+                    fix_hint="gate the reaction with the indicator "
+                             "catalytically, or use the indicator "
+                             "assigned to the source colour")
+    for name in sorted(produced - consumed):
+        yield ctx.diag(
+            "REPRO-W302",
+            f"indicator {name!r} is generated but never consumed: it "
+            f"grows without bound and {indicators[name]}-absence can "
+            f"never switch off",
+            species=name,
+            fix_hint="add the fast consumption reaction "
+                     f"{name} + X -> X for every {indicators[name]} "
+                     "species (and damping in catalytic mode)")

@@ -1,0 +1,94 @@
+"""Phase-protocol legality rules.
+
+``parking`` (REPRO-E101)
+    every colour-coded species needs a quantity-consuming reaction, or
+    its standing quantity permanently blocks that colour's absence
+    detection.
+
+``gate-legality`` (REPRO-E102, REPRO-E103)
+    gated transfers must use the indicator the protocol assigns to their
+    source colour, and move quantities only to the next colour in the
+    red -> green -> blue rotation.
+"""
+
+from __future__ import annotations
+
+from repro.crn.species import next_color, previous_color
+from repro.lint.engine import LintContext, rule
+
+
+@rule("parking",
+      codes=("REPRO-E101",),
+      description="Every coloured species must have a way out of its "
+                  "colour (a transfer, drain, or annihilation).")
+def check_parking(ctx: LintContext):
+    network = ctx.network
+    indicator_names = set(ctx.indicators())
+    for species in network.species:
+        if species.color is None or species.name in indicator_names:
+            continue
+        consuming = [r for r in network.reactions
+                     if r.reactants.get(species, 0)
+                     > r.products.get(species, 0)]
+        if not consuming:
+            yield ctx.diag(
+                "REPRO-E101",
+                f"coloured species {species.name!r} has no way out of "
+                f"its colour: standing quantity would block the "
+                f"{species.color}-absence indicator forever",
+                species=species.name,
+                fix_hint="add a gated transfer, drain, or annihilation "
+                         "reaction consuming it")
+
+
+@rule("gate-legality",
+      codes=("REPRO-E102", "REPRO-E103"),
+      description="Gated transfers use the indicator of their source "
+                  "colour and move quantities only to the next colour.")
+def check_gate_legality(ctx: LintContext):
+    network = ctx.network
+    indicators = ctx.indicators()
+    indicator_names = set(indicators)
+    for index, reaction in enumerate(network.reactions):
+        gates = [s for s in reaction.reactants
+                 if s.name in indicator_names]
+        if not gates:
+            continue
+        gate = gates[0]
+        colored_inputs = [s for s in reaction.reactants
+                          if ctx.meta(s).color is not None
+                          and s.name not in indicator_names]
+        if not colored_inputs:
+            continue  # indicator generation/consumption bookkeeping
+        if reaction.is_catalytic_in(colored_inputs[0]):
+            continue  # consumption reaction (species kills indicator)
+        source_color = ctx.meta(colored_inputs[0]).color
+        own_indicator = ctx.indicator_name(source_color)
+        if (gate.name == own_indicator
+                and reaction.is_catalytic_in(gate)
+                and all(p.name == gate.name for p in reaction.products)):
+            continue  # scavenger: the colour's own indicator flushes
+            # sub-threshold residue once it has switched on -- legal.
+        expected = ctx.indicator_name(previous_color(source_color))
+        if gate.name != expected:
+            yield ctx.diag(
+                "REPRO-E102",
+                f"reaction {reaction} gates a {source_color} source "
+                f"with {gate.name!r}; the protocol assigns {expected!r}",
+                reaction_index=index,
+                fix_hint=f"gate transfers out of {source_color} with "
+                         f"the {previous_color(source_color)}-absence "
+                         f"indicator {expected!r}")
+        for product in reaction.products:
+            product_color = ctx.meta(product).color
+            if product_color is None or product.name in indicator_names:
+                continue
+            if product_color not in (source_color,
+                                     next_color(source_color)):
+                yield ctx.diag(
+                    "REPRO-E103",
+                    f"reaction {reaction} moves {source_color} quantity "
+                    f"to {product_color} -- not an adjacent colour",
+                    reaction_index=index,
+                    fix_hint="split the transfer so each hop advances "
+                             "exactly one colour in the rotation")

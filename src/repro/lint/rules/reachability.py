@@ -1,0 +1,76 @@
+"""Dead-species and unreachable-reaction rules.
+
+Both generalize :func:`repro.crn.analysis.stranded_species` and
+:func:`repro.crn.analysis.reachable_species`.  The availability seed is
+the union of species with non-zero initial quantity and *external*
+species (never net-produced by any reaction -- driver-injected inputs,
+standing catalysts); zeroth-order sources join the closure for free.
+
+``reachability`` emits:
+
+REPRO-W501 (note)
+    an uncoloured signal species that fireable reactions net-produce but
+    nothing ever net-consumes -- quantity parks there forever.  Coloured
+    species are the parking *error* REPRO-E101; auxiliary readout pools
+    and wastes (``role=aux``) are exempt by design.
+
+REPRO-W502 (warning)
+    a reaction that can never fire because some reactant is not
+    producible from the seed -- dead code in the reaction program.
+"""
+
+from __future__ import annotations
+
+from repro.crn.analysis import (external_species, reachable_species,
+                                stranded_species)
+from repro.lint.engine import LintContext, Severity, rule
+
+_EXEMPT_ROLES = ("aux", "indicator")
+
+
+def availability_seed(network) -> set[str]:
+    """Initial quantities plus externally-supplied species."""
+    seed = {name for name, value in network.initial.items() if value > 0}
+    return seed | external_species(network)
+
+
+@rule("reachability",
+      codes=("REPRO-W501", "REPRO-W502"),
+      description="Detect dead/stranded species and reactions that can "
+                  "never fire from the initial state.",
+      severities={"REPRO-W501": Severity.NOTE})
+def check_reachability(ctx: LintContext):
+    network = ctx.network
+    if not network.reactions:
+        return
+    seed = availability_seed(network)
+    indicator_names = set(ctx.indicators())
+    stranded = stranded_species(network, seed)
+    for name in sorted(stranded):
+        species = network.get_species(name)
+        if species.color is not None:  # the parking error owns these
+            continue
+        if species.role in _EXEMPT_ROLES or name in indicator_names:
+            continue
+        yield ctx.diag(
+            "REPRO-W501",
+            f"species {name!r} is stranded: reactions produce it but "
+            f"nothing ever consumes it, so quantity parks there "
+            f"forever",
+            species=name,
+            fix_hint="declare it role=aux if it is a readout/waste "
+                     "pool, or add a consuming reaction")
+    reachable = reachable_species(network, seed)
+    for index, reaction in enumerate(network.reactions):
+        missing = sorted(s.name for s in reaction.reactants
+                         if s.name not in reachable)
+        if missing:
+            yield ctx.diag(
+                "REPRO-W502",
+                f"reaction {reaction} can never fire: reactant(s) "
+                f"{', '.join(repr(m) for m in missing)} are not "
+                f"producible from the initial state",
+                reaction_index=index,
+                fix_hint="give the missing species an initial "
+                         "quantity, a source reaction, or remove the "
+                         "dead reaction")

@@ -85,3 +85,43 @@ class TestParallelSum:
         b = rename(moving_average(2).to_matrix(), inputs={"x": "u"})
         with pytest.raises(SynthesisError):
             parallel_sum(a, b)
+
+
+class TestNameCollisions:
+    """Cross-module name collisions fail fast with REPRO-E701."""
+
+    def test_cascade_duplicate_free_inputs_rejected(self):
+        from repro.core.dfg import MatrixDesign
+
+        first = MatrixDesign(
+            name="f", inputs=["x", "shared"], outputs=["y"], delays=[],
+            coefficients={("y", "x"): Fraction(1, 2),
+                          ("y", "shared"): Fraction(1, 2)})
+        second = MatrixDesign(
+            name="s", inputs=["y", "shared"], outputs=["z"], delays=[],
+            coefficients={("z", "y"): Fraction(1),
+                          ("z", "shared"): Fraction(1)})
+        with pytest.raises(SynthesisError, match="REPRO-E701"):
+            cascade(first, second)
+
+    def test_link_register_collision_rejected(self):
+        from repro.core.dfg import MatrixDesign
+
+        # The second stage exposes a free input named like the link
+        # register cascade generates for port "y".
+        first = MatrixDesign(
+            name="f", inputs=["x"], outputs=["y"], delays=[],
+            coefficients={("y", "x"): Fraction(1)})
+        second = MatrixDesign(
+            name="s", inputs=["y", "lnk_y"], outputs=["z"], delays=[],
+            coefficients={("z", "y"): Fraction(1),
+                          ("z", "lnk_y"): Fraction(1)})
+        with pytest.raises(SynthesisError, match="REPRO-E701"):
+            cascade(first, second)
+
+    def test_clean_cascade_unaffected(self):
+        first = moving_average(2).to_matrix()
+        second = rename(moving_average(2).to_matrix(),
+                        inputs={"x": "y"}, outputs={"y": "z"})
+        composite = cascade(first, second)
+        assert composite.outputs == ["z"]

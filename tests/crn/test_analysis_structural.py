@@ -1,6 +1,5 @@
 """Tests for structural CRN analysis (graphs, deficiency, catalysis)."""
 
-import pytest
 
 from repro.crn.analysis import (catalytic_summary, complex_graph,
                                 complexes, deficiency,
@@ -120,3 +119,49 @@ class TestProtocolNetworks:
         colored = {s.name for s in circuit.network.species
                    if s.color is not None}
         assert not (stranded & colored)
+
+
+class TestAvailabilityAwareAnalysis:
+    """Regression tests for fireability-aware reachability/strandedness."""
+
+    def test_zeroth_order_source_with_dead_consumer(self):
+        # -> X runs forever, but X's only consumer is gated on Y, which
+        # has no supply: X is stranded even though stoichiometry says a
+        # reaction "consumes" it.
+        network = Network()
+        network.add(None, "X", 1.0)
+        network.add({"X": 1, "Y": 1}, {"Y": 1}, 1.0)
+        assert stranded_species(network) == set()  # stoichiometric view
+        assert stranded_species(network, sources=[]) == {"X"}
+
+    def test_pure_catalyst_supply_unblocks_consumer(self):
+        network = Network()
+        network.add(None, "X", 1.0)
+        network.add({"X": 1, "Y": 1}, {"Y": 1}, 1.0)
+        network.set_initial("Y", 1.0)
+        # sources=None seeds from non-zero initials: Y is available, the
+        # consumer fires, X is no longer stranded.
+        assert stranded_species(network, sources=None) == set()
+
+    def test_reachable_accepts_species_objects(self):
+        from repro.crn.species import Species
+
+        network = Network()
+        network.add("A", "B", 1.0)
+        assert reachable_species(network, [Species("A")]) == {"A", "B"}
+
+    def test_reachable_default_seeds_from_initials(self):
+        network = Network()
+        network.add("A", "B", 1.0)
+        network.set_initial("A", 2.0)
+        assert reachable_species(network) == {"A", "B"}
+
+    def test_external_species(self):
+        from repro.crn.analysis import external_species
+
+        network = Network()
+        network.add(None, "X", 1.0)            # X is produced
+        network.add({"E": 1, "S": 1}, {"E": 1, "P": 1}, 1.0)
+        # E (pure catalyst) and S (consumed only) are external; X and P
+        # are manufactured by the network.
+        assert external_species(network) == {"E", "S"}

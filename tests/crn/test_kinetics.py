@@ -5,7 +5,6 @@ import pytest
 
 from repro.crn.kinetics import build_kinetics
 from repro.crn.network import Network
-from repro.crn.rates import RateScheme
 
 
 def _simple_network():

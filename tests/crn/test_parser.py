@@ -111,3 +111,48 @@ class TestLoadFile:
         network = load_network(path)
         assert network.n_reactions == 1
         assert network.get_initial("A") == 2.0
+
+
+class TestErrorPaths:
+    """The parser must fail with ParseError (a ReproError) and point at
+    the offending line for every class of user mistake."""
+
+    def test_conflicting_duplicate_species(self):
+        text = ("species X color=red role=signal\n"
+                "species X color=blue role=signal\n")
+        with pytest.raises(ParseError) as info:
+            parse_network(text)
+        assert info.value.line_no == 2
+        assert "conflicting declarations" in str(info.value)
+        assert "red" in str(info.value) and "blue" in str(info.value)
+
+    def test_duplicate_species_is_a_reproerror(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            parse_network("species X color=red\nspecies X color=green\n")
+
+    def test_identical_redeclaration_is_fine(self):
+        network = parse_network("species X color=red\n"
+                                "species X color=red\n")
+        assert network.get_species("X").color == "red"
+
+    def test_malformed_rate(self):
+        with pytest.raises(ParseError) as info:
+            parse_network("A -> B @ 1.2.3\n")
+        assert info.value.line_no == 1
+        assert "cannot parse rate '1.2.3'" in str(info.value)
+
+    def test_unknown_color_tag(self):
+        with pytest.raises(ParseError) as info:
+            parse_network("A -> B\nspecies Q color=teal\n")
+        assert info.value.line_no == 2
+        assert "unknown colour 'teal'" in str(info.value)
+        assert "species Q color=teal" in str(info.value)
+
+    def test_provenance_recorded(self):
+        network = parse_network("species X color=red\n"
+                                "A <-> B @ fast / slow\n")
+        assert network.provenance[("species", "X")] == 1
+        assert network.provenance[("reaction", 0)] == 2
+        assert network.provenance[("reaction", 1)] == 2

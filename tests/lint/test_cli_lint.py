@@ -1,0 +1,95 @@
+"""Tests for the ``python -m repro lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def clean_crn(tmp_path):
+    path = tmp_path / "clean.crn"
+    path.write_text("""
+species X color=red role=signal
+species Y color=green role=signal
+species Z color=blue role=signal
+species r role=indicator
+species g role=indicator
+species b role=indicator
+init X = 50
+b + X -> Y @ slow
+r + Y -> Z @ slow
+g + Z -> X @ slow
+-> r @ slow
+-> g @ slow
+-> b @ slow
+r + X -> X @ fast
+g + Y -> Y @ fast
+b + Z -> Z @ fast
+""")
+    return str(path)
+
+
+@pytest.fixture
+def broken_crn(tmp_path):
+    path = tmp_path / "broken.crn"
+    path.write_text("species P color=red\n-> P @ slow\n")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_crn, capsys):
+        assert main(["lint", clean_crn]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_errors_exit_nonzero(self, broken_crn, capsys):
+        assert main(["lint", broken_crn]) == 1
+        assert "REPRO-E101" in capsys.readouterr().out
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_strict_turns_warnings_fatal(self, tmp_path, capsys):
+        path = tmp_path / "tri.crn"
+        path.write_text("A + B + C -> D @ fast\ninit A = 1\n"
+                        "init B = 1\ninit C = 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--strict"]) == 1
+
+    def test_disable_suppresses_rule(self, broken_crn):
+        assert main(["lint", broken_crn, "--disable", "parking"]) == 0
+
+    def test_unknown_rule_reports_error(self, broken_crn, capsys):
+        assert main(["lint", broken_crn, "--disable", "no-such"]) == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+
+class TestBuiltinTargets:
+    def test_counter_builtin_clean(self, capsys):
+        assert main(["lint", "--circuit", "counter"]) == 0
+
+    def test_unknown_builtin_is_an_error(self, capsys):
+        assert main(["lint", "--circuit", "warp-core"]) == 1
+        assert "unknown built-in" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_output(self, broken_crn, capsys):
+        assert main(["lint", broken_crn, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+
+    def test_sarif_to_file(self, broken_crn, tmp_path, capsys):
+        out = tmp_path / "report.sarif"
+        assert main(["lint", broken_crn, "--format", "sarif",
+                     "--output", str(out)]) == 1
+        document = json.loads(out.read_text())
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"][0]["ruleId"] == "REPRO-E101"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "parking" in out and "REPRO-E101" in out

@@ -1,0 +1,152 @@
+"""Tests for the lint engine: registry, config, severities, reports."""
+
+import pytest
+
+from repro.crn.parser import parse_network
+from repro.lint import (LintConfig, LintConfigError, RULE_REGISTRY,
+                        Severity, all_codes, lint_network)
+from repro.lint.output import render_json, render_sarif, render_text
+
+
+CLEAN = """
+species X color=red role=signal
+species Y color=green role=signal
+species Z color=blue role=signal
+species r role=indicator
+species g role=indicator
+species b role=indicator
+init X = 50
+b + X -> Y @ slow
+r + Y -> Z @ slow
+g + Z -> X @ slow
+-> r @ slow
+-> g @ slow
+-> b @ slow
+r + X -> X @ fast
+g + Y -> Y @ fast
+b + Z -> Z @ fast
+"""
+
+PARKED = """
+species P color=red role=signal
+-> P @ slow
+"""
+
+
+class TestRegistry:
+    def test_expected_rules_registered(self):
+        assert set(RULE_REGISTRY) >= {
+            "parking", "gate-legality", "coefficient-realisation",
+            "implementability", "rate-category", "rate-separation",
+            "indicator-misuse", "conservation", "reachability",
+            "composition"}
+
+    def test_every_code_is_namespaced(self):
+        for code, registered in all_codes().items():
+            assert code.startswith(("REPRO-E", "REPRO-W")), code
+            assert code in registered.codes
+
+    def test_codes_are_unique_across_rules(self):
+        seen = {}
+        for registered in RULE_REGISTRY.values():
+            for code in registered.codes:
+                assert code not in seen, \
+                    f"{code} in both {seen.get(code)} and {registered.name}"
+                seen[code] = registered.name
+
+    def test_default_severity_by_prefix(self):
+        registered = RULE_REGISTRY["gate-legality"]
+        assert registered.severity_for("REPRO-E102") == Severity.ERROR
+
+
+class TestConfig:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(LintConfigError):
+            LintConfig(select=frozenset({"no-such-rule"}))
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(LintConfigError):
+            LintConfig(severity_overrides={"REPRO-E999": Severity.NOTE})
+
+    def test_select_limits_rules(self):
+        config = LintConfig(select=frozenset({"parking"}))
+        assert [r.name for r in config.enabled_rules()] == ["parking"]
+
+    def test_disable_removes_rule(self):
+        config = LintConfig(disable=frozenset({"parking"}))
+        names = [r.name for r in config.enabled_rules()]
+        assert "parking" not in names and "gate-legality" in names
+
+    def test_severity_override_applies(self):
+        network = parse_network(PARKED)
+        config = LintConfig(
+            severity_overrides={"REPRO-E101": Severity.WARNING})
+        report = lint_network(network, config)
+        assert report.ok  # demoted: no errors left
+        assert any(d.code == "REPRO-E101" for d in report.warnings)
+
+
+class TestReport:
+    def test_clean_network_passes(self):
+        report = lint_network(parse_network(CLEAN))
+        assert report.ok, report.summary()
+        assert not report.errors and not report.warnings
+
+    def test_circuit_rules_skipped_on_raw_network(self):
+        report = lint_network(parse_network(CLEAN))
+        assert "coefficient-realisation" in report.skipped
+        assert "composition" in report.skipped
+        assert "coefficient-realisation" not in report.checked
+
+    def test_exit_code_semantics(self):
+        clean = lint_network(parse_network(CLEAN))
+        assert clean.exit_code() == 0
+        broken = lint_network(parse_network(PARKED))
+        assert broken.exit_code() == 1
+
+    def test_strict_exit_on_warnings(self):
+        network = parse_network("A + B + C -> D @ fast\ninit A = 1\n"
+                                "init B = 1\ninit C = 1")
+        report = lint_network(network)
+        assert report.errors == []
+        assert any(d.code == "REPRO-W106" for d in report.warnings)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_diagnostics_carry_spans_from_parser(self):
+        report = lint_network(parse_network(PARKED), path="broken.crn")
+        diag = report.errors[0]
+        assert diag.span == (2, 2)  # the `species P` line
+        assert diag.path == "broken.crn"
+        assert "broken.crn:2" in diag.format()
+
+
+class TestRenderers:
+    @pytest.fixture
+    def results(self):
+        return [("clean.crn", lint_network(parse_network(CLEAN))),
+                ("parked.crn", lint_network(parse_network(PARKED)))]
+
+    def test_text_mentions_code_and_counts(self, results):
+        text = render_text(results)
+        assert "REPRO-E101" in text
+        assert "1 error(s)" in text
+
+    def test_json_is_parseable(self, results):
+        import json
+
+        payload = json.loads(render_json(results))
+        assert payload["summary"]["errors"] == 1
+        codes = [d["code"] for t in payload["targets"]
+                 for d in t["diagnostics"]]
+        assert "REPRO-E101" in codes
+
+    def test_sarif_shape(self, results):
+        import json
+
+        document = json.loads(render_sarif(results))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(all_codes()) == rule_ids
+        assert any(r["ruleId"] == "REPRO-E101" for r in run["results"])

@@ -1,0 +1,252 @@
+"""Every diagnostic code fires on a deliberately-broken network."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.compose import cascade
+from repro.core.dfg import SignalFlowGraph
+from repro.core.synthesis import synthesize
+from repro.crn.network import Network
+from repro.crn.parser import parse_network
+from repro.errors import SynthesisError
+from repro.lint import lint_circuit, lint_network, merge_diagnostics
+from repro.lint.rules.rates import classify_rate
+from repro.crn.rates import RateScheme
+
+
+def codes_of(report):
+    return report.codes()
+
+
+# A colour-complete header shared by the protocol-rule fixtures.
+HEADER = """
+species X color=red role=signal
+species Y color=green role=signal
+species Z color=blue role=signal
+species r role=indicator
+species g role=indicator
+species b role=indicator
+init X = 10
+-> r @ slow
+-> g @ slow
+-> b @ slow
+r + X -> X @ fast
+g + Y -> Y @ fast
+b + Z -> Z @ fast
+"""
+
+ROTATION = """
+b + X -> Y @ slow
+r + Y -> Z @ slow
+g + Z -> X @ slow
+"""
+
+
+class TestProtocolRules:
+    def test_E101_parked_species(self):
+        network = parse_network(HEADER + ROTATION
+                                + "species P color=red\n-> P @ slow\n")
+        report = lint_network(network)
+        assert "REPRO-E101" in codes_of(report)
+
+    def test_E102_wrong_gate(self):
+        # Transfer out of red gated by r; the protocol assigns b.
+        network = parse_network(HEADER + """
+r + X -> Y @ slow
+b + Y -> Z @ slow
+g + Z -> X @ slow
+""")
+        report = lint_network(network)
+        assert "REPRO-E102" in codes_of(report)
+
+    def test_E103_colour_skip(self):
+        # Red quantity lands directly in blue.
+        network = parse_network(HEADER + ROTATION + "b + X -> Z @ slow\n")
+        report = lint_network(network)
+        assert "REPRO-E103" in codes_of(report)
+
+
+class TestCoefficientRealisation:
+    def test_E104_wrong_gain(self):
+        sfg = SignalFlowGraph("gain")
+        x = sfg.input("x")
+        sfg.output("y", sfg.gain(Fraction(1, 2), x))
+        circuit = synthesize(sfg)
+        # Sabotage the bookkeeping: claim a different coefficient.
+        circuit.design.coefficients[("y", "x")] = Fraction(3, 4)
+        report = lint_circuit(circuit)
+        assert "REPRO-E104" in codes_of(report)
+
+
+class TestImplementability:
+    def test_E105_order_four(self):
+        network = parse_network("2 A + 2 B -> C @ fast\n"
+                                "init A = 4\ninit B = 4\n")
+        assert "REPRO-E105" in codes_of(lint_network(network))
+
+    def test_W106_trimolecular(self):
+        network = parse_network("A + B + C -> D @ fast\n"
+                                "init A = 1\ninit B = 1\ninit C = 1\n")
+        assert "REPRO-W106" in codes_of(lint_network(network))
+
+
+class TestRateRules:
+    def test_classify_rate(self):
+        scheme = RateScheme()
+        assert classify_rate("fast", scheme) == "fast"
+        assert classify_rate("slow", scheme) == "slow"
+        assert classify_rate("amp", scheme) == "slow"
+        assert classify_rate("warp", scheme) is None
+        assert classify_rate(1000.0, scheme) == "fast"
+        assert classify_rate(1.0, scheme) == "slow"
+
+    def test_W201_unknown_category(self):
+        network = parse_network("A -> B @ warp\ninit A = 1\nB -> @ slow\n")
+        assert "REPRO-W201" in codes_of(lint_network(network))
+
+    def test_W201_ambiguous_numeric(self):
+        # sqrt(1000 * 1) ~ 31.6: a rate of 40 sits in neither band.
+        network = parse_network("A -> B @ 40\ninit A = 1\nB -> @ slow\n")
+        assert "REPRO-W201" in codes_of(lint_network(network))
+
+    def test_W202_mixed_cycle(self):
+        network = parse_network("A -> B @ fast\nB -> A @ slow\n"
+                                "init A = 1\n")
+        assert "REPRO-W202" in codes_of(lint_network(network))
+
+    def test_W203_thin_separation(self):
+        network = parse_network("A -> B @ 200\nC -> D @ 3\n"
+                                "init A = 1\ninit C = 1\n"
+                                "B -> @ 200\nD -> @ 3\n")
+        assert "REPRO-W203" in codes_of(lint_network(network))
+
+    def test_separation_threshold_option(self):
+        from repro.lint import LintConfig
+
+        network = parse_network("A -> B @ 200\nC -> D @ 3\n"
+                                "init A = 1\ninit C = 1\n"
+                                "B -> @ 200\nD -> @ 3\n")
+        config = LintConfig(options={"separation_threshold": 10.0})
+        assert "REPRO-W203" not in codes_of(lint_network(network, config))
+
+
+class TestIndicatorRules:
+    def test_E301_indicator_feeds_data(self):
+        # An indicator drained by an unrelated, uncoloured reaction.
+        network = parse_network(HEADER + ROTATION
+                                + "species U\nr + U -> U + U @ slow\n"
+                                  "init U = 1\nU -> @ slow\n")
+        report = lint_network(network)
+        assert "REPRO-E301" in codes_of(report)
+
+    def test_W302_unconsumed_indicator(self):
+        network = parse_network("""
+species X color=red role=signal
+species r role=indicator
+init X = 1
+X -> @ slow
+-> r @ slow
+""")
+        report = lint_network(network)
+        assert "REPRO-W302" in codes_of(report)
+
+    def test_clean_rotation_has_no_indicator_findings(self):
+        report = lint_network(parse_network(HEADER + ROTATION))
+        assert not {"REPRO-E301", "REPRO-W302"} & codes_of(report)
+
+
+class TestConservationRules:
+    def test_W401_uncovered_signal(self):
+        network = parse_network("species X color=red\ninit X = 5\n"
+                                "X -> @ slow\n")
+        assert "REPRO-W401" in codes_of(lint_network(network))
+
+    def test_W402_leaky_total(self):
+        network = parse_network("species X color=red\ninit X = 5\n"
+                                "X -> @ slow\n")
+        assert "REPRO-W402" in codes_of(lint_network(network))
+
+    def test_conserved_rotation_is_silent(self):
+        report = lint_network(parse_network(HEADER + ROTATION))
+        assert not {"REPRO-W401", "REPRO-W402"} & codes_of(report)
+
+
+class TestReachabilityRules:
+    def test_W501_stranded_species(self):
+        network = parse_network("A -> B @ slow\ninit A = 5\n")
+        report = lint_network(network)
+        diags = [d for d in report.diagnostics if d.code == "REPRO-W501"]
+        assert [d.subject for d in diags] == ["B"]
+
+    def test_W501_exempts_aux_pools(self):
+        network = parse_network("species B role=aux\nA -> B @ slow\n"
+                                "init A = 5\n")
+        assert "REPRO-W501" not in codes_of(lint_network(network))
+
+    def test_W502_deadlocked_cycle(self):
+        # P and Q feed each other but neither has any supply.
+        network = parse_network("A -> B @ slow\ninit A = 5\nB -> @ slow\n"
+                                "P -> Q @ slow\nQ -> P @ slow\n")
+        report = lint_network(network)
+        assert "REPRO-W502" in codes_of(report)
+
+    def test_driver_injected_inputs_are_not_dead(self):
+        # A consumed-only species counts as an external input.
+        network = parse_network("P0 + B0 -> B1 @ fast\ninit B0 = 1\n"
+                                "B1 -> @ fast\n")
+        assert "REPRO-W502" not in codes_of(lint_network(network))
+
+
+class TestCompositionRules:
+    def _design(self, name="m", input_name="x", output="y"):
+        sfg = SignalFlowGraph(name)
+        x = sfg.input(input_name)
+        sfg.output(output, sfg.gain(Fraction(1, 2), x))
+        return sfg
+
+    def test_W703_reserved_prefix_port(self):
+        circuit = synthesize(self._design(input_name="lnk_x"))
+        report = lint_circuit(circuit)
+        assert "REPRO-W703" in codes_of(report)
+
+    def test_clean_ports_are_silent(self):
+        report = lint_circuit(synthesize(self._design()))
+        assert "REPRO-W703" not in codes_of(report)
+
+    def test_E701_conflicting_merge_metadata(self):
+        a = Network("a")
+        a.add_species("S", color="red", role="signal")
+        b = Network("b")
+        b.add_species("S", color="blue", role="signal")
+        diagnostics = merge_diagnostics(a, b)
+        assert [d.code for d in diagnostics] == ["REPRO-E701"]
+
+    def test_W702_double_initialised_merge(self):
+        a = Network("a")
+        a.add_species("S", initial=5.0)
+        b = Network("b")
+        b.add_species("S", initial=3.0)
+        diagnostics = merge_diagnostics(a, b)
+        assert [d.code for d in diagnostics] == ["REPRO-W702"]
+
+    def test_compatible_merge_is_silent(self):
+        a = Network("a")
+        a.add_species("S", color="red")
+        b = Network("b")
+        b.add_species("S")  # bare default upgrades cleanly
+        assert merge_diagnostics(a, b) == []
+
+    def test_cascade_rejects_duplicate_inputs(self):
+        from repro.core.dfg import MatrixDesign
+
+        first = MatrixDesign(
+            name="f", inputs=["x", "shared"], outputs=["y"], delays=[],
+            coefficients={("y", "x"): Fraction(1, 2),
+                          ("y", "shared"): Fraction(1, 2)})
+        second = MatrixDesign(
+            name="s", inputs=["y", "shared"], outputs=["z"], delays=[],
+            coefficients={("z", "y"): Fraction(1),
+                          ("z", "shared"): Fraction(1)})
+        with pytest.raises(SynthesisError, match="REPRO-E701"):
+            cascade(first, second)

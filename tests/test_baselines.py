@@ -7,7 +7,6 @@ from repro.baselines import (arrival_spread, arrival_time,
                              build_naive_chain, fir_reference,
                              frequency_response, jitter_sensitivity,
                              measured_gain_at_period)
-from repro.crn.rates import RateScheme
 from repro.errors import NetworkError
 
 

@@ -1,6 +1,5 @@
 """Tests for the DNA strand displacement compilation."""
 
-import numpy as np
 import pytest
 
 from repro.crn.network import Network
