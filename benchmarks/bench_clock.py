@@ -11,22 +11,25 @@ import numpy as np
 
 from repro.crn.simulation.ode import OdeSimulator
 from repro.core.clock import build_clock
+from repro.obs import MetricsRegistry
 from repro.reporting import markdown_table, plot_trajectory
 
-from common import run_once, save_report
+from common import run_once, save_json, save_metrics, save_report
 
 MASS = 20.0
 T_FINAL = 40.0
 
 
-def _run():
+def _run(metrics=None):
     network, clock, _ = build_clock(mass=MASS)
-    trajectory = OdeSimulator(network).simulate(T_FINAL, n_samples=2000)
+    simulator = OdeSimulator(network, metrics=metrics)
+    trajectory = simulator.simulate(T_FINAL, n_samples=2000)
     return clock, trajectory
 
 
-def test_bench_clock_figure(benchmark):
-    clock, trajectory = run_once(benchmark, _run)
+def test_bench_clock_figure(benchmark, bench_json):
+    metrics = MetricsRegistry()
+    clock, trajectory = run_once(benchmark, lambda: _run(metrics))
 
     period = clock.period(trajectory)
     jitter = clock.period_jitter(trajectory)
@@ -46,6 +49,13 @@ def test_bench_clock_figure(benchmark):
     save_report("E1_clock", "E1 -- molecular clock oscillation",
                 markdown_table(["metric", "value"], rows)
                 + "\n\n```\n" + figure + "\n```")
+    save_metrics("E1_clock", metrics)
+    save_json("E1_clock",
+              {"period": period, "jitter": jitter,
+               "amplitude": [low, high],
+               "rotations": len(clock.rising_edges(trajectory)),
+               "ode_nfev": metrics.counter("ode.nfev").value},
+              enabled=bench_json)
 
     # Shape assertions: sustained, regular, full-swing oscillation.
     assert len(clock.rising_edges(trajectory)) >= 10

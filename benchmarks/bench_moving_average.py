@@ -10,13 +10,14 @@ import numpy as np
 
 from repro.apps import moving_average, tone
 from repro.core.machine import SynchronousMachine
+from repro.obs import MetricsRegistry
 from repro.reporting import markdown_table, plot_samples
 
-from common import run_once, save_report
+from common import run_once, save_json, save_metrics, save_report
 
 
-def _run():
-    machine = SynchronousMachine(moving_average(2))
+def _run(metrics=None):
+    machine = SynchronousMachine(moving_average(2), metrics=metrics)
     step = [0.0, 0.0, 20.0, 20.0, 20.0, 20.0]
     step_run = machine.run({"x": step})
     wave = [round(v, 1) for v in tone(10, period=5, amplitude=8.0)]
@@ -24,8 +25,10 @@ def _run():
     return step, step_run, wave, tone_run
 
 
-def test_bench_moving_average_figure(benchmark):
-    step, step_run, wave, tone_run = run_once(benchmark, _run)
+def test_bench_moving_average_figure(benchmark, bench_json):
+    metrics = MetricsRegistry()
+    step, step_run, wave, tone_run = run_once(
+        benchmark, lambda: _run(metrics))
     del step
 
     rows = []
@@ -42,6 +45,14 @@ def test_bench_moving_average_figure(benchmark):
     save_report("E3_moving_average",
                 "E3 -- moving-average filter tracking",
                 table + "\n\n```\n" + figure + "\n```")
+    save_metrics("E3_moving_average", metrics)
+    save_json("E3_moving_average",
+              {"step_max_error": step_run.max_error(),
+               "tone_max_error": tone_run.max_error(),
+               "mean_cycle_time": tone_run.mean_cycle_time,
+               "cycles": int(metrics.counter("machine.cycles").value),
+               "ode_nfev": metrics.counter("ode.nfev").value},
+              enabled=bench_json)
 
     assert step_run.max_error() < 0.3
     assert tone_run.max_error() < 0.3

@@ -20,10 +20,10 @@ from repro.crn.simulation.sensitivity import (observable_final,
 from repro.core.memory import build_delay_chain
 from repro.reporting import markdown_table
 
-from common import run_once, save_report
+from common import run_once, save_json, save_metrics, save_report
 
 SAMPLES = [40, 80, 20, 60]
-SEEDS = (0, 1, 2, 3)
+N_SEEDS = 4
 
 
 def _design():
@@ -37,10 +37,11 @@ def _design():
     return sfg
 
 
-def _run():
+def _run(base_seed=0, metrics=None):
     rows = []
-    for seed in SEEDS:
-        machine = StochasticMachine(_design(), seed=seed)
+    for seed in range(base_seed, base_seed + N_SEEDS):
+        machine = StochasticMachine(_design(), seed=seed,
+                                    metrics=metrics)
         run = machine.run({"x": SAMPLES})
         rows.append([seed,
                      [int(v) for v in run.outputs["y"][:len(SAMPLES)]],
@@ -53,8 +54,12 @@ def _run():
     return rows, float(np.max(np.abs(sensitivities)))
 
 
-def test_bench_stochastic_exactness(benchmark):
-    rows, worst_sensitivity = run_once(benchmark, _run)
+def test_bench_stochastic_exactness(benchmark, bench_seed, bench_json):
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    rows, worst_sensitivity = run_once(
+        benchmark, lambda: _run(bench_seed, metrics))
 
     body = markdown_table(
         ["seed", "measured y[n]", "reference y[n]", "max |error|",
@@ -64,8 +69,15 @@ def test_bench_stochastic_exactness(benchmark):
     save_report("E14_stochastic",
                 "E14 -- single-molecule exactness + rate sensitivity",
                 body)
-
+    save_metrics("E14_stochastic", metrics)
     errors = [row[3] for row in rows]
+    save_json("E14_stochastic",
+              {"max_error": max(errors),
+               "exact_runs": sum(1 for e in errors if e == 0.0),
+               "worst_sensitivity": worst_sensitivity,
+               "ssa_events": metrics.counter("ssa.events").value},
+              seed=bench_seed, enabled=bench_json)
+
     assert max(errors) <= 4.0
-    assert sum(1 for e in errors if e == 0.0) >= len(SEEDS) // 2
+    assert sum(1 for e in errors if e == 0.0) >= N_SEEDS // 2
     assert worst_sensitivity < 0.05

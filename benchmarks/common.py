@@ -11,9 +11,13 @@ micro-kernels).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Version of the ``results/<name>.json`` record schema.
+SCHEMA_VERSION = 1
 
 
 def save_report(name: str, title: str, body: str) -> Path:
@@ -24,6 +28,42 @@ def save_report(name: str, title: str, body: str) -> Path:
     path.write_text(content, encoding="utf-8")
     print(f"\n{content}")
     return path
+
+
+def save_json(name: str, payload: dict, *, seed: int | None = None,
+              enabled: bool = True) -> Path | None:
+    """Write a schema-versioned JSON record for one experiment.
+
+    Called with ``enabled=bench_json`` so records only appear under the
+    ``--json`` output mode; the record wraps the payload with the schema
+    version, experiment name, and (if any) the seed that produced it.
+    """
+    if not enabled:
+        return None
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    record = {"schema": SCHEMA_VERSION, "experiment": name}
+    if seed is not None:
+        record["seed"] = seed
+    record.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=1, default=float)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path
+
+
+def save_metrics(name: str, metrics) -> Path | None:
+    """Write a telemetry snapshot next to the experiment's results.
+
+    ``metrics`` is a :class:`repro.obs.MetricsRegistry` (or None); the
+    snapshot lands in ``results/<name>.metrics.json`` so solver-effort
+    regressions are visible alongside the figures they produced.
+    """
+    if metrics is None or not getattr(metrics, "enabled", False):
+        return None
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return metrics.write_json(RESULTS_DIR / f"{name}.metrics.json")
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,35 @@
+"""Benchmark-harness options (loaded when running ``pytest benchmarks/``).
+
+``--json``
+    also write schema-versioned machine-readable records (one
+    ``results/<name>.json`` per experiment) next to the markdown
+    reports, for trend tracking and CI artifact upload.
+``--seed``
+    base RNG seed shared by the stochastic experiments; seeded runs are
+    reproducible and CI can sweep seeds without editing the benchmarks.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro benchmarks")
+    group.addoption("--json", action="store_true", dest="bench_json",
+                    default=False,
+                    help="write schema-versioned JSON records to "
+                         "benchmarks/results/")
+    group.addoption("--seed", action="store", dest="bench_seed",
+                    type=int, default=0,
+                    help="base seed for stochastic benchmarks")
+
+
+@pytest.fixture
+def bench_seed(request) -> int:
+    """Base seed from ``--seed`` (default 0)."""
+    return request.config.getoption("bench_seed")
+
+
+@pytest.fixture
+def bench_json(request) -> bool:
+    """True when ``--json`` record output is requested."""
+    return request.config.getoption("bench_json")

@@ -34,6 +34,8 @@ from repro.crn.simulation.result import Trajectory
 from repro.core.memory import DelayLine
 from repro.core.phases import PhaseProtocol
 from repro.errors import SimulationError
+from repro.obs.metrics import ensure_metrics
+from repro.obs.tracer import ensure_tracer
 
 
 @dataclass
@@ -82,7 +84,8 @@ class SelfTimedPipeline:
                  scheme: RateScheme | None = None,
                  arrival_fraction: float = 0.95,
                  settle_after: float | None = None,
-                 max_wait: float | None = None):
+                 max_wait: float | None = None,
+                 tracer=None, metrics=None):
         self.scheme = scheme or RateScheme()
         self.network = Network(f"async_pipeline_{n}")
         self.protocol = PhaseProtocol(gating=gating,
@@ -90,7 +93,10 @@ class SelfTimedPipeline:
         self.line = DelayLine(n, drain_output=True)
         self.line.build(self.network, self.protocol)
         self.protocol.finalize(self.network)
-        self.simulator = OdeSimulator(self.network, self.scheme)
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = ensure_metrics(metrics)
+        self.simulator = OdeSimulator(self.network, self.scheme,
+                                      tracer=tracer, metrics=metrics)
         self.arrival_fraction = arrival_fraction
         # Handshake hold-off: after acknowledging an arrival, let the
         # rotation finish its residual phases before the next request.
@@ -146,11 +152,12 @@ class SelfTimedPipeline:
         cumulative_target = 0.0
         previous_total = 0.0
 
-        for sample in samples:
+        for index, sample in enumerate(samples):
             sample = float(sample)
             if sample < 0:
                 raise SimulationError("self-timed pipeline carries "
                                       "non-negative quantities")
+            t_inject = t
             state = state.copy()
             state[input_index] += sample
             cumulative_target += sample
@@ -181,6 +188,14 @@ class SelfTimedPipeline:
             arrived.append(total - previous_total)
             previous_total = total
             arrival_times.append(t)
+            if self.tracer.enabled:
+                self.tracer.emit_span(
+                    f"wave:{index}", "handshake", t_inject, t,
+                    {"sample": sample, "arrived": arrived[-1]})
+            if self.metrics.enabled:
+                self.metrics.inc("handshake.waves")
+                self.metrics.observe("handshake.wave_sim_time",
+                                     t - t_inject)
             if record:
                 trajectory = segment if trajectory is None else \
                     trajectory.concat(segment)

@@ -8,6 +8,12 @@ filter     stream samples through a synthesized filter
 counter    run the binary counter
 dsd        compile a ``.crn`` file to strand displacement (+ FASTA)
 lint       static analysis of ``.crn`` files and built-in circuits
+report     summarise a recorded JSONL trace
+
+The simulation commands accept ``--trace FILE`` (``.jsonl`` for the
+canonical line format, ``.json`` for a Chrome trace-event file) and
+``--metrics FILE`` (a schema-versioned metrics snapshot); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,47 @@ from repro.crn.parser import load_network
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.ode import OdeSimulator
 from repro.errors import ReproError
+
+
+def _add_telemetry_options(parser) -> None:
+    parser.add_argument("--trace", default="", metavar="FILE",
+                        help="record a trace (.jsonl = line records, "
+                             ".json = Chrome trace events)")
+    parser.add_argument("--metrics", default="", metavar="FILE",
+                        help="write a metrics snapshot (JSON)")
+
+
+def _open_telemetry(args):
+    """(tracer, metrics) for a command, honouring its flags.
+
+    Trace files are opened (or probed) eagerly so an unwritable path
+    fails before the simulation runs, with a clean ``error:`` message.
+    """
+    from repro.obs import (ChromeTraceSink, JsonlSink, MetricsRegistry,
+                           Tracer)
+
+    tracer = None
+    if args.trace:
+        sink = (ChromeTraceSink(args.trace)
+                if args.trace.endswith(".json") else JsonlSink(args.trace))
+        tracer = Tracer(sink)
+    metrics = MetricsRegistry() if (args.metrics or args.trace) else None
+    return tracer, metrics
+
+
+def _close_telemetry(args, tracer, metrics) -> None:
+    if tracer is not None:
+        tracer.emit_metrics(metrics)
+        tracer.close()
+        print(f"wrote trace to {args.trace}")
+    if args.metrics and metrics is not None:
+        metrics.write_json(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
+
+
+def _print_diagnostics(diagnostics) -> None:
+    for diagnostic in diagnostics:
+        print(diagnostic.format(), file=sys.stderr)
 
 
 def _add_simulate(subparsers) -> None:
@@ -34,13 +81,16 @@ def _add_simulate(subparsers) -> None:
                         help="comma-separated species to plot as ASCII")
     parser.add_argument("--fast", type=float, default=1000.0)
     parser.add_argument("--slow", type=float, default=1.0)
+    _add_telemetry_options(parser)
     parser.set_defaults(run=_run_simulate)
 
 
 def _run_simulate(args) -> int:
+    tracer, metrics = _open_telemetry(args)
     network = load_network(args.file)
     scheme = RateScheme({"fast": args.fast, "slow": args.slow})
-    simulator = OdeSimulator(network, scheme, method=args.method)
+    simulator = OdeSimulator(network, scheme, method=args.method,
+                             tracer=tracer, metrics=metrics)
     trajectory = simulator.simulate(args.t, n_samples=400)
     print(network.summary())
     if args.plot:
@@ -52,6 +102,7 @@ def _run_simulate(args) -> int:
     for name, value in trajectory.final_state().items():
         if abs(value) > 1e-9:
             print(f"  {name:20s} {value:12.4f}")
+    _close_telemetry(args, tracer, metrics)
     return 0
 
 
@@ -60,15 +111,19 @@ def _add_clock(subparsers) -> None:
                                                  "clock")
     parser.add_argument("--mass", type=float, default=20.0)
     parser.add_argument("--t", type=float, default=40.0)
+    _add_telemetry_options(parser)
     parser.set_defaults(run=_run_clock)
 
 
 def _run_clock(args) -> int:
     from repro.core.clock import build_clock
+    from repro.obs import clock_diagnostics
     from repro.reporting import plot_trajectory
 
-    network, clock, _ = build_clock(mass=args.mass)
-    trajectory = OdeSimulator(network).simulate(args.t, n_samples=2000)
+    tracer, metrics = _open_telemetry(args)
+    network, clock, protocol = build_clock(mass=args.mass)
+    simulator = OdeSimulator(network, tracer=tracer, metrics=metrics)
+    trajectory = simulator.simulate(args.t, n_samples=2000)
     print(plot_trajectory(trajectory.window(0.0, min(args.t, 12.0)),
                           clock.species_names(),
                           title="molecular clock"))
@@ -76,6 +131,16 @@ def _run_clock(args) -> int:
     print(f"jitter  {clock.period_jitter(trajectory):.5f} (relative)")
     low, high = clock.amplitude(trajectory)
     print(f"swing   {low:.3f} .. {high:.3f}")
+    diagnostics = clock_diagnostics(
+        clock, trajectory,
+        indicator_names={color: protocol.indicator_name(color)
+                         for color in ("red", "green", "blue")})
+    _print_diagnostics(diagnostics)
+    if tracer is not None:
+        clock.emit_trace(trajectory, tracer)
+        for diagnostic in diagnostics:
+            tracer.emit_diagnostic(diagnostic)
+    _close_telemetry(args, tracer, metrics)
     return 0
 
 
@@ -89,6 +154,7 @@ def _add_filter(subparsers) -> None:
                         help="taps for the moving average")
     parser.add_argument("--input", required=True,
                         help="comma-separated samples, e.g. 10,20,40")
+    _add_telemetry_options(parser)
     parser.set_defaults(run=_run_filter)
 
 
@@ -97,10 +163,11 @@ def _run_filter(args) -> int:
     from repro.core.machine import SynchronousMachine
     from repro.reporting import markdown_table
 
+    tracer, metrics = _open_telemetry(args)
     samples = [float(v) for v in args.input.split(",") if v.strip()]
     design = (moving_average(args.taps) if args.kind == "ma"
               else iir_first_order())
-    machine = SynchronousMachine(design)
+    machine = SynchronousMachine(design, tracer=tracer, metrics=metrics)
     run = machine.run({"x": samples})
     rows = [[i, x, float(m), float(r)]
             for i, (x, m, r) in enumerate(zip(
@@ -109,6 +176,8 @@ def _run_filter(args) -> int:
     print(markdown_table(["n", "x[n]", "measured y[n]",
                           "reference y[n]"], rows))
     print(f"max |error| = {run.max_error():.4f}")
+    _print_diagnostics(run.diagnostics)
+    _close_telemetry(args, tracer, metrics)
     return 0
 
 
@@ -118,19 +187,23 @@ def _add_counter(subparsers) -> None:
     parser.add_argument("--bits", type=int, default=3)
     parser.add_argument("--pulses", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
+    _add_telemetry_options(parser)
     parser.set_defaults(run=_run_counter)
 
 
 def _run_counter(args) -> int:
     from repro.digital import BinaryCounter
 
+    tracer, metrics = _open_telemetry(args)
     counter = BinaryCounter(args.bits)
-    run = counter.count(args.pulses, seed=args.seed)
+    run = counter.count(args.pulses, seed=args.seed, tracer=tracer,
+                        metrics=metrics)
     print(counter.network.summary())
     print("sequence:", run.values)
     print("overflow:", run.overflow)
     run.check(2 ** args.bits)
     print("verified against modulo arithmetic")
+    _close_telemetry(args, tracer, metrics)
     return 0
 
 
@@ -239,6 +312,27 @@ def _run_lint(args) -> int:
                for _, report in results)
 
 
+def _add_report(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "report", help="summarise a recorded JSONL trace")
+    parser.add_argument("trace", help="path to a .jsonl trace file")
+    parser.add_argument("--chrome", default="", metavar="FILE",
+                        help="also export the Chrome trace-event view")
+    parser.set_defaults(run=_run_report)
+
+
+def _run_report(args) -> int:
+    from repro.obs.report import load_records, summarize, write_chrome
+
+    records = load_records(args.trace)
+    print(summarize(records))
+    if args.chrome:
+        write_chrome(records, args.chrome)
+        print(f"\nwrote Chrome trace to {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_counter(subparsers)
     _add_dsd(subparsers)
     _add_lint(subparsers)
+    _add_report(subparsers)
     return parser
 
 
@@ -262,6 +357,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream consumer closed the pipe (e.g. ``| head``).
+        return 0
 
 
 if __name__ == "__main__":

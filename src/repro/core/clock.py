@@ -137,6 +137,33 @@ class MolecularClock:
         tail = series[start:]
         return float(tail.min()), float(tail.max())
 
+    def emit_trace(self, trajectory: Trajectory, tracer) -> None:
+        """Emit rotation (``cycle``) and ``phase:*`` spans for a
+        free-running clock trajectory into a tracer.
+
+        The machine driver records these spans live; a standalone clock
+        run has no driver, so the spans are reconstructed here from the
+        waveform (rotations between red rising edges, phases from the
+        dominant colour).
+        """
+        if not tracer.enabled:
+            return
+        edges = self.rising_edges(trajectory)
+        for index, (t0, t1) in enumerate(zip(edges, edges[1:])):
+            tracer.emit_span("cycle", "machine", float(t0), float(t1),
+                             {"cycle": index})
+        dominant = self.dominant_phase(trajectory)
+        times = trajectory.times
+        start = 0
+        for i in range(1, len(dominant) + 1):
+            if i < len(dominant) and dominant[i] == dominant[start]:
+                continue
+            t1 = float(times[min(i, len(dominant) - 1)])
+            tracer.emit_span(f"phase:{COLORS[dominant[start]]}",
+                             "protocol", float(times[start]), t1,
+                             {"color": COLORS[dominant[start]]})
+            start = i
+
 
 def build_clock(mass: float = 100.0, gating: str = "catalytic",
                 acceleration: str | None = None

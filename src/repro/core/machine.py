@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -29,24 +30,49 @@ from repro.crn.network import Network
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.ode import OdeSimulator
 from repro.crn.simulation.result import Trajectory
+from repro.crn.species import COLORS
 from repro.core.dfg import MatrixDesign, SignalFlowGraph
 from repro.core.synthesis import SynthesizedCircuit, synthesize
 from repro.errors import SimulationError, SynthesisError
+from repro.obs.metrics import ensure_metrics
+from repro.obs.monitors import (MonitorConfig, ProtocolMonitor,
+                                ProtocolView, RuntimeDiagnostic)
+from repro.obs.records import CycleSpan
+from repro.obs.tracer import ensure_tracer
+
+#: Colour rotation order: transfers move mass colour -> next colour.
+_ROTATION = ("red", "green"), ("green", "blue"), ("blue", "red")
 
 
 @dataclass
 class MachineRun:
-    """Result of driving a machine over input streams."""
+    """Result of driving a machine over input streams.
+
+    Cycle timing is stored once, as the list of recorded
+    :class:`~repro.obs.records.CycleSpan` -- the same spans the tracer
+    emits -- and ``boundary_times`` / ``mean_cycle_time`` are derived
+    from it, so the run result and a recorded trace can never disagree
+    about where the boundaries were.
+    """
 
     outputs: dict[str, np.ndarray]
     reference: dict[str, np.ndarray]
-    boundary_times: np.ndarray
+    cycles: list[CycleSpan]
     trajectory: Trajectory | None = None
     state_history: list[dict[str, float]] = field(default_factory=list)
+    diagnostics: list[RuntimeDiagnostic] = field(default_factory=list)
+
+    @property
+    def boundary_times(self) -> np.ndarray:
+        """Cycle-boundary times (t=0 plus each cycle's end)."""
+        if not self.cycles:
+            return np.array([0.0])
+        return np.array([self.cycles[0].t0]
+                        + [span.t1 for span in self.cycles])
 
     @property
     def n_cycles(self) -> int:
-        return max(len(self.boundary_times) - 1, 0)
+        return len(self.cycles)
 
     def max_error(self, name: str | None = None) -> float:
         """Worst absolute deviation from the discrete-time reference."""
@@ -71,9 +97,9 @@ class MachineRun:
 
     @property
     def mean_cycle_time(self) -> float:
-        if len(self.boundary_times) < 2:
+        if not self.cycles:
             raise SimulationError("no complete cycles")
-        return float(np.mean(np.diff(self.boundary_times)))
+        return float(np.mean([span.duration for span in self.cycles]))
 
 
 class SynchronousMachine:
@@ -91,16 +117,27 @@ class SynchronousMachine:
                  quantization: float | None = None,
                  max_cycle_time: float | None = None,
                  method: str = "LSODA",
-                 rtol: float = 1e-7, atol: float = 1e-9):
+                 rtol: float = 1e-7, atol: float = 1e-9,
+                 tracer=None, metrics=None,
+                 monitor: MonitorConfig | None = None):
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
             self.circuit = synthesize(design, clock_mass=clock_mass,
                                       signed=signed, gating=gating)
         self.scheme = scheme or RateScheme()
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = ensure_metrics(metrics)
+        self.monitor_config = monitor
+        # Telemetry (and the protocol monitor that rides on it) is active
+        # when any of the three hooks was supplied; otherwise every
+        # per-cycle hook below is a single attribute check.
+        self._telemetry = (self.tracer.enabled or self.metrics.enabled
+                           or monitor is not None)
         self.simulator = OdeSimulator(self.network, self.scheme,
                                       rates=rates, method=method,
-                                      rtol=rtol, atol=atol)
+                                      rtol=rtol, atol=atol,
+                                      tracer=tracer, metrics=metrics)
         self.boundary_fraction = boundary_fraction
         # Absence threshold of the sharpened indicators: a colour with
         # more than this total quantity pins its indicator off.
@@ -138,6 +175,37 @@ class SynchronousMachine:
         self._clock_red_dimer_index = (
             self.network.species_index(red_dimer)
             if red_dimer in self.network else None)
+        # Coloured signal species per colour category, for the phase
+        # monitor and the transfer spans in the trace.
+        self._signal_groups = {
+            color: [s.name for s in self.network.species
+                    if s.role == "signal" and s.color == color]
+            for color in COLORS}
+        # Period estimate for sample-density planning (updated per cycle).
+        self._last_period: float | None = None
+
+    def make_monitor(self) -> ProtocolMonitor | None:
+        """A fresh protocol-health monitor for one run (or ``None``
+        when telemetry is disabled)."""
+        if not self._telemetry:
+            return None
+        config = self.monitor_config
+        if config is None:
+            # Sub-quantization residues are flushed at each boundary and
+            # are "absent" to the protocol, so states carrying only
+            # residue-scale mass must not be judged: scale the monitor's
+            # floor to this machine's quantization threshold.
+            config = MonitorConfig(
+                min_signal_mass=10.0 * self.quantization)
+        view = ProtocolView(
+            color_groups=self._signal_groups,
+            indicator_names={
+                color: self.circuit.protocol.indicator_name(color)
+                for color in COLORS},
+            drained_color="blue",
+            clock_mass=self.circuit.clock.mass)
+        return ProtocolMonitor(view, config,
+                               tracer=self.tracer, metrics=self.metrics)
 
     @property
     def network(self) -> Network:
@@ -217,21 +285,22 @@ class SynchronousMachine:
         n_cycles = n_samples + max(int(extra_cycles), 1)
 
         state = self.network.initial_vector()
-        boundary_times = [0.0]
+        spans: list[CycleSpan] = []
         cumulative = {name: [self._readout(state, name)]
                       for name in self.design.outputs}
         state_history = [self._register_values(state)]
         trajectory: Trajectory | None = None
+        monitor = self.make_monitor()
 
         t = 0.0
         for cycle in range(n_cycles):
             if cycle < n_samples:
                 state = self._inject(state, {name: streams[name][cycle]
                                              for name in streams})
-            segment = self._run_cycle(state, t, record, samples_per_cycle)
-            state = segment.final()
-            t = segment.t_final
-            boundary_times.append(t)
+            state, span, segment = self._advance_cycle(
+                state, t, cycle, record, samples_per_cycle, monitor)
+            t = span.t1
+            spans.append(span)
             for name in self.design.outputs:
                 cumulative[name].append(self._readout(state, name))
             state_history.append(self._register_values(state))
@@ -248,9 +317,10 @@ class SynchronousMachine:
                      self.design.reference_run(
                          {k: list(v) for k, v in streams.items()}).items()}
         return MachineRun(outputs=outputs, reference=reference,
-                          boundary_times=np.array(boundary_times),
+                          cycles=spans,
                           trajectory=trajectory,
-                          state_history=state_history)
+                          state_history=state_history,
+                          diagnostics=monitor.finish() if monitor else [])
 
     def stepper(self) -> "MachineStepper":
         """An incremental driver for closed-loop use.
@@ -263,10 +333,132 @@ class SynchronousMachine:
         """
         return MachineStepper(self)
 
+    def _advance_cycle(self, state: np.ndarray, t_start: float,
+                       index: int, record: bool, samples_per_cycle: int,
+                       monitor: ProtocolMonitor | None
+                       ) -> tuple[np.ndarray, CycleSpan, Trajectory]:
+        """Run one cycle and record its span (plus telemetry if on).
+
+        This is the single path both :meth:`run` and the stepper go
+        through, so cycle bookkeeping cannot diverge between them.
+        """
+        telemetry = self._telemetry
+        wall_start = perf_counter() if telemetry else 0.0
+        segment = self._run_cycle(state, t_start, record,
+                                  samples_per_cycle)
+        wall = perf_counter() - wall_start if telemetry else 0.0
+        span = CycleSpan(index, t_start, segment.t_final, wall)
+        self._last_period = span.duration
+        state = segment.final()
+        if telemetry:
+            self._emit_cycle_telemetry(span, segment, state, monitor)
+        return state, span, segment
+
+    def _emit_cycle_telemetry(self, span: CycleSpan, segment: Trajectory,
+                              state: np.ndarray,
+                              monitor: ProtocolMonitor | None) -> None:
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("machine.cycles")
+            metrics.observe("machine.cycle_sim_time", span.duration)
+            metrics.observe("machine.cycle_wall_seconds", span.wall)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit_cycle(span)
+            phases = self._phase_spans(segment, span)
+            for color, t0, t1 in phases:
+                tracer.emit_span(f"phase:{color}", "protocol", t0, t1,
+                                 {"cycle": span.index, "color": color})
+                if metrics.enabled:
+                    metrics.observe(f"machine.phase_sim_time[{color}]",
+                                    t1 - t0)
+            for name, t0, t1, args in self._transfer_spans(segment, span,
+                                                           phases):
+                tracer.emit_span(name, "protocol", t0, t1, args)
+            tracer.emit_event("boundary", "machine", span.t1,
+                              {"cycle": span.index})
+        if monitor is not None:
+            # Conservation is judged on the pre-replenishment state: the
+            # boundary top-up in _quantize would mask the drift.
+            monitor.observe_cycle(span, segment,
+                                  clock_total=self._clock_total(state))
+
+    def _phase_spans(self, segment: Trajectory, span: CycleSpan
+                     ) -> list[tuple[str, float, float]]:
+        """Dominant-clock-colour windows within one cycle segment."""
+        columns = np.stack([segment.column(name) for name in
+                            self.circuit.clock.species_names()])
+        dominant = np.argmax(columns, axis=0)
+        times = segment.times
+        spans: list[tuple[str, float, float]] = []
+        start = 0
+        for i in range(1, len(dominant) + 1):
+            if i < len(dominant) and dominant[i] == dominant[start]:
+                continue
+            t0 = max(float(times[start]), span.t0)
+            t1 = span.t1 if i == len(dominant) \
+                else min(float(times[i]), span.t1)
+            if t1 > t0:
+                spans.append((COLORS[dominant[start]], t0, t1))
+            start = i
+        return spans
+
+    def _transfer_spans(self, segment: Trajectory, span: CycleSpan,
+                        phases: list[tuple[str, float, float]]
+                        ) -> list[tuple[str, float, float, dict]]:
+        """Signal hand-off windows, nested inside their phase spans.
+
+        The ``source -> target`` transfer window starts when the source
+        colour's signal mass begins to drain (below 95% of its in-cycle
+        peak, after the peak) and ends when the drain completes (below
+        10%); it is clamped into the phase span containing its start so
+        the trace nests cycle > phase > transfer.
+        """
+        results = []
+        for source, target in _ROTATION:
+            members = self._signal_groups[source]
+            if not members:
+                continue
+            series = segment.total(members)
+            peak_index = int(np.argmax(series))
+            peak = float(series[peak_index])
+            if peak < self.quantization:
+                continue
+            tail = series[peak_index:]
+            below = np.nonzero(tail < 0.1 * peak)[0]
+            if below.size == 0:
+                continue
+            end = peak_index + int(below[0])
+            draining = np.nonzero(tail[:end - peak_index + 1]
+                                  < 0.95 * peak)[0]
+            start = peak_index + int(draining[0]) if draining.size else end
+            t0 = float(segment.times[start])
+            t1 = float(segment.times[end])
+            for color, p0, p1 in phases:
+                if p0 <= t0 <= p1:
+                    t1 = min(max(t1, t0), p1)
+                    break
+            if t1 <= t0:
+                continue
+            results.append((f"transfer:{source}->{target}", t0, t1,
+                            {"cycle": span.index, "quantity": peak}))
+        return results
+
     def _run_cycle(self, state: np.ndarray, t_start: float, record: bool,
                    samples_per_cycle: int) -> Trajectory:
         signal_mass = self._signal_mass(state)
-        n_samples = samples_per_cycle if record else 8
+        # Each segment's sample grid spans max_cycle_time (the event cuts
+        # it short), so hitting ``samples_per_cycle`` points *inside* the
+        # actual cycle needs the grid spacing planned from a period
+        # estimate -- the previous cycle's duration.  Telemetry and the
+        # monitors need that density for the phase and drain statistics;
+        # without them only the final state matters.
+        if record or self._telemetry:
+            period = self._last_period or 10.0 / self.scheme.slow
+            spacing = period / max(samples_per_cycle, 8)
+            n_samples = min(int(self.max_cycle_time / spacing) + 2, 50_000)
+        else:
+            n_samples = 8
         departure = self.simulator.simulate(
             t_start + self.max_cycle_time, t_start=t_start, initial=state,
             n_samples=n_samples, events=[self._departure_event()])
@@ -382,9 +574,19 @@ class MachineStepper:
         self.machine = machine
         self.state = machine.network.initial_vector()
         self.time = 0.0
-        self.cycles = 0
+        self.spans: list[CycleSpan] = []
+        self.monitor = machine.make_monitor()
         self._previous = {name: machine._readout(self.state, name)
                           for name in machine.design.outputs}
+
+    @property
+    def cycles(self) -> int:
+        return len(self.spans)
+
+    def diagnostics(self) -> list[RuntimeDiagnostic]:
+        """Protocol-health diagnostics accumulated so far (finalises the
+        monitor, including the run-level jitter check)."""
+        return self.monitor.finish() if self.monitor else []
 
     def step(self, inputs: Mapping[str, float]) -> dict[str, float]:
         """Inject one sample per input, advance one cycle, and return
@@ -406,12 +608,11 @@ class MachineStepper:
         return self.machine._register_values(self.state)
 
     def _advance(self) -> dict[str, float]:
-        segment = self.machine._run_cycle(self.state, self.time,
-                                          record=False,
-                                          samples_per_cycle=8)
-        self.state = segment.final()
-        self.time = segment.t_final
-        self.cycles += 1
+        self.state, span, _ = self.machine._advance_cycle(
+            self.state, self.time, len(self.spans), record=False,
+            samples_per_cycle=60, monitor=self.monitor)
+        self.time = span.t1
+        self.spans.append(span)
         outputs = {}
         for name in self.machine.design.outputs:
             total = self.machine._readout(self.state, name)

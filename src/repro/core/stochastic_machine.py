@@ -37,6 +37,7 @@ from repro.core.dfg import MatrixDesign, SignalFlowGraph
 from repro.core.machine import MachineRun
 from repro.core.synthesis import SynthesizedCircuit, synthesize
 from repro.errors import SimulationError, SynthesisError
+from repro.obs.records import CycleSpan
 
 
 class StochasticMachine:
@@ -59,7 +60,8 @@ class StochasticMachine:
                  blue_tolerance: int = 0,
                  patience: float = 20.0,
                  straggler_tolerance: int = 4,
-                 max_cycle_time: float | None = None):
+                 max_cycle_time: float | None = None,
+                 tracer=None, metrics=None):
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
@@ -77,7 +79,8 @@ class StochasticMachine:
             scheme = RateScheme(values)
         self.scheme = scheme
         self.simulator = StochasticSimulator(self.network, self.scheme,
-                                             seed=seed)
+                                             seed=seed, tracer=tracer,
+                                             metrics=metrics)
         self.poll_interval = poll_interval
         self.boundary_fraction = boundary_fraction
         self.blue_tolerance = int(blue_tolerance)
@@ -112,7 +115,7 @@ class StochasticMachine:
         n_cycles = n_samples + max(int(extra_cycles), 1)
 
         counts = np.rint(self.network.initial_vector()).astype(np.int64)
-        boundary_times = [0.0]
+        spans: list[CycleSpan] = []
         cumulative = {name: [self._readout(counts, name)]
                       for name in self.design.outputs}
         state_history = [self._register_values(counts)]
@@ -122,8 +125,9 @@ class StochasticMachine:
             if cycle < n_samples:
                 counts = self._inject(counts, {
                     name: streams[name][cycle] for name in streams})
+            t_start = t
             counts, t = self._run_cycle(counts, t)
-            boundary_times.append(t)
+            spans.append(CycleSpan(cycle, t_start, t))
             for name in self.design.outputs:
                 cumulative[name].append(self._readout(counts, name))
             state_history.append(self._register_values(counts))
@@ -134,7 +138,7 @@ class StochasticMachine:
                      self.design.reference_run(
                          {k: list(v) for k, v in streams.items()}).items()}
         return MachineRun(outputs=outputs, reference=reference,
-                          boundary_times=np.array(boundary_times),
+                          cycles=spans,
                           trajectory=None, state_history=state_history)
 
     def _run_cycle(self, counts: np.ndarray,

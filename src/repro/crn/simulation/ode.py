@@ -10,6 +10,7 @@ Dormand-Prince integrator is available as an independent cross-check.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from time import perf_counter
 
 import numpy as np
 from scipy.integrate import solve_ivp
@@ -20,6 +21,8 @@ from repro.crn.rates import RateScheme
 from repro.crn.simulation.result import Trajectory
 from repro.crn.simulation.rk import integrate_rk45
 from repro.errors import SimulationError
+from repro.obs.metrics import ensure_metrics
+from repro.obs.tracer import ensure_tracer
 
 #: Solver methods accepted by :class:`OdeSimulator`.
 METHODS = ("LSODA", "BDF", "Radau", "RK45", "internal-rk45")
@@ -40,11 +43,19 @@ class OdeSimulator:
         jittered-rate robustness experiments).
     method:
         one of :data:`METHODS`.
+    tracer / metrics:
+        optional :class:`~repro.obs.tracer.Tracer` /
+        :class:`~repro.obs.metrics.MetricsRegistry`; each ``simulate``
+        call then records a ``solver`` span and solver-effort counters
+        (``ode.nfev``, ``ode.njev``, event firings, wall time).  Both
+        default to process-wide null singletons: the disabled path is a
+        single attribute check.
     """
 
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  rates: np.ndarray | None = None, method: str = "LSODA",
-                 rtol: float = 1e-7, atol: float = 1e-9):
+                 rtol: float = 1e-7, atol: float = 1e-9,
+                 tracer=None, metrics=None):
         if method not in METHODS:
             raise SimulationError(f"unknown method {method!r}; "
                                   f"expected one of {METHODS}")
@@ -56,6 +67,8 @@ class OdeSimulator:
         self.method = method
         self.rtol = rtol
         self.atol = atol
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = ensure_metrics(metrics)
 
     # -- single integration ----------------------------------------------------
 
@@ -74,15 +87,24 @@ class OdeSimulator:
             raise SimulationError("t_final must exceed t_start")
         x0 = self._initial_state(initial)
         t_eval = np.linspace(t_start, t_final, max(int(n_samples), 2))
+        telemetry = self.tracer.enabled or self.metrics.enabled
+        wall_start = perf_counter() if telemetry else 0.0
 
         if self.method == "internal-rk45":
             if events:
                 raise SimulationError(
                     "internal-rk45 does not support events")
+            stats: dict | None = {} if telemetry else None
             times, states = integrate_rk45(
                 self.kinetics.rhs, (t_start, t_final), x0,
-                rtol=self.rtol, atol=self.atol, dense_times=t_eval)
-            return Trajectory(times, states, self.network.species_names)
+                rtol=self.rtol, atol=self.atol, dense_times=t_eval,
+                stats=stats)
+            trajectory = Trajectory(times, states,
+                                    self.network.species_names)
+            if telemetry:
+                self._record_call(trajectory, perf_counter() - wall_start,
+                                  t_start, stats or {})
+            return trajectory
 
         kwargs = {}
         if self.method in ("BDF", "Radau", "LSODA"):
@@ -108,7 +130,53 @@ class OdeSimulator:
                     states = np.vstack(
                         [states, np.maximum(x_events[-1], 0.0)])
                     break
-        return Trajectory(times, states, self.network.species_names, meta)
+        trajectory = Trajectory(times, states, self.network.species_names,
+                                meta)
+        if telemetry:
+            self._record_call(
+                trajectory, perf_counter() - wall_start, t_start,
+                {"nfev": int(solution.nfev),
+                 "njev": int(solution.njev or 0),
+                 "nlu": int(solution.nlu or 0)})
+        return trajectory
+
+    def _record_call(self, trajectory: Trajectory, wall: float,
+                     t_start: float, stats: dict) -> None:
+        """Solver-effort bookkeeping for one completed ``simulate``."""
+        nfev = int(stats.get("nfev", 0))
+        njev = int(stats.get("njev", 0))
+        event_fired = "event" in trajectory.meta
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("ode.calls")
+            metrics.inc("ode.nfev", nfev)
+            metrics.inc("ode.njev", njev)
+            metrics.inc("ode.nlu", stats.get("nlu", 0))
+            if "accepted" in stats:
+                metrics.inc("ode.steps_accepted", stats["accepted"])
+                metrics.inc("ode.steps_rejected",
+                            stats.get("rejected", 0))
+            if event_fired:
+                metrics.inc("ode.events")
+            # LSODA switches to its stiff (BDF) mode before it ever asks
+            # for a Jacobian, so njev > 0 is the observable proxy for a
+            # stiff-fallback activation.
+            if self.method == "LSODA" and njev:
+                metrics.inc("ode.stiff_activations")
+            metrics.observe("ode.wall_seconds", wall)
+        if self.tracer.enabled:
+            args = {"nfev": nfev, "wall": round(wall, 6)}
+            if njev:
+                args["njev"] = njev
+            if stats.get("nlu"):
+                args["nlu"] = int(stats["nlu"])
+            if "accepted" in stats:
+                args["accepted"] = int(stats["accepted"])
+                args["rejected"] = int(stats.get("rejected", 0))
+            if event_fired:
+                args["event"] = trajectory.meta["event"]
+            self.tracer.emit_span(f"solve:{self.method}", "solver",
+                                  t_start, trajectory.t_final, args)
 
     def steady_state(self, t_final: float = 1e4,
                      initial: Mapping[str, float] | None = None,
@@ -150,6 +218,9 @@ def simulate(network: Network, t_final: float,
     rtol = kwargs.pop("rtol", 1e-7)
     atol = kwargs.pop("atol", 1e-9)
     rates = kwargs.pop("rates", None)
+    tracer = kwargs.pop("tracer", None)
+    metrics = kwargs.pop("metrics", None)
     simulator = OdeSimulator(network, scheme, rates=rates, method=method,
-                             rtol=rtol, atol=atol)
+                             rtol=rtol, atol=atol, tracer=tracer,
+                             metrics=metrics)
     return simulator.simulate(t_final, **kwargs)

@@ -41,12 +41,15 @@ def integrate_rk45(rhs: Callable[[float, np.ndarray], np.ndarray],
                    atol: float = 1e-9,
                    max_step: float = np.inf,
                    max_steps: int = 2_000_000,
-                   dense_times: np.ndarray | None = None):
+                   dense_times: np.ndarray | None = None,
+                   stats: dict | None = None):
     """Integrate ``dx/dt = rhs(t, x)`` over ``t_span``.
 
     Returns ``(times, states)``.  If ``dense_times`` is given, the solution
     is linearly interpolated onto those points; otherwise the accepted step
-    points are returned.
+    points are returned.  If ``stats`` is a dict, it is filled with solver
+    effort: ``nfev`` (RHS evaluations), ``accepted`` and ``rejected``
+    step counts.
     """
     t0, t1 = float(t_span[0]), float(t_span[1])
     if t1 <= t0:
@@ -68,6 +71,9 @@ def integrate_rk45(rhs: Callable[[float, np.ndarray], np.ndarray],
 
     error_old = 1e-4
     steps = 0
+    accepted = 0
+    rejected = 0
+    nfev = 1  # the initial-step-size RHS evaluation above
     k = np.empty((7, n))
 
     while t < t1:
@@ -80,6 +86,7 @@ def integrate_rk45(rhs: Callable[[float, np.ndarray], np.ndarray],
         for stage in range(1, 7):
             xs = x + h * (k[:stage].T @ _A[stage])
             k[stage] = rhs(t + _C[stage] * h, xs)
+        nfev += 6
         x5 = x + h * (k.T @ _B5)
         x4 = x + h * (k.T @ _B4)
         scale = atol + rtol * np.maximum(np.abs(x), np.abs(x5))
@@ -87,7 +94,12 @@ def integrate_rk45(rhs: Callable[[float, np.ndarray], np.ndarray],
         if error <= 1.0:
             t += h
             x = np.maximum(x5, 0.0)
-            f = k[6] if np.all(x5 >= 0) else rhs(t, x)
+            accepted += 1
+            if np.all(x5 >= 0):
+                f = k[6]
+            else:
+                f = rhs(t, x)
+                nfev += 1
             times.append(t)
             states.append(x.copy())
             # PI step control.
@@ -96,10 +108,13 @@ def integrate_rk45(rhs: Callable[[float, np.ndarray], np.ndarray],
             h *= min(5.0, max(0.2, factor))
             error_old = max(error, 1e-10)
         else:
+            rejected += 1
             h *= max(0.2, 0.9 * error ** -0.25)
             if h < 1e-14 * max(abs(t), 1.0):
                 raise SimulationError(f"rk45: step size underflow at t={t:g}")
 
+    if stats is not None:
+        stats.update(nfev=nfev, accepted=accepted, rejected=rejected)
     times = np.array(times)
     states = np.array(states)
     if dense_times is not None:

@@ -8,6 +8,7 @@ only in that discrete semantics, so the test suite exercises them here.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from time import perf_counter
 
 import numpy as np
 
@@ -16,14 +17,22 @@ from repro.crn.network import Network
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.result import Trajectory
 from repro.errors import SimulationError
+from repro.obs.metrics import ensure_metrics
+from repro.obs.tracer import ensure_tracer
 
 
 class StochasticSimulator:
-    """Exact SSA (Gillespie direct method) for one network."""
+    """Exact SSA (Gillespie direct method) for one network.
+
+    An optional ``tracer``/``metrics`` pair records each ``simulate``
+    call as an ``ssa.batch`` solver span and counts reaction firings,
+    overall and per channel (``ssa.firings[<reaction label>]``).
+    """
 
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  rates: np.ndarray | None = None, volume: float = 1.0,
-                 seed: int | np.random.Generator | None = None):
+                 seed: int | np.random.Generator | None = None,
+                 tracer=None, metrics=None):
         network.validate()
         self.network = network
         self.scheme = scheme or RateScheme()
@@ -35,6 +44,34 @@ class StochasticSimulator:
             self.rng = seed
         else:
             self.rng = np.random.default_rng(seed)
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = ensure_metrics(metrics)
+
+    def _channel_label(self, j: int) -> str:
+        reaction = self.network.reactions[j]
+        return getattr(reaction, "label", "") or str(reaction)
+
+    def _record_batch(self, kind: str, t_final: float, events: int,
+                      wall: float, firings: np.ndarray | None = None,
+                      extra: dict | None = None) -> None:
+        """Per-``simulate`` telemetry shared by SSA and tau-leaping."""
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc(f"{kind}.batches")
+            metrics.inc(f"{kind}.events", events)
+            metrics.observe(f"{kind}.wall_seconds", wall)
+            for name, value in (extra or {}).items():
+                metrics.inc(f"{kind}.{name}", value)
+            if firings is not None:
+                for j in np.nonzero(firings)[0]:
+                    metrics.inc(
+                        f"ssa.firings[{self._channel_label(int(j))}]",
+                        float(firings[j]))
+        if self.tracer.enabled:
+            args = {"events": events, "wall": round(wall, 6)}
+            args.update(extra or {})
+            self.tracer.emit_span(f"{kind}.batch", "solver", 0.0,
+                                  t_final, args)
 
     def _initial_counts(self, initial) -> np.ndarray:
         if initial is None:
@@ -60,6 +97,10 @@ class StochasticSimulator:
         samples = np.empty((sample_times.size, counts.size), dtype=float)
         samples[0] = counts
         next_sample = 1
+        telemetry = self.tracer.enabled or self.metrics.enabled
+        wall_start = perf_counter() if telemetry else 0.0
+        firings = np.zeros(self.network.n_reactions, dtype=np.int64) \
+            if self.metrics.enabled else None
 
         t = 0.0
         events = 0
@@ -80,10 +121,15 @@ class StochasticSimulator:
             j = min(j, propensities.size - 1)
             counts = counts + self.stoich[j]
             events += 1
+            if firings is not None:
+                firings[j] += 1
             if events > max_events:
                 raise SimulationError(
                     f"SSA exceeded {max_events} events at t={t:g}")
         samples[next_sample:] = counts
+        if telemetry:
+            self._record_batch("ssa", t_final, events,
+                               perf_counter() - wall_start, firings)
         return Trajectory(sample_times, samples, self.network.species_names,
                           {"events": events})
 

@@ -10,6 +10,7 @@ than exact SSA while keeping discrete semantics.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from time import perf_counter
 
 import numpy as np
 
@@ -42,9 +43,14 @@ class TauLeapingSimulator(StochasticSimulator):
         samples = np.empty((sample_times.size, counts.size), dtype=float)
         samples[0] = counts
         next_sample = 1
+        telemetry = self.tracer.enabled or self.metrics.enabled
+        wall_start = perf_counter() if telemetry else 0.0
 
         t = 0.0
         steps = 0
+        leaps = 0
+        rejected = 0
+        fallbacks = 0
         while t < t_final:
             steps += 1
             if steps > max_steps:
@@ -57,6 +63,7 @@ class TauLeapingSimulator(StochasticSimulator):
             tau = self._select_tau(counts, propensities)
             if tau < 10.0 / total:
                 # Leap would be smaller than a few exact steps: do SSA.
+                fallbacks += 1
                 t, counts = self._ssa_steps(t, counts, propensities,
                                             total, n_steps=100,
                                             t_final=t_final)
@@ -69,23 +76,31 @@ class TauLeapingSimulator(StochasticSimulator):
                     ok = False
                     for _ in range(8):
                         tau /= 2.0
+                        rejected += 1
                         firings = self.rng.poisson(propensities * tau)
                         delta = self.stoich.T @ firings
                         if np.all(counts + delta >= 0):
                             ok = True
                             break
                     if not ok:
+                        fallbacks += 1
                         t, counts = self._ssa_steps(
                             t, counts, propensities, total, n_steps=100,
                             t_final=t_final)
                         continue
                 counts = counts + delta
                 t += tau
+                leaps += 1
             while (next_sample < sample_times.size
                    and sample_times[next_sample] <= t):
                 samples[next_sample] = counts
                 next_sample += 1
         samples[next_sample:] = counts
+        if telemetry:
+            self._record_batch(
+                "tau", t_final, steps, perf_counter() - wall_start,
+                extra={"leaps": leaps, "rejected_leaps": rejected,
+                       "ssa_fallbacks": fallbacks})
         return Trajectory(sample_times, samples, self.network.species_names,
                           {"steps": steps})
 

@@ -72,25 +72,35 @@ class BinaryCounter:
 
     def count(self, n_pulses: int, scheme: RateScheme | None = None,
               settle_time: float | None = None,
-              stochastic: bool = True, seed: int | None = None
-              ) -> "CounterRun":
+              stochastic: bool = True, seed: int | None = None,
+              tracer=None, metrics=None) -> "CounterRun":
         """Apply ``n_pulses`` increments, reading the value after each."""
         scheme = scheme or RateScheme()
         settle = settle_time or 100.0 / scheme.fast
         if stochastic:
-            simulator = StochasticSimulator(self.network, scheme, seed=seed)
+            simulator = StochasticSimulator(self.network, scheme, seed=seed,
+                                            tracer=tracer, metrics=metrics)
         else:
-            simulator = OdeSimulator(self.network, scheme)
+            simulator = OdeSimulator(self.network, scheme,
+                                     tracer=tracer, metrics=metrics)
+        tracer = simulator.tracer
+        metrics = simulator.metrics
         state = self.network.initial_vector()
         pulse_index = self.network.species_index(self.input_pulse)
         values = [self.read(self._getter(state))]
-        for _ in range(int(n_pulses)):
+        for pulse in range(int(n_pulses)):
             state = state.copy()
             state[pulse_index] += 1.0
             trajectory = simulator.simulate(settle, initial=state,
                                             n_samples=4)
             state = trajectory.final()
             values.append(self.read(self._getter(state)))
+            if tracer.enabled:
+                tracer.emit_span(f"pulse:{pulse}", "machine",
+                                 pulse * settle, (pulse + 1) * settle,
+                                 {"value": values[-1]})
+            if metrics.enabled:
+                metrics.inc("counter.pulses")
         overflow = float(state[self.network.species_index(self.overflow)])
         return CounterRun(values=values, overflow=int(round(overflow)))
 

@@ -1,0 +1,68 @@
+"""Runtime telemetry: tracing, metrics, and protocol health monitors.
+
+The observability layer is the runtime counterpart of :mod:`repro.lint`:
+where lint checks protocol *structure* before simulation, this package
+watches protocol *execution* -- cycle/phase/transfer spans, solver
+effort, and streaming health monitors that surface ``REPRO-R***``
+diagnostics.  Everything is optional and zero-overhead when disabled:
+instrumented code defaults to :data:`NULL_TRACER` / :data:`NULL_METRICS`
+singletons whose methods are no-ops.
+
+Entry points
+------------
+- ``Tracer(JsonlSink(path))`` + ``machine = SynchronousMachine(design,
+  tracer=tracer)`` records a structured trace.
+- ``MetricsRegistry()`` passed as ``metrics=`` captures solver and
+  protocol counters/histograms.
+- ``python -m repro <cmd> --trace FILE --metrics FILE`` wires both from
+  the command line; ``python -m repro report FILE`` summarises a trace.
+
+See ``docs/observability.md`` for the span, metric, and diagnostic
+catalogue.
+"""
+
+from repro.obs.metrics import (NULL_METRICS, Counter, Gauge, Histogram,
+                               MetricsRegistry, NullMetrics,
+                               ensure_metrics)
+from repro.obs.monitors import (MonitorConfig, ProtocolMonitor,
+                                ProtocolView, RuntimeDiagnostic,
+                                check_phase_overlap, clock_diagnostics,
+                                indicator_contrast, phase_overlap,
+                                stage_color_groups)
+from repro.obs.records import (CycleSpan, EventRecord, MetricsRecord,
+                               SpanRecord)
+from repro.obs.sinks import (ChromeTraceSink, JsonlSink, MemorySink,
+                             TraceWriteError, chrome_events)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+
+__all__ = [
+    "ChromeTraceSink",
+    "Counter",
+    "CycleSpan",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRecord",
+    "MetricsRegistry",
+    "MonitorConfig",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "ProtocolMonitor",
+    "ProtocolView",
+    "RuntimeDiagnostic",
+    "SpanRecord",
+    "TraceWriteError",
+    "Tracer",
+    "check_phase_overlap",
+    "chrome_events",
+    "clock_diagnostics",
+    "ensure_metrics",
+    "ensure_tracer",
+    "indicator_contrast",
+    "phase_overlap",
+    "stage_color_groups",
+]

@@ -1,0 +1,226 @@
+"""Counters, gauges and histograms for solver and protocol effort.
+
+A :class:`MetricsRegistry` is handed to simulators and machine drivers
+via their ``metrics=`` parameter; they record solver effort (RHS
+evaluations, accepted/rejected steps, event firings), SSA reaction
+firings per channel, and wall time per cycle/phase.  ``to_dict()``
+produces a JSON-serialisable snapshot (schema-versioned) that the
+benchmarks write next to their results and the tracer embeds in traces.
+
+:data:`NULL_METRICS` mirrors the null tracer: instruments are shared
+no-op singletons, so the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Version of the ``to_dict`` / JSON snapshot schema.
+METRICS_SCHEMA_VERSION = 1
+
+#: Histograms keep at most this many raw samples for percentiles.
+_HISTOGRAM_CAP = 65536
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution summary of observed samples.
+
+    Raw samples are kept (up to a cap) so the snapshot can report
+    percentiles; past the cap only count/sum/min/max stay exact and the
+    percentiles describe the first samples.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_samples")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._samples) < _HISTOGRAM_CAP:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolation percentile of the retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        position = (len(ordered) - 1) * q
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {"count": self.count, "sum": self.total,
+                "mean": self.mean, "min": self.minimum,
+                "max": self.maximum, "p50": self.percentile(0.5),
+                "p90": self.percentile(0.9)}
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+    enabled = True
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    # -- convenience ----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {name: counter.value
+                         for name, counter in sorted(self._counters.items())},
+            "gauges": {name: gauge.value
+                       for name, gauge in sorted(self._gauges.items())},
+            "histograms": {name: histogram.summary()
+                           for name, histogram
+                           in sorted(self._histograms.items())},
+        }
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=1)
+                handle.write("\n")
+        except OSError as exc:
+            raise ReproError(f"cannot write metrics file {path}: "
+                             f"{exc.strerror or exc}")
+        return path
+
+
+class NullMetrics:
+    """Disabled registry: instruments are shared no-op singletons."""
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+#: Process-wide disabled registry; instrumented code defaults to this.
+NULL_METRICS = NullMetrics()
+
+
+def ensure_metrics(metrics) -> MetricsRegistry | NullMetrics:
+    """Normalize an optional metrics argument to a usable instance."""
+    return metrics if metrics is not None else NULL_METRICS

@@ -1,0 +1,100 @@
+"""Structured telemetry records shared by the tracer, sinks and report.
+
+All records live on the *simulated-time* axis: a span covers
+``[t0, t1]`` in simulation time units, and wall-clock cost (when
+measured) rides along in ``args["wall"]``.  Keeping one coherent time
+axis is what makes the Chrome-trace view meaningful: cycle, phase,
+transfer and solver spans all nest on the same timeline the chemistry
+ran on.
+
+The JSONL wire format is one object per line::
+
+    {"type": "span",  "name": "cycle", "cat": "machine",
+     "t0": 0.0, "t1": 3.41, "args": {"cycle": 0, "wall": 0.12}}
+    {"type": "event", "name": "boundary", "cat": "machine",
+     "t": 3.41, "args": {"cycle": 0}}
+    {"type": "diag",  "code": "REPRO-R101", ...}
+    {"type": "metrics", "values": {...}}
+
+See ``docs/observability.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """A named interval on the simulated timeline."""
+
+    name: str
+    cat: str
+    t0: float
+    t1: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def contains(self, other: "SpanRecord", slack: float = 1e-9) -> bool:
+        """Whether ``other`` nests inside this span (with tolerance)."""
+        return (self.t0 - slack <= other.t0
+                and other.t1 <= self.t1 + slack)
+
+    def to_dict(self) -> dict:
+        payload = {"type": "span", "name": self.name, "cat": self.cat,
+                   "t0": self.t0, "t1": self.t1}
+        if self.args:
+            payload["args"] = self.args
+        return payload
+
+
+@dataclass(slots=True)
+class EventRecord:
+    """A named instant on the simulated timeline."""
+
+    name: str
+    cat: str
+    t: float
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {"type": "event", "name": self.name, "cat": self.cat,
+                   "t": self.t}
+        if self.args:
+            payload["args"] = self.args
+        return payload
+
+
+@dataclass(slots=True)
+class MetricsRecord:
+    """A snapshot of a :class:`~repro.obs.metrics.MetricsRegistry`."""
+
+    values: dict
+
+    def to_dict(self) -> dict:
+        return {"type": "metrics", "values": self.values}
+
+
+@dataclass(slots=True)
+class CycleSpan:
+    """One machine cycle: the single source of truth for boundary times.
+
+    The machine drivers record one of these per completed cycle;
+    :class:`~repro.core.machine.MachineRun` derives ``boundary_times``
+    and ``mean_cycle_time`` from them, and the tracer emits them as
+    ``cycle`` spans -- so the run result and the trace can never
+    disagree about where the cycle boundaries were.
+    """
+
+    index: int
+    t0: float
+    t1: float
+    #: wall-clock seconds spent computing the cycle (0.0 if unmeasured).
+    wall: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0

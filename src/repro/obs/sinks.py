@@ -1,0 +1,140 @@
+"""Trace sinks: where :class:`~repro.obs.tracer.Tracer` records go.
+
+Three sinks cover the use cases:
+
+:class:`MemorySink`
+    keeps records in a list -- the test-suite sink.
+:class:`JsonlSink`
+    streams one JSON object per line -- the canonical on-disk format,
+    consumed by ``python -m repro report``.
+:class:`ChromeTraceSink`
+    writes the Chrome trace-event format (a JSON array of complete
+    events) loadable in ``chrome://tracing`` / Perfetto.
+
+``chrome_events`` converts raw record dicts to trace events, so a JSONL
+trace can be exported to the Chrome format after the fact
+(``repro report trace.jsonl --chrome trace.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Simulated-time units to Chrome-trace microseconds: one slow time unit
+#: renders as one millisecond, so a ~3-unit cycle is comfortably visible.
+CHROME_TIME_SCALE = 1e3
+
+#: Chrome "thread" lanes by record category: protocol structure (cycle /
+#: phase / transfer) must share one lane so complete events nest.
+_CHROME_LANES = {"machine": 1, "protocol": 1, "handshake": 1,
+                 "solver": 2, "monitor": 3, "diag": 3}
+
+
+class TraceWriteError(ReproError):
+    """Raised when a trace or metrics file cannot be written."""
+
+
+class MemorySink:
+    """Keeps records in memory; ``records`` holds the dataclasses."""
+
+    def __init__(self):
+        self.records = []
+        self.closed = False
+
+    def write(self, record) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def dicts(self) -> list[dict]:
+        return [record.to_dict() for record in self.records]
+
+
+class JsonlSink:
+    """Streams records to a file, one JSON object per line."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        try:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot write trace file {self.path}: "
+                f"{exc.strerror or exc}")
+        self.closed = False
+
+    def write(self, record) -> None:
+        json.dump(record.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if not self.closed:
+            self._handle.close()
+            self.closed = True
+
+
+class ChromeTraceSink:
+    """Buffers records and writes a Chrome trace-event JSON on close."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._records: list[dict] = []
+        self.closed = False
+        # Validate writability eagerly so a bad path fails at startup,
+        # not after the (possibly long) run being traced.
+        try:
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot write trace file {self.path}: "
+                f"{exc.strerror or exc}")
+
+    def write(self, record) -> None:
+        self._records.append(record.to_dict())
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(chrome_events(self._records), handle, indent=1)
+        self.closed = True
+
+
+def chrome_events(records: list[dict]) -> list[dict]:
+    """Convert record dicts (JSONL schema) to Chrome trace events."""
+    events = [
+        {"ph": "M", "pid": 1, "tid": lane, "name": "thread_name",
+         "args": {"name": label}}
+        for label, lane in (("protocol", 1), ("solver", 2),
+                            ("monitors", 3))
+    ]
+    for record in records:
+        kind = record.get("type")
+        cat = record.get("cat", "diag")
+        lane = _CHROME_LANES.get(cat, 3)
+        args = record.get("args", {})
+        if kind == "span":
+            duration = (record["t1"] - record["t0"]) * CHROME_TIME_SCALE
+            events.append({
+                "name": record["name"], "cat": cat, "ph": "X",
+                "ts": record["t0"] * CHROME_TIME_SCALE,
+                "dur": max(duration, 1e-3),
+                "pid": 1, "tid": lane, "args": args})
+        elif kind == "event":
+            events.append({
+                "name": record["name"], "cat": cat, "ph": "i",
+                "ts": record["t"] * CHROME_TIME_SCALE,
+                "s": "t", "pid": 1, "tid": lane, "args": args})
+        elif kind == "diag":
+            events.append({
+                "name": record.get("code", "diagnostic"), "cat": "diag",
+                "ph": "i", "ts": record.get("t", 0.0) * CHROME_TIME_SCALE,
+                "s": "g", "pid": 1, "tid": _CHROME_LANES["diag"],
+                "args": {"message": record.get("message", "")}})
+        # metrics snapshots have no timeline representation
+    return events

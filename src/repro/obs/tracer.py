@@ -1,0 +1,117 @@
+"""The tracer: structured span/event emission with a no-op fast path.
+
+Two implementations share one interface:
+
+:class:`Tracer`
+    the real thing; forwards records to a sink.
+:class:`NullTracer`
+    every method is a ``pass``; :data:`NULL_TRACER` is the process-wide
+    singleton.  Instrumented code holds a tracer unconditionally and
+    guards hot work with ``if tracer.enabled:`` -- with the null tracer
+    the guard is a single attribute read and **no record objects are
+    allocated**, which the test suite checks with ``tracemalloc``.
+
+Chemistry spans are emitted *retroactively* (phase windows are only
+known after a segment has been integrated), so the primitive is
+``emit_span(name, cat, t0, t1, args)`` rather than a context manager.
+"""
+
+from __future__ import annotations
+
+from repro.obs.records import (CycleSpan, EventRecord, MetricsRecord,
+                               SpanRecord)
+from repro.obs.sinks import MemorySink
+
+
+class Tracer:
+    """Emits structured records into a sink.
+
+    Parameters
+    ----------
+    sink:
+        a :mod:`repro.obs.sinks` sink; defaults to an in-memory sink.
+    """
+
+    __slots__ = ("sink", "enabled")
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else MemorySink()
+        self.enabled = True
+
+    # -- emission -------------------------------------------------------------
+
+    def emit_span(self, name: str, cat: str, t0: float, t1: float,
+                  args: dict | None = None) -> None:
+        self.sink.write(SpanRecord(name, cat, float(t0), float(t1),
+                                   args or {}))
+
+    def emit_event(self, name: str, cat: str, t: float,
+                   args: dict | None = None) -> None:
+        self.sink.write(EventRecord(name, cat, float(t), args or {}))
+
+    def emit_cycle(self, span: CycleSpan) -> None:
+        args = {"cycle": span.index}
+        if span.wall:
+            args["wall"] = span.wall
+        self.emit_span("cycle", "machine", span.t0, span.t1, args)
+
+    def emit_diagnostic(self, diagnostic) -> None:
+        """Record a runtime diagnostic (see :mod:`repro.obs.monitors`)."""
+        self.sink.write(diagnostic)
+
+    def emit_metrics(self, metrics) -> None:
+        """Snapshot a metrics registry into the trace (usually last)."""
+        if metrics is not None and metrics.enabled:
+            self.sink.write(MetricsRecord(metrics.to_dict()))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer:
+    """Disabled tracer: every emission is a no-op, nothing is allocated."""
+
+    __slots__ = ()
+    enabled = False
+    sink = None
+
+    def emit_span(self, name, cat, t0, t1, args=None) -> None:
+        pass
+
+    def emit_event(self, name, cat, t, args=None) -> None:
+        pass
+
+    def emit_cycle(self, span) -> None:
+        pass
+
+    def emit_diagnostic(self, diagnostic) -> None:
+        pass
+
+    def emit_metrics(self, metrics) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: Process-wide disabled tracer; instrumented code defaults to this.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer) -> Tracer | NullTracer:
+    """Normalize an optional tracer argument to a usable instance."""
+    return tracer if tracer is not None else NULL_TRACER

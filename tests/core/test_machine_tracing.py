@@ -1,0 +1,150 @@
+"""Telemetry-instrumented machine runs: spans, metrics, bookkeeping.
+
+The acceptance spine of the observability layer: a traced moving-average
+run must produce properly nested cycle > phase > transfer spans, the
+run's own cycle bookkeeping must agree with the trace (single source of
+truth), and a healthy run must stay free of runtime diagnostics.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.dfg import SignalFlowGraph
+from repro.core.machine import SynchronousMachine
+from repro.obs import MemorySink, MetricsRegistry, SpanRecord, Tracer
+
+
+def two_tap_ma() -> SignalFlowGraph:
+    sfg = SignalFlowGraph("ma2")
+    x = sfg.input("x")
+    d = sfg.delay("d1", source=x)
+    sfg.output("y", sfg.add(sfg.gain(Fraction(1, 2), x),
+                            sfg.gain(Fraction(1, 2), d)))
+    return sfg
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced + metered run shared by the assertions below."""
+    tracer = Tracer(MemorySink())
+    metrics = MetricsRegistry()
+    machine = SynchronousMachine(two_tap_ma(), tracer=tracer,
+                                 metrics=metrics)
+    run = machine.run({"x": [10.0, 20.0, 40.0]})
+    return run, tracer.sink.records, metrics
+
+
+def _spans(records, prefix):
+    return [r for r in records if isinstance(r, SpanRecord)
+            and r.name.startswith(prefix)]
+
+
+class TestSpanNesting:
+    def test_cycle_spans_match_run(self, traced_run):
+        run, records, _ = traced_run
+        cycles = _spans(records, "cycle")
+        assert len(cycles) == run.n_cycles == 4
+        for record, span in zip(cycles, run.cycles):
+            assert record.t0 == pytest.approx(span.t0)
+            assert record.t1 == pytest.approx(span.t1)
+            assert record.args["cycle"] == span.index
+
+    def test_phases_nest_in_cycles(self, traced_run):
+        _, records, _ = traced_run
+        cycles = _spans(records, "cycle")
+        phases = _spans(records, "phase:")
+        assert {p.name for p in phases} == \
+            {"phase:red", "phase:green", "phase:blue"}
+        for phase in phases:
+            assert any(cycle.contains(phase) for cycle in cycles), \
+                f"{phase.name} [{phase.t0}, {phase.t1}] not in any cycle"
+
+    def test_transfers_nest_in_phases(self, traced_run):
+        _, records, _ = traced_run
+        phases = _spans(records, "phase:")
+        transfers = _spans(records, "transfer:")
+        # All three hand-offs of the rotation appear in a multi-cycle run.
+        assert {t.name for t in transfers} >= {
+            "transfer:red->green", "transfer:green->blue",
+            "transfer:blue->red"}
+        for transfer in transfers:
+            assert any(phase.contains(transfer) for phase in phases), \
+                f"{transfer.name} [{transfer.t0}, {transfer.t1}] " \
+                f"not in any phase"
+
+    def test_phases_tile_each_cycle(self, traced_run):
+        """Phase spans cover their cycle without overlap."""
+        _, records, _ = traced_run
+        for cycle in _spans(records, "cycle"):
+            inside = sorted((p for p in _spans(records, "phase:")
+                             if cycle.contains(p)), key=lambda p: p.t0)
+            assert inside
+            covered = sum(p.duration for p in inside)
+            assert covered == pytest.approx(cycle.duration, rel=1e-6)
+            for a, b in zip(inside, inside[1:]):
+                assert b.t0 == pytest.approx(a.t1, abs=1e-9)
+
+
+class TestRunBookkeeping:
+    def test_boundary_times_derived_from_spans(self, traced_run):
+        run, _, _ = traced_run
+        expected = [run.cycles[0].t0] + [s.t1 for s in run.cycles]
+        assert np.allclose(run.boundary_times, expected)
+        assert run.boundary_times[0] == 0.0
+        assert np.all(np.diff(run.boundary_times) > 0)
+
+    def test_mean_cycle_time(self, traced_run):
+        run, _, _ = traced_run
+        durations = [span.duration for span in run.cycles]
+        assert run.mean_cycle_time == pytest.approx(np.mean(durations))
+
+    def test_cycle_boundary_regression_pin(self, traced_run):
+        """Pin the default-scheme ma2 cycle timing (regression guard:
+        a protocol change that shifts boundaries must be deliberate)."""
+        run, _, _ = traced_run
+        assert run.mean_cycle_time == pytest.approx(1.84, abs=0.15)
+        assert np.std([s.duration for s in run.cycles]) \
+            / run.mean_cycle_time < 0.10
+
+    def test_wall_time_recorded(self, traced_run):
+        run, _, _ = traced_run
+        assert all(span.wall > 0 for span in run.cycles)
+
+
+class TestMetricsAndHealth:
+    def test_machine_metrics_populated(self, traced_run):
+        run, _, metrics = traced_run
+        snapshot = metrics.to_dict()
+        assert snapshot["counters"]["machine.cycles"] == run.n_cycles
+        assert snapshot["counters"]["ode.calls"] > 0
+        assert snapshot["counters"]["ode.nfev"] > 0
+        cycle_hist = snapshot["histograms"]["machine.cycle_sim_time"]
+        assert cycle_hist["count"] == run.n_cycles
+        assert cycle_hist["mean"] == pytest.approx(run.mean_cycle_time)
+        for color in ("red", "green", "blue"):
+            name = f"machine.phase_sim_time[{color}]"
+            assert snapshot["histograms"][name]["count"] > 0
+
+    def test_healthy_run_has_no_diagnostics(self, traced_run):
+        run, records, _ = traced_run
+        assert run.diagnostics == []
+        assert not any(getattr(r, "code", None) for r in records
+                       if not isinstance(r, SpanRecord))
+
+    def test_outputs_still_correct_under_tracing(self, traced_run):
+        run, _, _ = traced_run
+        assert run.max_error() < 0.3
+
+
+class TestUntracedRuns:
+    def test_untraced_run_records_spans_too(self):
+        """Cycle bookkeeping does not depend on telemetry being on."""
+        machine = SynchronousMachine(two_tap_ma())
+        run = machine.run({"x": [10.0]})
+        assert run.n_cycles == 2
+        assert run.mean_cycle_time > 0
+        # Wall timing is telemetry; the untraced path skips the clock.
+        assert all(span.wall == 0.0 for span in run.cycles)
+        assert run.diagnostics == []

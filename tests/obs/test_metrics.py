@@ -1,0 +1,93 @@
+"""Tests for the metrics registry and its null counterpart."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import NULL_METRICS, MetricsRegistry, ensure_metrics
+from repro.obs.metrics import METRICS_SCHEMA_VERSION
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("ode.nfev", 10)
+        metrics.inc("ode.nfev", 5)
+        assert metrics.counter("ode.nfev").value == 15
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("monitor.clock_jitter", 0.01)
+        metrics.set_gauge("monitor.clock_jitter", 0.02)
+        assert metrics.gauge("monitor.clock_jitter").value == 0.02
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):
+            metrics.observe("machine.cycle_sim_time", float(value))
+        summary = metrics.histogram("machine.cycle_sim_time").summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0 and summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p90"] == pytest.approx(90.1)
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("x").summary() == {"count": 0}
+
+
+class TestSnapshot:
+    def test_to_dict_schema(self):
+        metrics = MetricsRegistry()
+        metrics.inc("machine.cycles")
+        metrics.set_gauge("g", 1.5)
+        metrics.observe("h", 2.0)
+        snapshot = metrics.to_dict()
+        assert snapshot["schema"] == METRICS_SCHEMA_VERSION
+        assert snapshot["counters"] == {"machine.cycles": 1.0}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_write_json(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.inc("ssa.events", 42)
+        path = metrics.write_json(tmp_path / "metrics.json")
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["ssa.events"] == 42
+
+    def test_write_json_unwritable(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot write"):
+            MetricsRegistry().write_json(tmp_path / "missing" / "m.json")
+
+
+class TestNullMetrics:
+    def test_ensure_metrics_defaults_to_null(self):
+        assert ensure_metrics(None) is NULL_METRICS
+        metrics = MetricsRegistry()
+        assert ensure_metrics(metrics) is metrics
+
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_no_allocation_when_disabled(self):
+        metrics = NULL_METRICS
+
+        def hot_loop():
+            for _ in range(1000):
+                if metrics.enabled:
+                    metrics.inc("machine.cycles")
+                metrics.observe("noop", 1.0)
+                metrics.counter("noop").inc()
+
+        hot_loop()
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            hot_loop()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0

@@ -1,0 +1,179 @@
+"""Tests for the protocol health monitors (REPRO-R*** diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_naive_chain
+from repro.crn.simulation.ode import OdeSimulator
+from repro.crn.simulation.result import Trajectory
+from repro.obs import (CycleSpan, MemorySink, MonitorConfig,
+                       ProtocolMonitor, ProtocolView, Tracer,
+                       check_phase_overlap, indicator_contrast,
+                       phase_overlap, stage_color_groups)
+
+
+def _trajectory(times, columns):
+    names = list(columns)
+    states = np.stack([np.asarray(columns[name], dtype=float)
+                       for name in names], axis=1)
+    return Trajectory(np.asarray(times, dtype=float), states, names)
+
+
+class TestPhaseOverlap:
+    def test_sequential_drains_score_zero(self):
+        """One colour draining at a time is exactly the phased shape."""
+        times = np.linspace(0.0, 3.0, 31)
+        red = np.where(times < 1.0, 10.0 * (1.0 - times), 0.0)
+        green = np.where((times >= 1.0) & (times < 2.0),
+                         10.0 * (2.0 - times), np.where(times < 1.0,
+                                                        10.0, 0.0))
+        blue = np.where(times >= 2.0, 10.0 * (3.0 - times), 10.0)
+        trajectory = _trajectory(times, {"r": red, "g": green, "b": blue})
+        mean, peak = phase_overlap(
+            trajectory, {"red": ["r"], "green": ["g"], "blue": ["b"]})
+        assert mean == pytest.approx(0.0, abs=1e-9)
+        assert peak == pytest.approx(0.0, abs=1e-9)
+
+    def test_concurrent_drains_score_high(self):
+        """All colours draining together is the unphased signature."""
+        times = np.linspace(0.0, 3.0, 31)
+        falling = 10.0 * (1.0 - times / 3.0)
+        trajectory = _trajectory(
+            times, {"r": falling, "g": falling, "b": falling})
+        mean, peak = phase_overlap(
+            trajectory, {"red": ["r"], "green": ["g"], "blue": ["b"]})
+        # Three equal drains: dominant share 1/3, overlap 2/3.
+        assert mean == pytest.approx(2.0 / 3.0, abs=1e-6)
+        assert peak == pytest.approx(2.0 / 3.0, abs=1e-6)
+
+    def test_holding_mass_is_not_overlap(self):
+        """Colours may *hold* mass concurrently without penalty."""
+        times = np.linspace(0.0, 1.0, 11)
+        trajectory = _trajectory(
+            times, {"r": 10.0 * (1.0 - times),
+                    "g": np.full_like(times, 20.0),
+                    "b": np.full_like(times, 20.0)})
+        mean, _ = phase_overlap(
+            trajectory, {"red": ["r"], "green": ["g"], "blue": ["b"]})
+        assert mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_stage_color_groups_rotation(self):
+        groups = stage_color_groups(["X", "S_1", "S_2", "S_3"])
+        assert groups == {"red": ["X", "S_3"], "green": ["S_1"],
+                          "blue": ["S_2"]}
+
+
+class TestIndicatorContrast:
+    def test_crisp_indicator(self):
+        times = np.linspace(0.0, 1.0, 100)
+        series = np.where(times < 0.5, 1e-4, 10.0)
+        trajectory = _trajectory(times, {"A_red": series})
+        assert indicator_contrast(trajectory, "A_red") > 1e4
+
+    def test_mushy_indicator(self):
+        times = np.linspace(0.0, 1.0, 100)
+        trajectory = _trajectory(
+            times, {"A_red": 5.0 + 0.5 * np.sin(times)})
+        assert indicator_contrast(trajectory, "A_red") < 2.0
+
+
+class TestProtocolMonitor:
+    VIEW = ProtocolView(
+        color_groups={"red": ["r"], "green": ["g"], "blue": ["b"]},
+        indicator_names={}, drained_color="blue", clock_mass=20.0)
+
+    def _segment(self, t0, t1, blue_final=0.0):
+        times = np.linspace(t0, t1, 20)
+        ramp = (times - t0) / (t1 - t0)
+        return _trajectory(times, {
+            "r": 10.0 * ramp,
+            "g": np.zeros_like(times),
+            "b": 10.0 - (10.0 - blue_final) * ramp})
+
+    def test_healthy_cycles_produce_no_diagnostics(self):
+        monitor = ProtocolMonitor(self.VIEW)
+        for i in range(4):
+            segment = self._segment(2.0 * i, 2.0 * (i + 1))
+            monitor.observe_cycle(CycleSpan(i, 2.0 * i, 2.0 * (i + 1)),
+                                  segment, clock_total=20.0)
+        assert monitor.finish() == []
+
+    def test_boundary_residual_fires_r104(self):
+        monitor = ProtocolMonitor(self.VIEW)
+        segment = self._segment(0.0, 2.0, blue_final=3.0)
+        monitor.observe_cycle(CycleSpan(0, 0.0, 2.0), segment)
+        codes = [d.code for d in monitor.finish()]
+        assert "REPRO-R104" in codes
+
+    def test_conservation_drift_fires_r105(self):
+        monitor = ProtocolMonitor(self.VIEW)
+        segment = self._segment(0.0, 2.0)
+        monitor.observe_cycle(CycleSpan(0, 0.0, 2.0), segment,
+                              clock_total=18.0)  # 10% off nominal 20
+        codes = [d.code for d in monitor.finish()]
+        assert "REPRO-R105" in codes
+
+    def test_jittery_periods_fire_r102(self):
+        monitor = ProtocolMonitor(self.VIEW)
+        t = 0.0
+        for i, period in enumerate([1.0, 3.0, 1.0, 3.0]):
+            monitor.observe_cycle(CycleSpan(i, t, t + period),
+                                  self._segment(t, t + period))
+            t += period
+        codes = [d.code for d in monitor.finish()]
+        assert "REPRO-R102" in codes
+        # finish() is idempotent: no duplicate findings on re-entry.
+        assert codes == [d.code for d in monitor.finish()]
+
+    def test_diagnostics_mirrored_into_tracer(self):
+        tracer = Tracer(MemorySink())
+        monitor = ProtocolMonitor(self.VIEW, tracer=tracer)
+        segment = self._segment(0.0, 2.0, blue_final=3.0)
+        monitor.observe_cycle(CycleSpan(0, 0.0, 2.0), segment)
+        dicts = tracer.sink.dicts()
+        assert any(d.get("code") == "REPRO-R104" for d in dicts)
+        # Health metrics ride along as monitor events for `repro report`.
+        assert any(d.get("name") == "monitor.phase_overlap"
+                   for d in dicts)
+
+    def test_empty_cycles_are_skipped(self):
+        monitor = ProtocolMonitor(self.VIEW,
+                                  MonitorConfig(min_signal_mass=1.0))
+        times = np.linspace(0.0, 2.0, 20)
+        noise = np.full_like(times, 1e-3)
+        segment = _trajectory(times, {"r": noise, "g": noise, "b": noise})
+        monitor.observe_cycle(CycleSpan(0, 0.0, 2.0), segment)
+        assert monitor.finish() == []
+
+
+class TestNaiveVsPhasedAcceptance:
+    """The headline acceptance claim: the rate-dependent baseline
+    triggers the phase-overlap diagnostic; the synchronous design,
+    on the same check, does not."""
+
+    def test_naive_chain_fires_r101(self):
+        network = build_naive_chain(n_stages=6, initial=30.0)
+        trajectory = OdeSimulator(network).simulate(30.0, n_samples=600)
+        stages = [name for name in trajectory.names if name != "Y"]
+        findings = check_phase_overlap(
+            trajectory, stage_color_groups(stages), subject=network.name)
+        assert [d.code for d in findings] == ["REPRO-R101"]
+        assert findings[0].value > findings[0].threshold
+        assert findings[0].subject == network.name
+
+    def test_synchronous_machine_does_not_fire_r101(self):
+        from fractions import Fraction
+
+        from repro.core.dfg import SignalFlowGraph
+        from repro.core.machine import SynchronousMachine
+        from repro.obs import MetricsRegistry
+
+        sfg = SignalFlowGraph("ma2")
+        x = sfg.input("x")
+        d = sfg.delay("d1", source=x)
+        sfg.output("y", sfg.add(sfg.gain(Fraction(1, 2), x),
+                                sfg.gain(Fraction(1, 2), d)))
+        # Passing a registry switches the protocol monitor on.
+        machine = SynchronousMachine(sfg, metrics=MetricsRegistry())
+        run = machine.run({"x": [10.0, 20.0]})
+        assert not any(d.code == "REPRO-R101" for d in run.diagnostics)

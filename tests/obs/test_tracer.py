@@ -1,0 +1,136 @@
+"""Tests for the tracer, its sinks, and the zero-overhead null path."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.obs import (NULL_TRACER, ChromeTraceSink, CycleSpan, JsonlSink,
+                       MemorySink, MetricsRegistry, SpanRecord,
+                       TraceWriteError, Tracer, chrome_events,
+                       ensure_tracer)
+
+
+class TestMemorySink:
+    def test_round_trip(self):
+        tracer = Tracer(MemorySink())
+        tracer.emit_span("cycle", "machine", 0.0, 2.0, {"cycle": 0})
+        tracer.emit_event("boundary", "machine", 2.0, {"cycle": 0})
+        tracer.emit_cycle(CycleSpan(1, 2.0, 4.0, wall=0.5))
+        dicts = tracer.sink.dicts()
+        assert [d["type"] for d in dicts] == ["span", "event", "span"]
+        assert dicts[0]["name"] == "cycle"
+        assert dicts[2]["args"] == {"cycle": 1, "wall": 0.5}
+
+    def test_metrics_snapshot_embedded(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        metrics.inc("ode.nfev", 7)
+        tracer.emit_metrics(metrics)
+        [record] = tracer.sink.dicts()
+        assert record["type"] == "metrics"
+        assert record["values"]["counters"]["ode.nfev"] == 7
+
+    def test_context_manager_closes_sink(self):
+        sink = MemorySink()
+        with Tracer(sink):
+            pass
+        assert sink.closed
+
+
+class TestJsonlSink:
+    def test_one_valid_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit_span("cycle", "machine", 0.0, 1.5)
+            tracer.emit_event("boundary", "machine", 1.5)
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["span", "event"]
+        assert records[0]["t1"] == 1.5
+
+    def test_unwritable_path_fails_eagerly(self, tmp_path):
+        with pytest.raises(TraceWriteError, match="cannot write"):
+            JsonlSink(tmp_path / "no-such-dir" / "t.jsonl")
+
+
+class TestChromeTraceSink:
+    def test_writes_loadable_trace_on_close(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with Tracer(ChromeTraceSink(path)) as tracer:
+            tracer.emit_span("cycle", "machine", 0.0, 3.0, {"cycle": 0})
+            tracer.emit_span("phase:red", "protocol", 0.0, 1.0)
+            tracer.emit_event("boundary", "machine", 3.0)
+        events = json.loads(path.read_text())
+        kinds = {event["ph"] for event in events}
+        assert {"M", "X", "i"} <= kinds
+        complete = [e for e in events if e["ph"] == "X"]
+        # Protocol spans share one lane so complete events nest.
+        assert {e["tid"] for e in complete} == {1}
+
+    def test_unwritable_path_fails_eagerly(self, tmp_path):
+        with pytest.raises(TraceWriteError, match="cannot write"):
+            ChromeTraceSink(tmp_path / "no-such-dir" / "t.json")
+
+    def test_chrome_events_lanes_and_scale(self):
+        records = [
+            {"type": "span", "name": "cycle", "cat": "machine",
+             "t0": 0.0, "t1": 2.0},
+            {"type": "span", "name": "ode.solve", "cat": "solver",
+             "t0": 0.0, "t1": 2.0},
+            {"type": "diag", "code": "REPRO-R101", "t": 2.0,
+             "message": "overlap"},
+            {"type": "metrics", "values": {}},
+        ]
+        events = chrome_events(records)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans[0]["tid"] == 1 and spans[1]["tid"] == 2
+        assert spans[0]["dur"] == pytest.approx(2000.0)
+        # Diagnostics land in the monitor lane; metrics are not timeline.
+        diag = [e for e in events if e["ph"] == "i"]
+        assert diag[0]["name"] == "REPRO-R101" and diag[0]["tid"] == 3
+        assert all(e["ph"] in ("M", "X", "i") for e in events)
+
+
+class TestSpanNesting:
+    def test_contains(self):
+        cycle = SpanRecord("cycle", "machine", 0.0, 3.0)
+        phase = SpanRecord("phase:red", "protocol", 0.0, 1.0)
+        transfer = SpanRecord("transfer:red->green", "protocol", 0.2, 0.9)
+        assert cycle.contains(phase)
+        assert phase.contains(transfer)
+        assert not transfer.contains(phase)
+
+
+class TestNullTracer:
+    def test_ensure_tracer_defaults_to_null(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert ensure_tracer(tracer) is tracer
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_no_allocation_when_disabled(self):
+        """The disabled hot path must not allocate record objects."""
+        tracer = NULL_TRACER
+        span = CycleSpan(0, 0.0, 1.0)
+        args = {"cycle": 0}
+
+        def hot_loop():
+            for _ in range(1000):
+                if tracer.enabled:
+                    tracer.emit_span("cycle", "machine", 0.0, 1.0, args)
+                    tracer.emit_cycle(span)
+                    tracer.emit_event("boundary", "machine", 1.0)
+
+        hot_loop()  # warm up bytecode/caches before measuring
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            hot_loop()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0

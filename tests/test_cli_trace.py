@@ -1,0 +1,96 @@
+"""End-to-end tests for the CLI telemetry flags and the report command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceFlag:
+    def test_filter_trace_then_report(self, tmp_path, capsys):
+        """The acceptance loop: record a trace, summarise it, export
+        the Chrome view -- all from the command line."""
+        trace = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "chrome.json"
+        metrics = tmp_path / "metrics.json"
+
+        assert main(["filter", "ma", "--input", "10,20,40",
+                     "--trace", str(trace),
+                     "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace to {trace}" in out
+        assert f"wrote metrics to {metrics}" in out
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines() if line]
+        names = {r.get("name") for r in records if r["type"] == "span"}
+        assert "cycle" in names and "phase:red" in names
+        assert any(n and n.startswith("transfer:") for n in names)
+        assert json.loads(metrics.read_text())["counters"]["ode.nfev"] > 0
+
+        assert main(["report", str(trace), "--chrome", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        for section in ("cycles", "phase share", "phase overlap",
+                        "solver effort", "diagnostics"):
+            assert section in out
+        events = json.loads(chrome.read_text())
+        assert any(e.get("name") == "cycle" for e in events)
+
+    def test_chrome_trace_direct(self, tmp_path, capsys):
+        """A .json trace target records Chrome events directly."""
+        trace = tmp_path / "trace.json"
+        assert main(["filter", "ma", "--input", "5,10",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        events = json.loads(trace.read_text())
+        assert any(e.get("ph") == "X" for e in events)
+
+    def test_clock_trace(self, tmp_path, capsys):
+        trace = tmp_path / "clock.jsonl"
+        assert main(["clock", "--t", "25", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines() if line]
+        cycles = [r for r in records
+                  if r["type"] == "span" and r["name"] == "cycle"]
+        assert len(cycles) >= 10
+
+    def test_counter_trace(self, tmp_path, capsys):
+        trace = tmp_path / "counter.jsonl"
+        assert main(["counter", "--bits", "2", "--pulses", "3",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines() if line]
+        pulses = [r for r in records if r["type"] == "span"
+                  and r["name"].startswith("pulse:")]
+        assert len(pulses) == 3
+
+
+class TestUnwritableTarget:
+    def test_trace_to_missing_dir_fails_cleanly(self, capsys):
+        code = main(["filter", "ma", "--input", "1,2",
+                     "--trace", "/nonexistent-dir/t.jsonl"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "cannot write trace file" in err
+
+    def test_chrome_target_fails_before_running(self, capsys):
+        """The eager writability probe rejects a bad .json target too."""
+        code = main(["clock", "--t", "25",
+                     "--trace", "/nonexistent-dir/t.json"])
+        assert code == 1
+        assert "cannot write trace file" in capsys.readouterr().err
+
+
+class TestReportErrors:
+    def test_missing_trace(self, capsys):
+        assert main(["report", "/nonexistent-dir/t.jsonl"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_corrupt_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\nnot json\n")
+        assert main(["report", str(path)]) == 1
+        assert "not a JSONL trace record" in capsys.readouterr().err
