@@ -54,7 +54,9 @@ def test_bench_clock_figure(benchmark, bench_json):
               {"period": period, "jitter": jitter,
                "amplitude": [low, high],
                "rotations": len(clock.rising_edges(trajectory)),
-               "ode_nfev": metrics.counter("ode.nfev").value},
+               "ode_nfev": metrics.counter("ode.nfev").value,
+               "ode_wall_seconds": metrics.histogram(
+                   "ode.wall_seconds").summary().get("sum", 0.0)},
               enabled=bench_json)
 
     # Shape assertions: sustained, regular, full-swing oscillation.

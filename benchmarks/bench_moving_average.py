@@ -51,7 +51,9 @@ def test_bench_moving_average_figure(benchmark, bench_json):
                "tone_max_error": tone_run.max_error(),
                "mean_cycle_time": tone_run.mean_cycle_time,
                "cycles": int(metrics.counter("machine.cycles").value),
-               "ode_nfev": metrics.counter("ode.nfev").value},
+               "ode_nfev": metrics.counter("ode.nfev").value,
+               "ode_wall_seconds": metrics.histogram(
+                   "ode.wall_seconds").summary().get("sum", 0.0)},
               enabled=bench_json)
 
     assert step_run.max_error() < 0.3

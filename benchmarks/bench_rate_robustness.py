@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.apps import iir_first_order
 from repro.crn.rates import RateScheme, jittered_rates
+from repro.crn.simulation import ParallelSweepRunner
 from repro.core.machine import SynchronousMachine
 from repro.errors import SimulationError
 from repro.reporting import markdown_table
@@ -26,30 +27,40 @@ SAMPLES = [16.0, 0.0, 8.0, 4.0]
 SEPARATIONS = (10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0)
 
 
-def _run():
-    design = iir_first_order()
-    sweep_rows = []
-    for separation in SEPARATIONS:
-        scheme = RateScheme.with_separation(separation)
-        try:
-            machine = SynchronousMachine(design, scheme=scheme,
-                                         max_cycle_time=200.0)
-            run = machine.run({"x": SAMPLES})
-            sweep_rows.append([separation, run.max_error(),
-                               run.mean_cycle_time, "ok"])
-        except SimulationError:
-            sweep_rows.append([separation, float("nan"), float("nan"),
-                               "FAILED (separation too small)"])
-
-    jitter_rows = []
-    rng = np.random.default_rng(0)
-    for trial in range(4):
-        machine = SynchronousMachine(design)
-        rates = jittered_rates(machine.network, RateScheme(), rng)
-        machine = SynchronousMachine(design, rates=rates)
+def _sweep_case(separation: float) -> list:
+    """One separation-sweep row (top-level so process pools can pickle)."""
+    scheme = RateScheme.with_separation(separation)
+    try:
+        machine = SynchronousMachine(iir_first_order(), scheme=scheme,
+                                     max_cycle_time=200.0)
         run = machine.run({"x": SAMPLES})
-        jitter_rows.append([trial, run.max_error(),
-                            run.mean_cycle_time])
+        return [separation, run.max_error(), run.mean_cycle_time, "ok"]
+    except SimulationError:
+        return [separation, float("nan"), float("nan"),
+                "FAILED (separation too small)"]
+
+
+def _jitter_case(payload: tuple) -> list:
+    """One jitter-trial row; the rates were drawn serially so results do
+    not depend on worker scheduling."""
+    trial, rates = payload
+    machine = SynchronousMachine(iir_first_order(), rates=rates)
+    run = machine.run({"x": SAMPLES})
+    return [trial, run.max_error(), run.mean_cycle_time]
+
+
+def _run():
+    runner = ParallelSweepRunner()
+    sweep_rows = runner.map(_sweep_case, list(SEPARATIONS))
+
+    # Draw all jitter vectors from one serial rng stream first (the
+    # draws stay identical to the serial implementation), then fan the
+    # expensive machine runs out over the pool.
+    network = SynchronousMachine(iir_first_order()).network
+    rng = np.random.default_rng(0)
+    payloads = [(trial, jittered_rates(network, RateScheme(), rng))
+                for trial in range(4)]
+    jitter_rows = runner.map(_jitter_case, payloads)
     return sweep_rows, jitter_rows
 
 

@@ -71,11 +71,17 @@ def test_bench_stochastic_exactness(benchmark, bench_seed, bench_json):
                 body)
     save_metrics("E14_stochastic", metrics)
     errors = [row[3] for row in rows]
+    ssa_events = metrics.counter("ssa.events").value
+    ssa_wall = metrics.histogram("ssa.wall_seconds").summary().get(
+        "sum", 0.0)
     save_json("E14_stochastic",
               {"max_error": max(errors),
                "exact_runs": sum(1 for e in errors if e == 0.0),
                "worst_sensitivity": worst_sensitivity,
-               "ssa_events": metrics.counter("ssa.events").value},
+               "ssa_events": ssa_events,
+               "ssa_wall_seconds": ssa_wall,
+               "events_per_sec": ssa_events / ssa_wall if ssa_wall
+               else 0.0},
               seed=bench_seed, enabled=bench_json)
 
     assert max(errors) <= 4.0

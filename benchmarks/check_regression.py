@@ -1,0 +1,104 @@
+"""Benchmark regression gate: current results vs committed baselines.
+
+Compares the schema-versioned ``results/<name>.json`` records produced
+by a fresh ``--json`` benchmark run against a baseline snapshot (the
+committed records, stashed before the run).  Performance metrics may
+not be more than ``--threshold`` (default 30%) worse than baseline;
+correctness fields are informational only here -- the benchmarks assert
+those themselves.
+
+Usage::
+
+    python check_regression.py --baseline DIR [--current DIR]
+                               [--threshold 0.3]
+
+Exit status 1 when any watched metric regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Watched performance metrics per experiment record.  ``lower`` means
+#: smaller is better (wall seconds, solver effort); ``higher`` means
+#: larger is better (throughput).
+WATCHED = {
+    "E1_clock": {"ode_wall_seconds": "lower"},
+    "E3_moving_average": {"ode_wall_seconds": "lower"},
+    "E14_stochastic": {"events_per_sec": "higher",
+                       "ssa_wall_seconds": "lower"},
+}
+
+
+def _load(path: Path) -> dict | None:
+    if not path.is_file():
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(baseline_dir: Path, current_dir: Path,
+            threshold: float) -> list[str]:
+    """Regression messages (empty when everything is within bounds)."""
+    failures: list[str] = []
+    for experiment, metrics in sorted(WATCHED.items()):
+        baseline = _load(baseline_dir / f"{experiment}.json")
+        current = _load(current_dir / f"{experiment}.json")
+        if baseline is None:
+            print(f"{experiment}: no baseline record, skipping")
+            continue
+        if current is None:
+            failures.append(f"{experiment}: current record missing "
+                            f"(benchmark did not produce JSON)")
+            continue
+        for key, direction in metrics.items():
+            if key not in baseline:
+                print(f"{experiment}.{key}: not in baseline, skipping")
+                continue
+            if key not in current:
+                failures.append(f"{experiment}.{key}: missing from "
+                                f"current record")
+                continue
+            old, new = float(baseline[key]), float(current[key])
+            if old <= 0.0:
+                print(f"{experiment}.{key}: non-positive baseline "
+                      f"({old:g}), skipping")
+                continue
+            ratio = new / old
+            worse = ratio > 1.0 + threshold if direction == "lower" \
+                else ratio < 1.0 - threshold
+            status = "REGRESSED" if worse else "ok"
+            print(f"{experiment}.{key}: {old:g} -> {new:g} "
+                  f"({ratio:.2f}x, want {direction}) {status}")
+            if worse:
+                failures.append(
+                    f"{experiment}.{key} regressed: {old:g} -> {new:g} "
+                    f"({abs(ratio - 1.0):.0%} worse than baseline, "
+                    f"threshold {threshold:.0%})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding baseline *.json records")
+    parser.add_argument("--current", type=Path,
+                        default=Path(__file__).parent / "results",
+                        help="directory holding fresh *.json records")
+    parser.add_argument("--threshold", type=float, default=0.3,
+                        help="allowed fractional slowdown (default 0.3)")
+    args = parser.parse_args(argv)
+    failures = compare(args.baseline, args.current, args.threshold)
+    if failures:
+        print("\n".join(["", "Benchmark regressions detected:"]
+                        + [f"  - {message}" for message in failures]))
+        return 1
+    print("\nNo benchmark regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

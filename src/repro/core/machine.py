@@ -183,6 +183,10 @@ class SynchronousMachine:
             for color in COLORS}
         # Period estimate for sample-density planning (updated per cycle).
         self._last_period: float | None = None
+        # Previous cycle's segment durations: time-to-event hints for the
+        # solver's chunked event search (cycle jitter is a few percent, so
+        # the previous duration is an excellent estimate).
+        self._segment_estimates: dict[str, float] = {}
 
     def make_monitor(self) -> ProtocolMonitor | None:
         """A fresh protocol-health monitor for one run (or ``None``
@@ -459,9 +463,11 @@ class SynchronousMachine:
             n_samples = min(int(self.max_cycle_time / spacing) + 2, 50_000)
         else:
             n_samples = 8
+        estimates = self._segment_estimates
         departure = self.simulator.simulate(
             t_start + self.max_cycle_time, t_start=t_start, initial=state,
-            n_samples=n_samples, events=[self._departure_event()])
+            n_samples=n_samples, events=[self._departure_event()],
+            event_hint=estimates.get("departure"))
         if "event" not in departure.meta:
             raise SimulationError(
                 f"clock did not leave the boundary within "
@@ -471,12 +477,15 @@ class SynchronousMachine:
             departure.t_final + self.max_cycle_time,
             t_start=departure.t_final, initial=departure.final(),
             n_samples=n_samples,
-            events=[self._boundary_event(signal_mass)])
+            events=[self._boundary_event(signal_mass)],
+            event_hint=estimates.get("boundary"))
         if "event" not in boundary.meta:
             raise SimulationError(
                 f"no cycle boundary within {self.max_cycle_time:g} time "
                 f"units after t={departure.t_final:g}: machine appears "
                 f"stalled (check rate separation and blue_tolerance)")
+        estimates["departure"] = departure.t_final - t_start
+        estimates["boundary"] = boundary.t_final - departure.t_final
         return departure.concat(boundary)
 
     def _quantize(self, state: np.ndarray) -> np.ndarray:

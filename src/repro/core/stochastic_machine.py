@@ -151,6 +151,7 @@ class StochasticMachine:
         threshold = self.boundary_fraction * self.circuit.clock.mass
         samples_per_chunk = 16
         departed = False
+        cycle_start = t
         start = t
         while True:
             trajectory = self.simulator.simulate(
@@ -174,11 +175,15 @@ class StochasticMachine:
             if t - start > self.patience:
                 counts = self._flush_stragglers(counts)
                 start = t - self.patience / 2  # renewed (half) patience
-            if t - start > self.max_cycle_time:
+            # Deadline on the whole cycle, not the patience window: the
+            # renewal above would otherwise keep `t - start` below the
+            # limit forever, so an unrecoverable wedge (e.g. clock mass
+            # leaked to zero at low copy number) would spin indefinitely.
+            if t - cycle_start > self.max_cycle_time:
                 raise SimulationError(
                     f"no stochastic cycle boundary within "
                     f"{self.max_cycle_time:g} time units after "
-                    f"t={start:g}")
+                    f"t={cycle_start:g}")
 
     def _flush_stragglers(self, counts: np.ndarray) -> np.ndarray:
         """Degrade straggler molecules wedging the rotation (see module

@@ -1,4 +1,4 @@
-"""Mass-action kinetics: right-hand sides, propensities, Jacobians.
+"""Mass-action kinetics: compiled right-hand sides, propensities, Jacobians.
 
 Deterministic semantics (used by the ODE simulators)
     rate_j = k_j * prod_s x_s ** E[j, s]
@@ -10,6 +10,22 @@ Stochastic semantics (used by SSA / tau-leaping)
 
 With volume ``V`` equal to the count scale, the SSA mean converges to the
 ODE trajectory for large counts, which one of the integration tests checks.
+
+Compilation strategy
+--------------------
+Almost every reaction in the paper's constructions is zeroth, first or
+second order, so :class:`MassActionKinetics` compiles the exponent matrix
+into a *two-factor* form: each reaction of order <= 2 is described by two
+gather indices into an extended state buffer whose last slot is the
+constant 1.0.  Monomials, propensities and the Jacobian nonzeros then
+evaluate as a handful of vectorized gather-multiplies with no Python loop
+over reactions.  Reactions of order >= 3 (or with a single exponent >= 3)
+fall back to a per-reaction loop over a CSR-style nonzero list; they are
+rare and the fallback touches only those rows.
+
+:class:`DenseKineticsReference` keeps the straightforward dense
+implementation; the golden-equivalence test suite asserts both engines
+agree on every example network.
 """
 
 from __future__ import annotations
@@ -22,7 +38,19 @@ from repro.crn.network import Network
 
 
 class MassActionKinetics:
-    """Compiled mass-action kinetics for one network + rate vector."""
+    """Compiled sparse mass-action kinetics for one network + rate vector.
+
+    Attributes of interest to the simulators:
+
+    ``exponents`` / ``stoich``
+        dense (R, S) exponent and (S, R) net-stoichiometry matrices.
+    ``jacobian_sparsity()``
+        (S, S) 0/1 pattern of the state Jacobian, suitable for scipy's
+        ``jac_sparsity`` argument to BDF/Radau.
+    ``reaction_dependencies()``
+        reaction -> affected-reactions adjacency used by the
+        incremental-propensity SSA core.
+    """
 
     def __init__(self, network: Network, rates: np.ndarray):
         rates = np.asarray(rates, dtype=float)
@@ -34,50 +62,161 @@ class MassActionKinetics:
         self.rates = rates
         self.exponents = network.reactant_matrix()          # (R, S)
         self.stoich = network.stoichiometry_matrix()        # (S, R)
-        # Sparse representation of the exponent matrix for the Jacobian.
+        # Sparse representation of the exponent matrix (CSR-style lists).
         self._nz_rows, self._nz_cols = np.nonzero(self.exponents)
         self._nz_exp = self.exponents[self._nz_rows, self._nz_cols]
-        # Precompute per-reaction reactant index lists for SSA propensities.
         self._reactant_lists = [
-            [(s, int(e)) for s, e in zip(*_row_nonzero(self.exponents, j))]
+            [(int(s), int(e)) for s, e in zip(*_row_nonzero(self.exponents, j))]
             for j in range(network.n_reactions)
         ]
+        self._compile()
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self) -> None:
+        n_r, n_s = self.exponents.shape
+        self.n_reactions = n_r
+        self.n_species = n_s
+        sentinel = n_s  # extended-buffer slot holding the constant 1.0
+        factor_a = np.full(n_r, sentinel, dtype=np.intp)
+        factor_b = np.full(n_r, sentinel, dtype=np.intp)
+        pair_same = np.zeros(n_r, dtype=bool)
+        generic: list[int] = []
+        # Jacobian nonzeros: entry value = coeff * k_j * xe[gather].
+        jac_r: list[int] = []
+        jac_c: list[int] = []
+        jac_coeff: list[float] = []
+        jac_g: list[int] = []
+        for j, reactants in enumerate(self._reactant_lists):
+            order = sum(e for _, e in reactants)
+            if order == 0:
+                continue
+            if order == 1:
+                s = reactants[0][0]
+                factor_a[j] = s
+                jac_r.append(j); jac_c.append(s)
+                jac_coeff.append(1.0); jac_g.append(sentinel)
+            elif order == 2 and len(reactants) == 1:
+                s = reactants[0][0]                        # 2X -> ...
+                factor_a[j] = factor_b[j] = s
+                pair_same[j] = True
+                jac_r.append(j); jac_c.append(s)
+                jac_coeff.append(2.0); jac_g.append(s)
+            elif order == 2:
+                (sa, _), (sb, _) = reactants               # X + Y -> ...
+                factor_a[j] = sa
+                factor_b[j] = sb
+                jac_r.append(j); jac_c.append(sa)
+                jac_coeff.append(1.0); jac_g.append(sb)
+                jac_r.append(j); jac_c.append(sb)
+                jac_coeff.append(1.0); jac_g.append(sa)
+            else:
+                generic.append(j)
+        self._factor_a = factor_a
+        self._factor_b = factor_b
+        self._pair_same = pair_same
+        self._generic_rows = np.array(generic, dtype=np.intp)
+        self._generic_lists = [(j, self._reactant_lists[j]) for j in generic]
+        self._jac_rows = np.array(jac_r, dtype=np.intp)
+        self._jac_cols = np.array(jac_c, dtype=np.intp)
+        self._jac_gather = np.array(jac_g, dtype=np.intp)
+        # rates never change after construction, so fold them in.
+        self._jac_scale = np.array(jac_coeff) * self.rates[self._jac_rows]
+        # Nonzero pattern of d(rate)/dx, including the generic rows.
+        pattern = np.zeros((n_r, n_s), dtype=bool)
+        pattern[self._jac_rows, self._jac_cols] = True
+        for j, reactants in self._generic_lists:
+            for s, _ in reactants:
+                pattern[j, s] = True
+        self._drate_pattern = pattern
+        # Stochastic second-factor gather: slot fB for distinct factors,
+        # slot (n_s + 1 + s) for the (x_s - 1)/2 half-pair factor of 2X.
+        stoch_b = factor_b.copy()
+        stoch_b[pair_same] = n_s + 1 + factor_a[pair_same]
+        self._stoch_factor_b = stoch_b
+        # Reusable buffers (simulators are single-threaded per instance).
+        self._xbuf = np.ones(n_s + 1)
+        self._cbuf = np.ones(2 * (n_s + 1))
+        self._drate = np.zeros((n_r, n_s))
+        self._stoich_c = np.ascontiguousarray(self.stoich)
+        self._stoich_csr = None  # built lazily by jacobian_sparse
 
     # -- deterministic -------------------------------------------------------
 
+    def monomials(self, x: np.ndarray) -> np.ndarray:
+        """Vector of mass-action monomials ``prod_s x_s ** E[j, s]``."""
+        xe = self._xbuf
+        np.maximum(x, 0.0, out=xe[:self.n_species])
+        m = xe[self._factor_a]
+        m *= xe[self._factor_b]
+        for j, reactants in self._generic_lists:
+            value = 1.0
+            for s, e in reactants:
+                value *= xe[s] ** e
+            m[j] = value
+        return m
+
     def reaction_rates(self, x: np.ndarray) -> np.ndarray:
         """Vector of mass-action reaction rates at state ``x``."""
-        x = np.maximum(x, 0.0)
-        # x ** 0 == 1, so the dense power handles absent reactants.
-        monomials = np.prod(np.power(x[None, :], self.exponents), axis=1)
-        return self.rates * monomials
+        m = self.monomials(x)
+        m *= self.rates
+        return m
 
     def rhs(self, t: float, x: np.ndarray) -> np.ndarray:
         """ODE right-hand side ``dx/dt``."""
-        return self.stoich @ self.reaction_rates(x)
+        return self._stoich_c @ self.reaction_rates(x)
+
+    def _drate_values(self, x: np.ndarray) -> np.ndarray:
+        """Populate and return the cached d(rate)/dx scatter buffer."""
+        xe = self._xbuf
+        np.maximum(x, 0.0, out=xe[:self.n_species])
+        drate = self._drate
+        drate[self._jac_rows, self._jac_cols] = \
+            self._jac_scale * xe[self._jac_gather]
+        for j, reactants in self._generic_lists:
+            full = self.rates[j]
+            for s, e in reactants:
+                full *= xe[s] ** e
+            for s, e in reactants:
+                xs = xe[s]
+                if xs > 0.0:
+                    drate[j, s] = full * e / xs
+                else:
+                    others = self.rates[j]
+                    for s2, e2 in reactants:
+                        if s2 != s:
+                            others *= xe[s2] ** e2
+                    # For e >= 2 the derivative at x_s = 0 is 0.
+                    drate[j, s] = others if e == 1 else 0.0
+        return drate
 
     def jacobian(self, t: float, x: np.ndarray) -> np.ndarray:
-        """Analytic Jacobian ``d(dx/dt)/dx`` (dense)."""
-        x = np.maximum(x, 0.0)
-        n_r, n_s = self.exponents.shape
-        # d rate_j / d x_s for each nonzero exponent entry.
-        drate = np.zeros((n_r, n_s))
-        monomials = np.power(x[None, :], self.exponents)  # (R, S)
-        full = self.rates * np.prod(monomials, axis=1)
-        for j, s, e in zip(self._nz_rows, self._nz_cols, self._nz_exp):
-            xs = x[s]
-            if xs > 0:
-                drate[j, s] = full[j] * e / xs
-            else:
-                # Recompute the partial product without species s.
-                others = self.rates[j]
-                for s2 in np.nonzero(self.exponents[j])[0]:
-                    if s2 == s:
-                        continue
-                    others *= x[s2] ** self.exponents[j, s2]
-                drate[j, s] = others * (e if e == 1 else 0.0)
-                # For e >= 2 the derivative at x_s = 0 is 0.
-        return self.stoich @ drate
+        """Analytic Jacobian ``d(dx/dt)/dx`` (dense array)."""
+        return self._stoich_c @ self._drate_values(x)
+
+    def jacobian_sparse(self, t: float, x: np.ndarray):
+        """Analytic Jacobian as a ``scipy.sparse`` CSC matrix.
+
+        BDF/Radau accept a sparse-returning ``jac`` and switch their
+        Newton linear algebra to sparse LU, which is what makes large
+        composed networks tractable.
+        """
+        from scipy import sparse
+
+        if self._stoich_csr is None:
+            self._stoich_csr = sparse.csr_matrix(self._stoich_c)
+        drate = sparse.csr_matrix(self._drate_values(x))
+        return sparse.csc_matrix(self._stoich_csr @ drate)
+
+    def jacobian_sparsity(self) -> np.ndarray:
+        """(S, S) 0/1 nonzero pattern of :meth:`jacobian`.
+
+        Row s may depend on column s' iff some reaction both changes s
+        and has s' as a reactant.  Suitable for scipy's ``jac_sparsity``.
+        """
+        touches = (self.stoich != 0).astype(np.int8)       # (S, R)
+        pattern = touches @ self._drate_pattern.astype(np.int8)
+        return (pattern > 0).astype(np.int8)
 
     # -- stochastic ----------------------------------------------------------
 
@@ -94,9 +233,136 @@ class MassActionKinetics:
                 constants[j] = self.rates[j] * volume
         return constants
 
+    def _fill_count_buffer(self, counts: np.ndarray) -> np.ndarray:
+        """Extended stochastic gather buffer for integer state ``counts``.
+
+        Layout: ``[counts..., 1.0, (counts - 1) / 2..., 1.0]`` -- the
+        second half provides the C(n, 2) = n * (n-1)/2 factor for 2X
+        reactions without a branch in the hot path.
+        """
+        n_s = self.n_species
+        cb = self._cbuf
+        cb[:n_s] = counts
+        cb[n_s + 1:2 * n_s + 1] = (cb[:n_s] - 1.0) * 0.5
+        return cb
+
     def propensities(self, counts: np.ndarray,
                      constants: np.ndarray) -> np.ndarray:
         """SSA propensities at integer state ``counts``."""
+        cb = self._fill_count_buffer(counts)
+        a = constants * cb[self._factor_a]
+        a *= cb[self._stoch_factor_b]
+        for j, reactants in self._generic_lists:
+            a[j] = self.propensity_of(j, counts, constants)
+        return a
+
+    def propensity_of(self, j: int, counts: np.ndarray,
+                      constants: np.ndarray) -> float:
+        """Propensity of one reaction (generic-order scalar path)."""
+        value = float(constants[j])
+        for s, e in self._reactant_lists[j]:
+            n = counts[s]
+            if n < e:
+                return 0.0
+            combos = 1.0
+            for i in range(e):
+                combos *= (n - i)
+            combos /= math.factorial(e)
+            value *= combos
+        return value
+
+    # -- structure -----------------------------------------------------------
+
+    def reaction_dependencies(self) -> list[np.ndarray]:
+        """Reaction dependency graph for incremental propensity updates.
+
+        ``deps[j]`` holds the indices of every reaction whose propensity
+        may change when reaction ``j`` fires: reactions with at least one
+        reactant among the species whose *net* count ``j`` changes.  A
+        catalytic reaction (e.g. ``A -> A + B``) does not depend on
+        itself unless some reactant's net count changes.
+        """
+        reactant_mask = self.exponents != 0                 # (R, S)
+        deps = []
+        for j in range(self.n_reactions):
+            changed = np.nonzero(self.stoich[:, j])[0]
+            if changed.size == 0:
+                deps.append(np.empty(0, dtype=np.intp))
+            else:
+                affected = reactant_mask[:, changed].any(axis=1)
+                deps.append(np.nonzero(affected)[0].astype(np.intp))
+        return deps
+
+
+class DenseKineticsReference:
+    """Straightforward dense mass-action kinetics (golden reference).
+
+    Implements the textbook formulas with dense ``(R, S)`` matrix
+    arithmetic and explicit Python loops.  It is deliberately naive: the
+    equivalence test suite runs it against :class:`MassActionKinetics`
+    on every example network to pin down the compiled engine.
+    """
+
+    def __init__(self, network: Network, rates: np.ndarray):
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (network.n_reactions,):
+            raise ValueError(
+                f"rate vector has shape {rates.shape}, expected "
+                f"({network.n_reactions},)")
+        self.network = network
+        self.rates = rates
+        self.exponents = network.reactant_matrix()
+        self.stoich = network.stoichiometry_matrix()
+        self._nz_rows, self._nz_cols = np.nonzero(self.exponents)
+        self._nz_exp = self.exponents[self._nz_rows, self._nz_cols]
+        self._reactant_lists = [
+            [(s, int(e)) for s, e in zip(*_row_nonzero(self.exponents, j))]
+            for j in range(network.n_reactions)
+        ]
+
+    def reaction_rates(self, x: np.ndarray) -> np.ndarray:
+        x = np.maximum(x, 0.0)
+        # x ** 0 == 1, so the dense power handles absent reactants.
+        monomials = np.prod(np.power(x[None, :], self.exponents), axis=1)
+        return self.rates * monomials
+
+    def rhs(self, t: float, x: np.ndarray) -> np.ndarray:
+        return self.stoich @ self.reaction_rates(x)
+
+    def jacobian(self, t: float, x: np.ndarray) -> np.ndarray:
+        x = np.maximum(x, 0.0)
+        n_r, n_s = self.exponents.shape
+        drate = np.zeros((n_r, n_s))
+        full = self.rates * np.prod(np.power(x[None, :], self.exponents),
+                                    axis=1)
+        for j, s, e in zip(self._nz_rows, self._nz_cols, self._nz_exp):
+            xs = x[s]
+            if xs > 0:
+                drate[j, s] = full[j] * e / xs
+            else:
+                others = self.rates[j]
+                for s2 in np.nonzero(self.exponents[j])[0]:
+                    if s2 == s:
+                        continue
+                    others *= x[s2] ** self.exponents[j, s2]
+                drate[j, s] = others * (e if e == 1 else 0.0)
+                # For e >= 2 the derivative at x_s = 0 is 0.
+        return self.stoich @ drate
+
+    def stochastic_constants(self, volume: float = 1.0) -> np.ndarray:
+        constants = np.empty(len(self.rates))
+        for j, reactants in enumerate(self._reactant_lists):
+            order = sum(e for _, e in reactants)
+            factor = 1.0
+            for _, e in reactants:
+                factor *= math.factorial(e)
+            constants[j] = self.rates[j] * factor / volume ** max(order - 1, 0)
+            if order == 0:
+                constants[j] = self.rates[j] * volume
+        return constants
+
+    def propensities(self, counts: np.ndarray,
+                     constants: np.ndarray) -> np.ndarray:
         a = constants.copy()
         for j, reactants in enumerate(self._reactant_lists):
             for s, e in reactants:

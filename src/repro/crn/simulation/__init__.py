@@ -2,19 +2,30 @@
 
 from repro.crn.simulation.events import (species_above, species_below,
                                          total_above, total_below)
-from repro.crn.simulation.ode import METHODS, OdeSimulator, simulate
+from repro.crn.simulation.ode import (JACOBIAN_MODES, METHODS, OdeSimulator,
+                                      simulate)
 from repro.crn.simulation.result import Trajectory
 from repro.crn.simulation.rk import integrate_rk45
-from repro.crn.simulation.ssa import StochasticSimulator
+from repro.crn.simulation.sampling import (cumulative_propensities,
+                                           select_reaction)
+from repro.crn.simulation.ssa import (IncrementalPropensities,
+                                      StochasticSimulator)
+from repro.crn.simulation.sweep import ParallelSweepRunner, run_seeded
 from repro.crn.simulation.tau_leaping import TauLeapingSimulator
 
 __all__ = [
+    "IncrementalPropensities",
+    "JACOBIAN_MODES",
     "METHODS",
     "OdeSimulator",
+    "ParallelSweepRunner",
     "StochasticSimulator",
     "TauLeapingSimulator",
     "Trajectory",
+    "cumulative_propensities",
     "integrate_rk45",
+    "run_seeded",
+    "select_reaction",
     "simulate",
     "species_above",
     "species_below",

@@ -86,16 +86,19 @@ class Trajectory:
 
         Used by the cycle driver, which integrates phase by phase and
         stitches the pieces together.  A duplicated boundary sample is
-        dropped.
+        dropped; the tolerance is relative to the boundary time, since
+        float spacing at t >> 1 exceeds any fixed absolute cutoff.
         """
         if self.names != other.names:
             raise SimulationError("cannot concat trajectories with "
                                   "different species")
         times = other.times
         states = other.states
-        if times.size and self.times.size and times[0] <= self.times[-1] + 1e-15:
-            times = times[1:]
-            states = states[1:]
+        if times.size and self.times.size:
+            boundary = self.times[-1]
+            if times[0] <= boundary + 1e-12 * max(1.0, abs(boundary)):
+                times = times[1:]
+                states = states[1:]
         return Trajectory(np.concatenate([self.times, times]),
                           np.vstack([self.states, states]),
                           self.names, {**self.meta, **other.meta})

@@ -3,6 +3,14 @@
 Molecular computation ultimately runs on integer molecule counts; the
 iterative (nonlinear) constructs in :mod:`repro.core.iterative` are *exact*
 only in that discrete semantics, so the test suite exercises them here.
+
+The inner loop is incremental: a precomputed reaction dependency graph
+(reaction j -> reactions with a reactant among the species j's net change
+touches) means each firing re-evaluates only the affected propensities,
+instead of the full O(R * reactants) Python-loop recompute per event.
+Affected entries are recomputed exactly from the current counts, so the
+propensity vector never drifts; the cumulative-sum selection draw is
+shared with tau-leaping via :mod:`repro.crn.simulation.sampling`.
 """
 
 from __future__ import annotations
@@ -12,13 +20,96 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.crn.kinetics import build_kinetics
+from repro.crn.kinetics import MassActionKinetics, build_kinetics
 from repro.crn.network import Network
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.result import Trajectory
+from repro.crn.simulation.sampling import select_reaction
 from repro.errors import SimulationError
 from repro.obs.metrics import ensure_metrics
 from repro.obs.tracer import ensure_tracer
+
+#: Runs per ensemble chunk.  The chunk structure (not the worker count)
+#: fixes the floating-point summation order, so serial and parallel
+#: ensemble means are bitwise identical for the same seed.
+ENSEMBLE_CHUNK_RUNS = 8
+
+
+class IncrementalPropensities:
+    """Dependency-graph propensity state for one kinetics + constants.
+
+    Owns the integer counts and the propensity vector ``a``.
+    :meth:`fire` applies one reaction's net stoichiometry and
+    re-evaluates only the dependent propensities (exactly, from the
+    updated counts -- untouched entries stay valid, so the vector never
+    accumulates drift).  No running total is maintained: the simulators
+    read it off the cumulative sum they compute for the selection draw
+    anyway, so incremental total bookkeeping would be pure overhead.
+    """
+
+    def __init__(self, kinetics: MassActionKinetics, constants: np.ndarray):
+        self.kinetics = kinetics
+        self.constants = np.asarray(constants, dtype=float)
+        n_s = kinetics.n_species
+        self._n_s = n_s
+        stoich = kinetics.stoich                    # (S, R)
+        deps = kinetics.reaction_dependencies()
+        self._deps = deps
+        factor_a = kinetics._factor_a
+        factor_b = kinetics._stoch_factor_b
+        self._dep_a = [factor_a[d] for d in deps]
+        self._dep_b = [factor_b[d] for d in deps]
+        self._dep_c = [self.constants[d] for d in deps]
+        generic = set(int(j) for j in kinetics._generic_rows)
+        self._dep_generic = [
+            [(pos, int(i)) for pos, i in enumerate(d) if int(i) in generic]
+            for d in deps
+        ]
+        # Per-reaction sparse net-change columns: integer deltas for the
+        # counts, float deltas for both halves of the gather buffer
+        # (raw count slot and the (n-1)/2 half-pair slot).
+        # One tuple per reaction so `fire` pays a single list lookup:
+        # (species touched, integer deltas, gather-buffer slots and their
+        #  float deltas, dependent reactions, their gather indices and
+        #  constants, generic-order entries among them).
+        plan = []
+        for j in range(kinetics.n_reactions):
+            species = np.nonzero(stoich[:, j])[0].astype(np.intp)
+            delta = stoich[species, j].astype(np.int64)
+            slots = np.concatenate([species, species + n_s + 1]) \
+                .astype(np.intp)
+            slot_delta = np.concatenate([delta, delta * 0.5])
+            plan.append((species, delta, slots, slot_delta,
+                         self._deps[j], self._dep_a[j], self._dep_b[j],
+                         self._dep_c[j], self._dep_generic[j]))
+        self._fire_plan = plan
+        self.counts = np.zeros(n_s, dtype=np.int64)
+        self._cb = np.ones(2 * (n_s + 1))
+        self.a = np.zeros(kinetics.n_reactions)
+
+    def reset(self, counts: np.ndarray) -> float:
+        """Adopt a full state vector and recompute every propensity."""
+        self.counts = np.array(counts, dtype=np.int64)
+        self.a = self.kinetics.propensities(self.counts, self.constants)
+        self._cb[:] = self.kinetics._cbuf
+        return float(self.a.sum())
+
+    def fire(self, j: int) -> None:
+        """Apply reaction ``j`` and update the dependent propensities."""
+        species, delta, slots, slot_delta, dep, dep_a, dep_b, dep_c, \
+            generic = self._fire_plan[j]
+        self.counts[species] += delta
+        cb = self._cb
+        cb[slots] += slot_delta
+        if dep.size == 0:
+            return
+        fresh = dep_c * cb[dep_a]
+        fresh *= cb[dep_b]
+        if generic:
+            for pos, i in generic:
+                fresh[pos] = self.kinetics.propensity_of(
+                    i, self.counts, self.constants)
+        self.a[dep] = fresh
 
 
 class StochasticSimulator:
@@ -28,6 +119,8 @@ class StochasticSimulator:
     call as an ``ssa.batch`` solver span and counts reaction firings,
     overall and per channel (``ssa.firings[<reaction label>]``).
     """
+
+    _batch_kind = "ssa"
 
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  rates: np.ndarray | None = None, volume: float = 1.0,
@@ -42,8 +135,12 @@ class StochasticSimulator:
         self.stoich = network.stoichiometry_matrix().T.astype(np.int64)
         if isinstance(seed, np.random.Generator):
             self.rng = seed
+            self._seed_seq: np.random.SeedSequence | None = None
         else:
-            self.rng = np.random.default_rng(seed)
+            self._seed_seq = np.random.SeedSequence(seed)
+            self.rng = np.random.default_rng(self._seed_seq)
+        self.propensity_state = IncrementalPropensities(self.kinetics,
+                                                        self.constants)
         self.tracer = ensure_tracer(tracer)
         self.metrics = ensure_metrics(metrics)
 
@@ -92,41 +189,49 @@ class StochasticSimulator:
         """Run one SSA realisation, recorded on a uniform time grid."""
         if t_final <= 0:
             raise SimulationError("t_final must be positive")
-        counts = self._initial_counts(initial)
+        state = self.propensity_state
+        state.reset(self._initial_counts(initial))
         sample_times = np.linspace(0.0, t_final, max(int(n_samples), 2))
-        samples = np.empty((sample_times.size, counts.size), dtype=float)
-        samples[0] = counts
+        samples = np.empty((sample_times.size, state.counts.size),
+                           dtype=float)
+        samples[0] = state.counts
         next_sample = 1
         telemetry = self.tracer.enabled or self.metrics.enabled
         wall_start = perf_counter() if telemetry else 0.0
         firings = np.zeros(self.network.n_reactions, dtype=np.int64) \
             if self.metrics.enabled else None
+        rng = self.rng
+        a = state.a  # reset() rebound it; fire() mutates it in place
+        fire = state.fire
+        grid = sample_times.tolist()
+        n_times = len(grid)
 
         t = 0.0
         events = 0
         while t < t_final:
-            propensities = self.kinetics.propensities(counts, self.constants)
-            total = propensities.sum()
+            cumulative = a.cumsum()
+            total = cumulative[-1]
             if total <= 0.0:
                 break  # No reaction can fire; state is absorbing.
-            t += self.rng.exponential(1.0 / total)
+            t += rng.exponential(1.0 / total)
             if t > t_final:
                 break
-            while (next_sample < sample_times.size
-                   and sample_times[next_sample] <= t):
-                samples[next_sample] = counts
+            while next_sample < n_times and grid[next_sample] <= t:
+                samples[next_sample] = state.counts
                 next_sample += 1
-            choice = self.rng.random() * total
-            j = int(np.searchsorted(np.cumsum(propensities), choice))
-            j = min(j, propensities.size - 1)
-            counts = counts + self.stoich[j]
+            if events >= max_events:
+                if telemetry:
+                    self._record_batch("ssa", t_final, events,
+                                       perf_counter() - wall_start, firings)
+                raise SimulationError(
+                    f"SSA exceeded {max_events} events at t={t:g}")
+            j = select_reaction(a, rng.random(),
+                                cumulative=cumulative, total=total)
+            fire(j)
             events += 1
             if firings is not None:
                 firings[j] += 1
-            if events > max_events:
-                raise SimulationError(
-                    f"SSA exceeded {max_events} events at t={t:g}")
-        samples[next_sample:] = counts
+        samples[next_sample:] = state.counts
         if telemetry:
             self._record_batch("ssa", t_final, events,
                                perf_counter() - wall_start, firings)
@@ -139,18 +244,65 @@ class StochasticSimulator:
         return {name: int(round(value))
                 for name, value in trajectory.final_state().items()}
 
+    # -- ensembles -------------------------------------------------------------
+
+    def _clone_spec(self) -> dict:
+        """Constructor spec for per-run ensemble clones (picklable)."""
+        return {"cls": type(self), "network": self.network,
+                "rates": np.asarray(self.kinetics.rates),
+                "volume": self.volume, "extra": {}}
+
+    def _spawn_run_seeds(self, n_runs: int) -> list[np.random.SeedSequence]:
+        """Independent, reproducible per-run seed sequences.
+
+        Spawned from the simulator's root :class:`~numpy.random.SeedSequence`
+        when one exists (int or ``None`` seed); a simulator built around a
+        caller-supplied ``Generator`` derives a root sequence from the
+        generator stream once, keeping ensembles reproducible per call
+        order.
+        """
+        if self._seed_seq is None:
+            entropy = int(self.rng.integers(np.iinfo(np.int64).max))
+            self._seed_seq = np.random.SeedSequence(entropy)
+        return self._seed_seq.spawn(n_runs)
+
     def mean_trajectory(self, t_final: float, n_runs: int,
-                        n_samples: int = 100, **kwargs) -> Trajectory:
-        """Sample mean over ``n_runs`` independent realisations."""
+                        n_samples: int = 100, *,
+                        n_workers: int | None = None,
+                        **kwargs) -> Trajectory:
+        """Sample mean over ``n_runs`` independent realisations.
+
+        Each run gets its own spawned seed, and runs are summed in fixed
+        chunks of :data:`ENSEMBLE_CHUNK_RUNS`, so the result is bitwise
+        identical whether the ensemble executes serially (``n_workers``
+        ``None``/1) or through a
+        :class:`~repro.crn.simulation.sweep.ParallelSweepRunner` pool.
+        """
+        from repro.crn.simulation.sweep import (ParallelSweepRunner,
+                                                simulate_mean_chunk)
+
         if n_runs < 1:
             raise SimulationError("n_runs must be >= 1")
-        accumulator = None
-        for _ in range(n_runs):
-            trajectory = self.simulate(t_final, n_samples=n_samples, **kwargs)
-            if accumulator is None:
-                accumulator = trajectory.states.copy()
-                times = trajectory.times
-            else:
-                accumulator += trajectory.states
+        telemetry = self.tracer.enabled or self.metrics.enabled
+        wall_start = perf_counter() if telemetry else 0.0
+        seeds = self._spawn_run_seeds(n_runs)
+        spec = self._clone_spec()
+        payloads = [
+            (spec, seeds[i:i + ENSEMBLE_CHUNK_RUNS], t_final, n_samples,
+             kwargs)
+            for i in range(0, n_runs, ENSEMBLE_CHUNK_RUNS)
+        ]
+        runner = ParallelSweepRunner(n_workers)
+        partials = runner.map(simulate_mean_chunk, payloads)
+        times, accumulator, events = partials[0]
+        accumulator = accumulator.copy()
+        for _, states, chunk_events in partials[1:]:
+            accumulator += states
+            events += chunk_events
+        if telemetry:
+            self._record_batch(self._batch_kind, t_final, events,
+                               perf_counter() - wall_start,
+                               extra={"ensemble_runs": n_runs})
         return Trajectory(times, accumulator / n_runs,
-                          self.network.species_names, {"n_runs": n_runs})
+                          self.network.species_names,
+                          {"n_runs": n_runs, "events": events})

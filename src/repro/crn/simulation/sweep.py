@@ -1,0 +1,90 @@
+"""Process-parallel execution of embarrassingly parallel simulation work.
+
+:class:`ParallelSweepRunner` maps a picklable worker function over a list
+of payloads, either serially or through a ``ProcessPoolExecutor``.  The
+seeding contract is the caller's: every payload must carry its own
+:class:`numpy.random.SeedSequence` (spawned from one root), so results
+are a pure function of the payload list and do not depend on how the
+payloads were distributed over workers.  Combined with fixed-size
+chunking on the caller side, serial and parallel execution produce
+bitwise-identical reductions.
+
+``simulate_mean_chunk`` is the worker for stochastic ensembles: it
+rebuilds a simulator from a constructor spec (see
+``StochasticSimulator._clone_spec``) per run and sums the sampled
+states over the chunk's seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+
+class ParallelSweepRunner:
+    """Map a worker over payloads, serially or on a process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        ``None`` uses the machine's CPU count; ``<= 1`` forces serial
+        execution in-process.  A pool that cannot be created or breaks
+        mid-flight (sandboxed environments, fork limits) degrades to the
+        serial path, which computes the identical result.
+    """
+
+    def __init__(self, n_workers: int | None = None):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        self.n_workers = max(int(n_workers), 1)
+
+    def map(self, fn: Callable, payloads: Iterable) -> list:
+        """Apply ``fn`` to every payload, preserving payload order."""
+        payloads = list(payloads)
+        if self.n_workers <= 1 or len(payloads) <= 1:
+            return [fn(p) for p in payloads]
+        workers = min(self.n_workers, len(payloads))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, payloads))
+        except (OSError, BrokenProcessPool):
+            return [fn(p) for p in payloads]
+
+
+def simulate_mean_chunk(payload: tuple) -> tuple[np.ndarray, np.ndarray,
+                                                 int]:
+    """Ensemble worker: sum sampled states over one chunk of seeded runs.
+
+    ``payload`` is ``(spec, seeds, t_final, n_samples, kwargs)`` where
+    ``spec`` is a simulator constructor spec and ``seeds`` a sequence of
+    per-run :class:`~numpy.random.SeedSequence`.  Returns the shared
+    sample times, the per-chunk state sum, and the total event count.
+    """
+    spec, seeds, t_final, n_samples, kwargs = payload
+    times: np.ndarray | None = None
+    acc: np.ndarray | None = None
+    events = 0
+    for seed in seeds:
+        simulator = spec["cls"](
+            spec["network"], rates=spec["rates"], volume=spec["volume"],
+            seed=np.random.default_rng(seed), **spec["extra"])
+        run = simulator.simulate(t_final, n_samples=n_samples, **kwargs)
+        if acc is None:
+            times = run.times
+            acc = run.states.copy()
+        else:
+            acc += run.states
+        events += int(run.meta.get("events", run.meta.get("steps", 0)))
+    if acc is None:
+        raise ValueError("empty seed chunk")
+    return times, acc, events
+
+
+def run_seeded(fn: Callable, payloads: Sequence,
+               n_workers: int | None = None) -> list:
+    """One-shot convenience wrapper around :class:`ParallelSweepRunner`."""
+    return ParallelSweepRunner(n_workers).map(fn, payloads)

@@ -5,6 +5,12 @@ rejection of leaps that would drive any count negative (fall back to exact
 SSA steps when propensities are tiny or a leap is rejected repeatedly).
 Used by the scaling benchmark to simulate large-count designs much faster
 than exact SSA while keeping discrete semantics.
+
+The exact-SSA fallback shares the incremental propensity state and the
+cumulative-sum selection draw with :class:`StochasticSimulator`, and it
+fills the sample grid *inside* each burst, so recorded samples reflect
+the state that actually held at each sample time (previously the caller
+back-filled the whole burst with the end-of-burst counts).
 """
 
 from __future__ import annotations
@@ -17,12 +23,16 @@ import numpy as np
 from repro.crn.network import Network
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.result import Trajectory
-from repro.crn.simulation.ssa import StochasticSimulator
+from repro.crn.simulation.sampling import select_reaction
+from repro.crn.simulation.ssa import IncrementalPropensities, \
+    StochasticSimulator
 from repro.errors import SimulationError
 
 
 class TauLeapingSimulator(StochasticSimulator):
     """Tau-leaping variant of :class:`StochasticSimulator`."""
+
+    _batch_kind = "tau"
 
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  epsilon: float = 0.03, n_critical: int = 10, **kwargs):
@@ -32,16 +42,24 @@ class TauLeapingSimulator(StochasticSimulator):
         self.epsilon = epsilon
         self.n_critical = n_critical
 
+    def _clone_spec(self) -> dict:
+        spec = super()._clone_spec()
+        spec["extra"] = {"epsilon": self.epsilon,
+                         "n_critical": self.n_critical}
+        return spec
+
     def simulate(self, t_final: float, *,
                  initial: Mapping[str, float] | np.ndarray | None = None,
                  n_samples: int = 200,
                  max_steps: int = 5_000_000) -> Trajectory:
         if t_final <= 0:
             raise SimulationError("t_final must be positive")
-        counts = self._initial_counts(initial)
+        state: IncrementalPropensities = self.propensity_state
+        state.reset(self._initial_counts(initial))
         sample_times = np.linspace(0.0, t_final, max(int(n_samples), 2))
-        samples = np.empty((sample_times.size, counts.size), dtype=float)
-        samples[0] = counts
+        samples = np.empty((sample_times.size, state.counts.size),
+                           dtype=float)
+        samples[0] = state.counts
         next_sample = 1
         telemetry = self.tracer.enabled or self.metrics.enabled
         wall_start = perf_counter() if telemetry else 0.0
@@ -56,46 +74,47 @@ class TauLeapingSimulator(StochasticSimulator):
             if steps > max_steps:
                 raise SimulationError(
                     f"tau-leaping exceeded {max_steps} steps at t={t:g}")
-            propensities = self.kinetics.propensities(counts, self.constants)
-            total = propensities.sum()
+            total = float(state.a.sum())
             if total <= 0.0:
                 break
-            tau = self._select_tau(counts, propensities)
+            tau = self._select_tau(state.counts, state.a)
             if tau < 10.0 / total:
                 # Leap would be smaller than a few exact steps: do SSA.
                 fallbacks += 1
-                t, counts = self._ssa_steps(t, counts, propensities,
-                                            total, n_steps=100,
-                                            t_final=t_final)
+                t, next_sample = self._ssa_steps(
+                    state, t, n_steps=100, t_final=t_final,
+                    sample_times=sample_times, samples=samples,
+                    next_sample=next_sample)
             else:
                 tau = min(tau, t_final - t)
-                firings = self.rng.poisson(propensities * tau)
+                firings = self.rng.poisson(state.a * tau)
                 delta = self.stoich.T @ firings
-                if np.any(counts + delta < 0):
+                if np.any(state.counts + delta < 0):
                     # Halve tau until non-negative (bounded retries).
                     ok = False
                     for _ in range(8):
                         tau /= 2.0
                         rejected += 1
-                        firings = self.rng.poisson(propensities * tau)
+                        firings = self.rng.poisson(state.a * tau)
                         delta = self.stoich.T @ firings
-                        if np.all(counts + delta >= 0):
+                        if np.all(state.counts + delta >= 0):
                             ok = True
                             break
                     if not ok:
                         fallbacks += 1
-                        t, counts = self._ssa_steps(
-                            t, counts, propensities, total, n_steps=100,
-                            t_final=t_final)
+                        t, next_sample = self._ssa_steps(
+                            state, t, n_steps=100, t_final=t_final,
+                            sample_times=sample_times, samples=samples,
+                            next_sample=next_sample)
                         continue
-                counts = counts + delta
+                state.reset(state.counts + delta)
                 t += tau
                 leaps += 1
             while (next_sample < sample_times.size
                    and sample_times[next_sample] <= t):
-                samples[next_sample] = counts
+                samples[next_sample] = state.counts
                 next_sample += 1
-        samples[next_sample:] = counts
+        samples[next_sample:] = state.counts
         if telemetry:
             self._record_batch(
                 "tau", t_final, steps, perf_counter() - wall_start,
@@ -119,20 +138,33 @@ class TauLeapingSimulator(StochasticSimulator):
         return float(min(tau_mu.min(initial=np.inf),
                          tau_sigma.min(initial=np.inf)))
 
-    def _ssa_steps(self, t: float, counts: np.ndarray,
-                   propensities: np.ndarray, total: float,
-                   n_steps: int, t_final: float):
-        """Advance by up to ``n_steps`` exact SSA events."""
+    def _ssa_steps(self, state: IncrementalPropensities, t: float,
+                   n_steps: int, t_final: float,
+                   sample_times: np.ndarray, samples: np.ndarray,
+                   next_sample: int) -> tuple[float, int]:
+        """Advance by up to ``n_steps`` exact SSA events.
+
+        Sample-grid points crossed during the burst are recorded with the
+        pre-event counts that held at each sample time.
+        """
+        rng = self.rng
+        a = state.a
+        n_times = sample_times.size
         for _ in range(n_steps):
-            if total <= 0 or t >= t_final:
-                break
-            t += self.rng.exponential(1.0 / total)
             if t >= t_final:
                 break
-            choice = self.rng.random() * total
-            j = int(np.searchsorted(np.cumsum(propensities), choice))
-            j = min(j, propensities.size - 1)
-            counts = counts + self.stoich[j]
-            propensities = self.kinetics.propensities(counts, self.constants)
-            total = propensities.sum()
-        return t, counts
+            cumulative = a.cumsum()
+            total = cumulative[-1]
+            if total <= 0.0:
+                break
+            t += rng.exponential(1.0 / total)
+            if t >= t_final:
+                break
+            while (next_sample < n_times
+                   and sample_times[next_sample] <= t):
+                samples[next_sample] = state.counts
+                next_sample += 1
+            j = select_reaction(a, rng.random(),
+                                cumulative=cumulative, total=total)
+            state.fire(j)
+        return t, next_sample

@@ -129,6 +129,82 @@ class TestEvents:
         assert "event" not in trajectory.meta
         assert trajectory.t_final == pytest.approx(2.0)
 
+    def test_event_time_not_duplicated(self):
+        """The trajectory appends the event state only when the last
+        sampled time is not already the event time (to relative float
+        spacing); the time axis must stay strictly increasing."""
+        network = _decay_network(k=1.0, x0=10.0)
+        simulator = OdeSimulator(network)
+        event = species_below(network, "A", 5.0)
+        for n_samples in (7, 100, 4001):
+            trajectory = simulator.simulate(20.0, n_samples=n_samples,
+                                            events=[event])
+            assert np.all(np.diff(trajectory.times) > 0)
+            assert trajectory.t_final == trajectory.meta["event_time"]
+
+    def test_fast_path_matches_solve_ivp_event_location(self):
+        """The chunked LSODA event search agrees with solve_ivp's
+        root-finding (BDF here) well inside the solver tolerances."""
+        network = _decay_network(k=1.0, x0=10.0)
+        event_time_fast = OdeSimulator(network).simulate(
+            20.0, events=[species_below(network, "A", 5.0)]
+        ).meta["event_time"]
+        event_time_bdf = OdeSimulator(network, method="BDF").simulate(
+            20.0, events=[species_below(network, "A", 5.0)]
+        ).meta["event_time"]
+        assert event_time_fast == pytest.approx(np.log(2.0), rel=1e-5)
+        assert event_time_fast == pytest.approx(event_time_bdf, rel=1e-4)
+
+    def test_event_hint_does_not_change_result(self):
+        network = _decay_network(k=1.0, x0=10.0)
+        simulator = OdeSimulator(network)
+        event = species_below(network, "A", 5.0)
+        plain = simulator.simulate(20.0, events=[event])
+        hinted = simulator.simulate(20.0, events=[event],
+                                    event_hint=0.7)
+        assert hinted.meta["event_time"] == pytest.approx(
+            plain.meta["event_time"], rel=1e-6)
+
+
+class TestJacobianModes:
+    def test_modes_agree(self):
+        from repro.core.memory import build_delay_chain
+
+        network, _, _ = build_delay_chain(n=2, initial=20.0)
+        reference = None
+        for method, jacobian in (("LSODA", "dense"), ("LSODA", "none"),
+                                 ("BDF", "dense"), ("BDF", "sparse"),
+                                 ("BDF", "sparsity"), ("Radau", "sparse")):
+            final = OdeSimulator(network, method=method,
+                                 jacobian=jacobian).simulate(20.0).final("Y")
+            if reference is None:
+                reference = final
+            assert final == pytest.approx(reference, rel=1e-5), \
+                f"{method}/{jacobian} diverges"
+
+    def test_auto_uses_pattern_not_analytic_sparse_when_large(self):
+        """``auto`` must hand scipy the sparsity pattern, not the
+        analytic sparse callable: with bitwise-identical Jacobian
+        values, BDF's step control flips borderline step acceptances
+        under the SuperLU backend and can silently integrate a wrong
+        trajectory on stiff compiled networks at loose tolerances
+        (observed on the DSD benchmark at C_max = 3e4)."""
+        network = Network("chain")
+        for i in range(70):
+            network.add(f"S{i}", f"S{i + 1}", 1.0)
+        network.set_initial("S0", 1.0)
+        options = OdeSimulator(network, method="BDF")._jacobian_options()
+        assert "jac_sparsity" in options
+        assert "jac" not in options
+        small = OdeSimulator(_decay_network(),
+                             method="BDF")._jacobian_options()
+        assert callable(small.get("jac"))
+
+    def test_unknown_mode_rejected(self):
+        network = _decay_network()
+        with pytest.raises(SimulationError):
+            OdeSimulator(network, jacobian="banded")
+
 
 class TestInternalIntegrator:
     def test_matches_scipy_on_stiff_transfer(self):

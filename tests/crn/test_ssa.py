@@ -66,6 +66,28 @@ class TestSSA:
             StochasticSimulator(_decay(), seed=0).mean_trajectory(
                 1.0, n_runs=0)
 
+    def test_max_events_boundary_is_exact(self):
+        """A decay chain with x0 molecules fires exactly x0 events, so
+        max_events == x0 must succeed and max_events == x0 - 1 must
+        raise (guards the classic off-by-one in the budget check)."""
+        trajectory = StochasticSimulator(_decay(x0=50), seed=4).simulate(
+            1000.0, max_events=50)
+        assert trajectory.meta["events"] == 50
+        assert trajectory.final("B") == 50
+        with pytest.raises(SimulationError):
+            StochasticSimulator(_decay(x0=50), seed=4).simulate(
+                1000.0, max_events=49)
+
+    def test_mean_converges_to_ode_parallel(self):
+        """The ensemble mean through the process pool converges to the
+        deterministic limit, same as the serial path."""
+        network = _decay(x0=300)
+        mean = StochasticSimulator(network, seed=6).mean_trajectory(
+            2.0, n_runs=32, n_samples=20, n_workers=2)
+        ode = simulate(network, 2.0).resampled(mean.times)
+        error = np.abs(mean["A"] - ode["A"]) / 300.0
+        assert error.max() < 0.05
+
 
 class TestTauLeaping:
     def test_tracks_ode_for_large_counts(self):
@@ -88,3 +110,21 @@ class TestTauLeaping:
     def test_invalid_epsilon(self):
         with pytest.raises(SimulationError):
             TauLeapingSimulator(_decay(), epsilon=1.5)
+
+    def test_fallback_fills_grid_inside_burst(self):
+        """Small-count runs fall back to exact SSA for every step; the
+        sample points crossed inside one fallback burst must record the
+        state that held at each sample time, not be back-filled with the
+        end-of-burst counts (the decay would then appear instantaneous).
+        """
+        trajectory = TauLeapingSimulator(_decay(x0=40), seed=3).simulate(
+            10.0, n_samples=51)
+        a = trajectory["A"]
+        assert a[0] == 40
+        # Early samples still hold most of the population (the old
+        # back-fill jumped straight to the burst's final state) ...
+        assert a[1] > 20
+        # ... and the column resolves the decay through intermediate
+        # values, monotonically.
+        assert len(np.unique(a)) > 10
+        assert np.all(np.diff(a) <= 0)

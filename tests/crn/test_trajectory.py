@@ -60,6 +60,24 @@ class TestComposition:
         assert joined.t_final == 5.0
         assert np.all(np.diff(joined.times) > 0)
 
+    def test_concat_drops_ulp_duplicate_at_large_t(self):
+        """At t >> 1 the continuation's first sample can differ from the
+        boundary by a few ulps; the duplicate test must be relative to
+        the boundary time, or the stitched time axis stops being
+        strictly increasing."""
+        boundary = 32.0
+        a = Trajectory(np.array([31.0, boundary]),
+                       np.array([[1.0], [2.0]]), ["A"])
+        # One ulp above the boundary (3.55e-15 at this magnitude): a
+        # fixed absolute epsilon misses it and keeps the degenerate
+        # near-duplicate sample.
+        wobble = np.nextafter(boundary, 100.0)
+        b = Trajectory(np.array([wobble, 33.0]),
+                       np.array([[2.0], [3.0]]), ["A"])
+        joined = a.concat(b)
+        assert len(joined) == 3
+        assert np.all(np.diff(joined.times) > 0)
+
     def test_concat_requires_same_species(self):
         a = _trajectory()
         b = Trajectory(np.array([5.0]), np.array([[1.0]]), ["A"])
