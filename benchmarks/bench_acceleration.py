@@ -11,7 +11,7 @@ acceleration leaves power-law tails.  This ablation measures:
    cycles).
 """
 
-from repro.crn.simulation.ode import OdeSimulator
+from repro import simulate
 from repro.core.analysis import effective_value, rise_time, settling_time
 from repro.core.dfg import SignalFlowGraph
 from repro.core.machine import SynchronousMachine
@@ -24,7 +24,7 @@ from common import run_once, save_report
 
 def _one_shot(mode_args):
     network, _, _ = build_delay_chain(n=1, initial=30.0, **mode_args)
-    trajectory = OdeSimulator(network).simulate(120.0, n_samples=1500)
+    trajectory = simulate(network, 120.0, n_samples=1500)
     arrived = effective_value(trajectory, "Y")
     metrics = {"arrived": arrived}
     if arrived > 15.0:

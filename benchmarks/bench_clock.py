@@ -9,7 +9,7 @@ high = logical 1.
 
 import numpy as np
 
-from repro.crn.simulation.ode import OdeSimulator
+from repro import simulate
 from repro.core.clock import build_clock
 from repro.obs import MetricsRegistry
 from repro.reporting import markdown_table, plot_trajectory
@@ -22,8 +22,8 @@ T_FINAL = 40.0
 
 def _run(metrics=None):
     network, clock, _ = build_clock(mass=MASS)
-    simulator = OdeSimulator(network, metrics=metrics)
-    trajectory = simulator.simulate(T_FINAL, n_samples=2000)
+    trajectory = simulate(network, T_FINAL, metrics=metrics,
+                          n_samples=2000)
     return clock, trajectory
 
 

@@ -9,7 +9,7 @@ across delay elements".
 
 import numpy as np
 
-from repro.crn.simulation.ode import OdeSimulator
+from repro import simulate
 from repro.core.analysis import (effective_series, effective_value,
                                  rise_time, transfer_fidelity)
 from repro.core.memory import build_delay_chain
@@ -22,7 +22,7 @@ INITIAL = 50.0
 
 def _run():
     network, line, _ = build_delay_chain(n=2, initial=INITIAL)
-    trajectory = OdeSimulator(network).simulate(40.0, n_samples=1200)
+    trajectory = simulate(network, 40.0, n_samples=1200)
     return line, trajectory
 
 

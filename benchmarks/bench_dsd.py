@@ -7,7 +7,7 @@ CRN as C_max grows, while fuel depletion (the realistic finite resource)
 shrinks.
 """
 
-from repro.crn.simulation.ode import OdeSimulator
+from repro import SimulationOptions, simulate
 from repro.core.analysis import effective_value
 from repro.core.memory import build_delay_chain
 from repro.dsd import compile_network
@@ -22,14 +22,14 @@ C_MAX_SWEEP = (1_000.0, 10_000.0, 30_000.0)
 def _run():
     network, _, _ = build_delay_chain(n=1, initial=INITIAL)
     ideal = effective_value(
-        OdeSimulator(network).simulate(25.0, n_samples=30), "Y")
+        simulate(network, 25.0, n_samples=30), "Y")
     rows = []
     inventory = None
+    stiff = SimulationOptions(solver="BDF", rtol=1e-5, atol=1e-8,
+                              n_samples=30)
     for c_max in C_MAX_SWEEP:
         compilation = compile_network(network, c_max=c_max)
-        trajectory = OdeSimulator(compilation.network, method="BDF",
-                                  rtol=1e-5, atol=1e-8).simulate(
-            25.0, n_samples=30)
+        trajectory = simulate(compilation.network, 25.0, options=stiff)
         measured = effective_value(trajectory, "Y")
         rows.append([c_max, ideal, measured,
                      abs(measured - ideal) / ideal,

@@ -7,8 +7,8 @@ stochastic semantics).
 
 from fractions import Fraction
 
+from repro import simulate
 from repro.crn.network import Network
-from repro.crn.simulation.ode import simulate
 from repro.crn.simulation.ssa import StochasticSimulator
 from repro.core import modules
 from repro.core.iterative import (build_log_two, build_multiplier,

@@ -11,8 +11,8 @@ import numpy as np
 
 from repro.baselines import (arrival_spread, arrival_time,
                              build_naive_chain, jitter_sensitivity)
+from repro import simulate
 from repro.crn.rates import RateScheme, jittered_rates
-from repro.crn.simulation.ode import OdeSimulator
 from repro.core.analysis import effective_series, effective_value
 from repro.core.memory import build_delay_chain
 from repro.reporting import markdown_table
@@ -24,8 +24,7 @@ INITIAL = 30.0
 
 def _phased_metrics(rates=None):
     network, _, _ = build_delay_chain(n=2, initial=INITIAL)
-    simulator = OdeSimulator(network, rates=rates)
-    trajectory = simulator.simulate(60.0, n_samples=1500)
+    trajectory = simulate(network, 60.0, rates=rates, n_samples=1500)
     series = effective_series(trajectory, "Y")
     final = series[-1]
     t10 = float(np.interp(0.1 * final, series, trajectory.times))
@@ -54,8 +53,7 @@ def _run():
     for _ in range(5):
         network, _, _ = build_delay_chain(n=2, initial=INITIAL)
         rates = jittered_rates(network, RateScheme(), rng)
-        trajectory = OdeSimulator(network, rates=rates).simulate(
-            80.0, n_samples=100)
+        trajectory = simulate(network, 80.0, rates=rates, n_samples=100)
         phased_values.append(effective_value(trajectory, "Y"))
     phased_values = np.array(phased_values)
 

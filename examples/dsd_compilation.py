@@ -8,9 +8,9 @@ verifies that the compiled implementation reproduces the ideal kinetics.
 Run:  python examples/dsd_compilation.py  (takes ~1 minute; stiff ODEs)
 """
 
+from repro import SimulationOptions, simulate
 from repro.core.analysis import effective_value
 from repro.core.memory import build_delay_chain
-from repro.crn.simulation.ode import OdeSimulator
 from repro.dsd import compile_network
 from repro.reporting import markdown_table
 
@@ -19,7 +19,7 @@ def main() -> None:
     network, _, _ = build_delay_chain(n=1, initial=20.0)
     print("formal network:", network.summary())
     ideal = effective_value(
-        OdeSimulator(network).simulate(25.0, n_samples=40), "Y")
+        simulate(network, 25.0, n_samples=40), "Y")
 
     compilation = compile_network(network, c_max=10_000.0)
     print("compiled:", compilation.network.summary())
@@ -36,9 +36,10 @@ def main() -> None:
     for strand in gate.strands:
         print(" ", strand)
 
-    trajectory = OdeSimulator(compilation.network, method="BDF",
-                              rtol=1e-5, atol=1e-8).simulate(
-        25.0, n_samples=40)
+    trajectory = simulate(
+        compilation.network, 25.0,
+        options=SimulationOptions(solver="BDF", rtol=1e-5, atol=1e-8,
+                                  n_samples=40))
     measured = effective_value(trajectory, "Y")
     rows = [["ideal CRN", ideal],
             ["DSD implementation", measured],

@@ -14,7 +14,6 @@ from fractions import Fraction
 
 from repro import parse_network, simulate
 from repro.core import SignalFlowGraph, SynchronousMachine, build_clock
-from repro.crn.simulation.ode import OdeSimulator
 from repro.reporting import plot_samples, plot_trajectory
 
 
@@ -41,10 +40,10 @@ def act_two_clock() -> None:
     print("Act 2: the molecular clock (three-phase oscillator)")
     print("=" * 70)
     network, clock, _ = build_clock(mass=20.0)
-    trajectory = OdeSimulator(network).simulate(12.0, n_samples=1200)
+    trajectory = simulate(network, 12.0, n_samples=1200)
     print(plot_trajectory(trajectory, clock.species_names(),
                           title="C_red / C_green / C_blue"))
-    long = OdeSimulator(network).simulate(40.0, n_samples=2000)
+    long = simulate(network, 40.0, n_samples=2000)
     print(f"period = {clock.period(long):.3f} slow time units, "
           f"jitter = {clock.period_jitter(long):.4f}\n")
 

@@ -13,7 +13,8 @@ arbitrary networks as the experimental-chassis substitute.
 
 __version__ = "1.0.0"
 
-from repro.crn import (Network, OdeSimulator, RateScheme, Reaction, Species,
+from repro.crn import (Network, OdeSimulator, RateScheme, Reaction,
+                       SimulationOptions, SimulationResult, Species,
                        StochasticSimulator, Trajectory, parse_network,
                        simulate)
 
@@ -22,6 +23,8 @@ __all__ = [
     "OdeSimulator",
     "RateScheme",
     "Reaction",
+    "SimulationOptions",
+    "SimulationResult",
     "Species",
     "StochasticSimulator",
     "Trajectory",

@@ -6,6 +6,7 @@ simulate   integrate a ``.crn`` file and print final quantities / a plot
 clock      run the molecular clock and report period/jitter
 filter     stream samples through a synthesized filter
 counter    run the binary counter
+robustness run a fault-injection robustness campaign
 dsd        compile a ``.crn`` file to strand displacement (+ FASTA)
 lint       static analysis of ``.crn`` files and built-in circuits
 report     summarise a recorded JSONL trace
@@ -23,7 +24,7 @@ import sys
 
 from repro.crn.parser import load_network
 from repro.crn.rates import RateScheme
-from repro.crn.simulation.ode import OdeSimulator
+from repro.crn.simulation import SimulationOptions, simulate
 from repro.errors import ReproError
 
 
@@ -89,9 +90,9 @@ def _run_simulate(args) -> int:
     tracer, metrics = _open_telemetry(args)
     network = load_network(args.file)
     scheme = RateScheme({"fast": args.fast, "slow": args.slow})
-    simulator = OdeSimulator(network, scheme, method=args.method,
-                             tracer=tracer, metrics=metrics)
-    trajectory = simulator.simulate(args.t, n_samples=400)
+    options = SimulationOptions(solver=args.method, n_samples=400,
+                                tracer=tracer, metrics=metrics)
+    trajectory = simulate(network, args.t, scheme=scheme, options=options)
     print(network.summary())
     if args.plot:
         from repro.reporting import plot_trajectory
@@ -122,8 +123,8 @@ def _run_clock(args) -> int:
 
     tracer, metrics = _open_telemetry(args)
     network, clock, protocol = build_clock(mass=args.mass)
-    simulator = OdeSimulator(network, tracer=tracer, metrics=metrics)
-    trajectory = simulator.simulate(args.t, n_samples=2000)
+    trajectory = simulate(network, args.t, n_samples=2000,
+                          tracer=tracer, metrics=metrics)
     print(plot_trajectory(trajectory.window(0.0, min(args.t, 12.0)),
                           clock.species_names(),
                           title="molecular clock"))
@@ -204,6 +205,75 @@ def _run_counter(args) -> int:
     run.check(2 ** args.bits)
     print("verified against modulo arithmetic")
     _close_telemetry(args, tracer, metrics)
+    return 0
+
+
+def _add_robustness(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "robustness",
+        help="run a fault-injection robustness campaign")
+    parser.add_argument("--circuit", default="counter",
+                        choices=["counter", "ma", "iir"],
+                        help="circuit under test (default counter)")
+    parser.add_argument("--trials", type=int, default=20,
+                        help="trials per fault model (default 20)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign root seed (default 0)")
+    parser.add_argument("--separation", type=float, default=None,
+                        help="fast/slow separation to run at "
+                             "(default: the circuit's nominal scheme)")
+    parser.add_argument("--fault", action="append", default=[],
+                        metavar="NAME",
+                        help="fault model to campaign over (repeatable; "
+                             "default: the circuit's default suite); one "
+                             "of rate_mismatch, leak, dilution, "
+                             "copy_number_noise, species_deletion, "
+                             "clock_glitch")
+    parser.add_argument("--no-margin", action="store_true",
+                        help="skip the robustness-margin bisection")
+    parser.add_argument("--margin-trials", type=int, default=4,
+                        help="trials per margin probe point (default 4)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: CPU count; "
+                             "1 forces serial)")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="write the full campaign report as JSON")
+    parser.set_defaults(run=_run_robustness)
+
+
+def _run_robustness(args) -> int:
+    import json
+
+    from repro.faults import RobustnessCampaign
+    from repro.faults.models import (ClockGlitch, CopyNumberNoise,
+                                     Dilution, Leak, RateMismatch,
+                                     SpeciesDeletion)
+
+    factories = {"rate_mismatch": RateMismatch, "leak": Leak,
+                 "dilution": Dilution,
+                 "copy_number_noise": CopyNumberNoise,
+                 "species_deletion": SpeciesDeletion,
+                 "clock_glitch": ClockGlitch}
+    models = None
+    if args.fault:
+        unknown = [n for n in args.fault if n not in factories]
+        if unknown:
+            print(f"error: unknown fault model(s) {unknown}; choose "
+                  f"from {sorted(factories)}", file=sys.stderr)
+            return 2
+        models = [factories[name]() for name in args.fault]
+    campaign = RobustnessCampaign(
+        circuit=args.circuit, models=models, trials=args.trials,
+        seed=args.seed, separation=args.separation,
+        n_workers=args.workers, measure_margin=not args.no_margin,
+        margin_trials=args.margin_trials)
+    result = campaign.run()
+    print(result.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote campaign report to {args.json}")
     return 0
 
 
@@ -343,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_clock(subparsers)
     _add_filter(subparsers)
     _add_counter(subparsers)
+    _add_robustness(subparsers)
     _add_dsd(subparsers)
     _add_lint(subparsers)
     _add_report(subparsers)

@@ -119,13 +119,28 @@ class SynchronousMachine:
                  method: str = "LSODA",
                  rtol: float = 1e-7, atol: float = 1e-9,
                  tracer=None, metrics=None,
-                 monitor: MonitorConfig | None = None):
+                 monitor: MonitorConfig | None = None,
+                 faults=None):
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
             self.circuit = synthesize(design, clock_mass=clock_mass,
                                       signed=signed, gating=gating)
         self.scheme = scheme or RateScheme()
+        # Fault injection: materialise the perturbed system up front so
+        # every derived quantity below (tolerances, indices, simulator)
+        # is computed against the *faulted* network and scheme.  Fault
+        # models never add or remove species, so the index bookkeeping
+        # is identical either way.
+        self.faults = faults
+        if faults is not None and faults.active:
+            setup = faults.materialize(self.circuit.network, self.scheme,
+                                       rates)
+            self._network = setup.network
+            self.scheme = setup.scheme
+            rates = setup.rates
+        else:
+            self._network = self.circuit.network
         self.tracer = ensure_tracer(tracer)
         self.metrics = ensure_metrics(metrics)
         self.monitor_config = monitor
@@ -213,7 +228,9 @@ class SynchronousMachine:
 
     @property
     def network(self) -> Network:
-        return self.circuit.network
+        """The simulated network (the faulted copy when ``faults`` is
+        active, the pristine synthesized network otherwise)."""
+        return self._network
 
     @property
     def design(self) -> MatrixDesign:
@@ -309,6 +326,7 @@ class SynchronousMachine:
                 cumulative[name].append(self._readout(state, name))
             state_history.append(self._register_values(state))
             state = self._quantize(state)
+            state = self._boundary_faults(cycle, state)
             if record:
                 trajectory = segment if trajectory is None else \
                     trajectory.concat(segment)
@@ -509,6 +527,18 @@ class SynchronousMachine:
             state[self._clock_red_index] += deficit
         return state
 
+    def _boundary_faults(self, cycle: int, state: np.ndarray) -> np.ndarray:
+        """Apply runtime fault hooks (clock glitches...) at a boundary.
+
+        Runs *after* quantisation, so an injected perturbation survives
+        until the chemistry (or the next boundary's replenishment)
+        responds to it.
+        """
+        if self.faults is not None and self.faults.active:
+            state = np.maximum(
+                self.faults.on_boundary(cycle, state, self.network), 0.0)
+        return state
+
     def _clock_total(self, state: np.ndarray) -> float:
         total = 0.0
         for index in self._clock_indices:
@@ -628,4 +658,6 @@ class MachineStepper:
             outputs[name] = total - self._previous[name]
             self._previous[name] = total
         self.state = self.machine._quantize(self.state)
+        self.state = self.machine._boundary_faults(len(self.spans) - 1,
+                                                   self.state)
         return outputs

@@ -61,7 +61,8 @@ class StochasticMachine:
                  patience: float = 20.0,
                  straggler_tolerance: int = 4,
                  max_cycle_time: float | None = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 faults=None):
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
@@ -78,7 +79,17 @@ class StochasticMachine:
             values["gen"] = values["slow"]
             scheme = RateScheme(values)
         self.scheme = scheme
+        self.faults = faults
+        rates = None
+        if faults is not None and faults.active:
+            setup = faults.materialize(self.circuit.network, self.scheme)
+            self._network = setup.network
+            self.scheme = setup.scheme
+            rates = setup.rates
+        else:
+            self._network = self.circuit.network
         self.simulator = StochasticSimulator(self.network, self.scheme,
+                                             rates=rates,
                                              seed=seed, tracer=tracer,
                                              metrics=metrics)
         self.poll_interval = poll_interval
@@ -99,7 +110,8 @@ class StochasticMachine:
 
     @property
     def network(self):
-        return self.circuit.network
+        """The simulated network (faulted copy when ``faults`` is active)."""
+        return self._network
 
     @property
     def design(self) -> MatrixDesign:
@@ -128,6 +140,10 @@ class StochasticMachine:
             t_start = t
             counts, t = self._run_cycle(counts, t)
             spans.append(CycleSpan(cycle, t_start, t))
+            if self.faults is not None and self.faults.active:
+                counts = np.maximum(np.rint(self.faults.on_boundary(
+                    cycle, counts.astype(float), self.network)),
+                    0).astype(np.int64)
             for name in self.design.outputs:
                 cumulative[name].append(self._readout(counts, name))
             state_history.append(self._register_values(counts))

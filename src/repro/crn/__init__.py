@@ -15,11 +15,12 @@ from repro.crn.kinetics import MassActionKinetics, build_kinetics
 from repro.crn.network import Network
 from repro.crn.parser import load_network, parse_network
 from repro.crn.rates import (DEFAULT_FAST, DEFAULT_SLOW, FAST, SLOW,
-                             RateScheme, jittered_rates)
+                             RateScheme, jittered_rates, lognormal_rates)
 from repro.crn.reaction import Reaction, reversible
 from repro.crn.species import COLORS, Species, as_species, next_color, \
     previous_color
-from repro.crn.simulation import (OdeSimulator, StochasticSimulator,
+from repro.crn.simulation import (OdeSimulator, SimulationOptions,
+                                  SimulationResult, StochasticSimulator,
                                   TauLeapingSimulator, Trajectory, simulate)
 from repro.crn.simulation.sensitivity import (observable_final,
                                               rate_sensitivities,
@@ -36,6 +37,8 @@ __all__ = [
     "RateScheme",
     "Reaction",
     "SLOW",
+    "SimulationOptions",
+    "SimulationResult",
     "Species",
     "StochasticSimulator",
     "TauLeapingSimulator",
@@ -56,6 +59,7 @@ __all__ = [
     "build_kinetics",
     "jittered_rates",
     "load_network",
+    "lognormal_rates",
     "next_color",
     "parse_network",
     "previous_color",

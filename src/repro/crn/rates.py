@@ -128,6 +128,20 @@ class RateScheme:
         values[DAMP] = values[DAMP] * slow_factor
         return RateScheme(values)
 
+    def compressed(self, factor: float) -> "RateScheme":
+        """A scheme with the fast/slow separation divided by ``factor``.
+
+        The paper's robustness guarantee erodes exactly along this axis:
+        compressing the separation models every fast reaction slowing
+        toward the slow time scale at once (the fault-injection
+        campaigns binary-search this factor for the robustness margin).
+        Slow-tracking categories (``gen``/``amp``/``damp``) are
+        untouched, so only the guarantee's premise is attacked.
+        """
+        if not np.isfinite(factor) or factor <= 0:
+            raise NetworkError("compression factor must be positive")
+        return self.scaled(fast_factor=1.0 / factor)
+
     @classmethod
     def with_separation(cls, separation: float, slow: float = DEFAULT_SLOW,
                         generation: float | None = None) -> "RateScheme":
@@ -153,3 +167,20 @@ def jittered_rates(network, scheme: RateScheme, rng: np.random.Generator,
     rates = np.array([scheme.resolve(rxn.rate) for rxn in network.reactions])
     jitter = rng.uniform(low, high, size=rates.shape)
     return rates * jitter
+
+
+def lognormal_rates(network, scheme: RateScheme, rng: np.random.Generator,
+                    sigma: float = 0.25) -> np.ndarray:
+    """Per-reaction rate constants with log-normal multiplicative mismatch.
+
+    Each resolved rate is multiplied by an independent
+    ``exp(N(0, sigma^2))`` factor -- the standard model for fabrication
+    mismatch of rate constants (median-preserving, always positive).
+    Unlike :func:`jittered_rates`' bounded uniform jitter, the log-normal
+    tail occasionally produces large mismatches, which is what the
+    fault-injection campaigns are probing.
+    """
+    if sigma < 0:
+        raise NetworkError("sigma must be non-negative")
+    rates = np.array([scheme.resolve(rxn.rate) for rxn in network.reactions])
+    return rates * rng.lognormal(mean=0.0, sigma=sigma, size=rates.shape)

@@ -434,17 +434,32 @@ class OdeSimulator:
         return x0.copy()
 
 
+#: Keyword arguments accepted by the legacy :func:`simulate` helper:
+#: constructor options plus per-call :meth:`OdeSimulator.simulate` ones.
+_SIMULATE_KWARGS = frozenset({
+    "method", "rtol", "atol", "rates", "jacobian", "tracer", "metrics",
+    "t_start", "initial", "n_samples", "events", "event_hint",
+})
+
+
 def simulate(network: Network, t_final: float,
              scheme: RateScheme | None = None, **kwargs) -> Trajectory:
-    """One-shot convenience wrapper around :class:`OdeSimulator`."""
-    method = kwargs.pop("method", "LSODA")
-    rtol = kwargs.pop("rtol", 1e-7)
-    atol = kwargs.pop("atol", 1e-9)
-    rates = kwargs.pop("rates", None)
-    jacobian = kwargs.pop("jacobian", "auto")
-    tracer = kwargs.pop("tracer", None)
-    metrics = kwargs.pop("metrics", None)
-    simulator = OdeSimulator(network, scheme, rates=rates, method=method,
-                             rtol=rtol, atol=atol, jacobian=jacobian,
-                             tracer=tracer, metrics=metrics)
+    """One-shot convenience wrapper around :class:`OdeSimulator`.
+
+    Prefer the engine-agnostic :func:`repro.simulate` facade.  Unknown
+    keyword arguments raise :class:`TypeError` -- this helper used to
+    silently accept misspelled options via ``kwargs.pop`` defaults.
+    """
+    unknown = set(kwargs) - _SIMULATE_KWARGS
+    if unknown:
+        raise TypeError(
+            f"simulate() got unknown option(s): {sorted(unknown)}; "
+            f"valid options are {sorted(_SIMULATE_KWARGS)}")
+    simulator = OdeSimulator(
+        network, scheme, rates=kwargs.pop("rates", None),
+        method=kwargs.pop("method", "LSODA"),
+        rtol=kwargs.pop("rtol", 1e-7), atol=kwargs.pop("atol", 1e-9),
+        jacobian=kwargs.pop("jacobian", "auto"),
+        tracer=kwargs.pop("tracer", None),
+        metrics=kwargs.pop("metrics", None))
     return simulator.simulate(t_final, **kwargs)

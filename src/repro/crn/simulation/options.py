@@ -1,0 +1,115 @@
+"""One options bag for every simulation engine.
+
+:class:`SimulationOptions` collects the tuning knobs of all three engines
+(deterministic ODE, exact SSA, tau-leaping) behind one dataclass so that
+callers -- the :func:`repro.simulate` facade, the fault-injection
+campaigns, benchmarks and the CLI -- stop re-plumbing engine-specific
+keyword arguments.  Fields that an engine does not use are ignored by
+that engine (they are *hints*, not commands): ``seed`` does nothing for
+the deterministic solver, ``jacobian`` nothing for SSA.  Fields that an
+engine cannot honour at all (``events`` under stochastic semantics)
+raise :class:`~repro.errors.SimulationError` at dispatch time instead of
+being silently dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+#: Engine names accepted by the :func:`repro.simulate` facade.
+ENGINES = ("ode", "ssa", "tau")
+
+
+def warn_renamed(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a renamed kwarg.
+
+    ``stacklevel`` defaults to 3 so the warning points at the *caller*
+    of the shim-bearing method, not at the shim itself.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=stacklevel)
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Engine-agnostic simulation settings.
+
+    Parameters
+    ----------
+    t_start:
+        integration start time; the returned trajectory's grid spans
+        ``[t_start, t_final]`` for every engine.
+    initial:
+        full state vector or a mapping of overrides on top of the
+        network's declared initial quantities.
+    n_samples:
+        sample-grid size; ``None`` keeps each engine's default (400 for
+        the ODE solver, 200 for the stochastic engines).
+    rates:
+        explicit per-reaction rate vector overriding the scheme (the
+        rate-robustness and fault-injection experiments use this).
+    seed:
+        RNG seed (int, ``numpy.random.Generator`` or ``None``) for the
+        stochastic engines; ignored by the deterministic solver.
+    solver:
+        ODE method (one of :data:`repro.crn.simulation.ode.METHODS`).
+    rtol / atol:
+        ODE solver tolerances.
+    jacobian:
+        ODE Jacobian mode (:data:`repro.crn.simulation.ode.JACOBIAN_MODES`).
+    events / event_hint:
+        terminal-event functions and a time-to-event estimate for the
+        ODE solver's chunked event search (ODE only).
+    max_events:
+        stochastic step budget per call; ``None`` keeps the engine
+        default (50M SSA events, 5M tau-leaping steps).  Exceeding it
+        raises :class:`~repro.errors.SimulationError`.
+    volume:
+        reaction volume for converting deterministic rate constants to
+        stochastic propensity constants.
+    epsilon / n_critical:
+        tau-leaping step-selection parameters.
+    tracer / metrics:
+        optional telemetry hooks (see :mod:`repro.obs`).
+    """
+
+    # -- shared ----------------------------------------------------------
+    t_start: float = 0.0
+    initial: Mapping[str, float] | Any | None = None
+    n_samples: int | None = None
+    rates: Any | None = None
+    seed: Any | None = None
+    tracer: Any = None
+    metrics: Any = None
+    # -- deterministic (ODE) --------------------------------------------
+    solver: str = "LSODA"
+    rtol: float = 1e-7
+    atol: float = 1e-9
+    jacobian: str = "auto"
+    events: Sequence | None = None
+    event_hint: float | None = None
+    # -- stochastic ------------------------------------------------------
+    max_events: int | None = None
+    volume: float = 1.0
+    # -- tau-leaping -----------------------------------------------------
+    epsilon: float = 0.03
+    n_critical: int = 10
+
+    def replace(self, **changes) -> "SimulationOptions":
+        """A copy with the given fields changed.
+
+        Unknown field names raise :class:`TypeError` -- misspelled
+        options must never be silently ignored.
+        """
+        unknown = set(changes) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise TypeError(
+                f"unknown simulation option(s): {sorted(unknown)}; "
+                f"valid options are "
+                f"{sorted(f.name for f in dataclasses.fields(self))}")
+        return dataclasses.replace(self, **changes)

@@ -3,10 +3,37 @@
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+
+@runtime_checkable
+class SimulationResult(Protocol):
+    """What every engine's result guarantees to campaign scoring code.
+
+    ODE, SSA and tau-leaping all return :class:`Trajectory`, but
+    engine-agnostic consumers (the fault-injection campaigns, the
+    reporting helpers) should depend only on this protocol: sample
+    ``times``, a ``(len(times), n_species)`` ``states`` array, species
+    ``names``, name-to-column resolution via :meth:`species_index`, and
+    the :meth:`final_state` readout.
+    """
+
+    @property
+    def times(self) -> np.ndarray: ...  # noqa: E704 (protocol stub)
+
+    @property
+    def states(self) -> np.ndarray: ...  # noqa: E704
+
+    @property
+    def names(self) -> list[str]: ...  # noqa: E704
+
+    def species_index(self, name: str) -> int: ...  # noqa: E704
+
+    def final_state(self) -> dict[str, float]: ...  # noqa: E704
 
 
 class Trajectory:
@@ -43,6 +70,13 @@ class Trajectory:
 
     def __contains__(self, name: str) -> bool:
         return name in self._index
+
+    def species_index(self, name: str) -> int:
+        """Column index of one species (shared result protocol)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SimulationError(f"trajectory has no species {name!r}")
 
     def column(self, name: str) -> np.ndarray:
         """Full time series for one species."""

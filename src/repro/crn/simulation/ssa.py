@@ -23,6 +23,7 @@ import numpy as np
 from repro.crn.kinetics import MassActionKinetics, build_kinetics
 from repro.crn.network import Network
 from repro.crn.rates import RateScheme
+from repro.crn.simulation.options import warn_renamed
 from repro.crn.simulation.result import Trajectory
 from repro.crn.simulation.sampling import select_reaction
 from repro.errors import SimulationError
@@ -125,7 +126,14 @@ class StochasticSimulator:
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  rates: np.ndarray | None = None, volume: float = 1.0,
                  seed: int | np.random.Generator | None = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, rng=None):
+        if rng is not None:
+            warn_renamed("StochasticSimulator(rng=...)",
+                         "StochasticSimulator(seed=...)")
+            if seed is not None:
+                raise SimulationError(
+                    "pass either seed or the deprecated rng, not both")
+            seed = rng
         network.validate()
         self.network = network
         self.scheme = scheme or RateScheme()
@@ -182,16 +190,22 @@ class StochasticSimulator:
             raise SimulationError("negative initial counts")
         return counts
 
-    def simulate(self, t_final: float, *,
+    def simulate(self, t_final: float, *, t_start: float = 0.0,
                  initial: Mapping[str, float] | np.ndarray | None = None,
                  n_samples: int = 200,
                  max_events: int = 50_000_000) -> Trajectory:
-        """Run one SSA realisation, recorded on a uniform time grid."""
-        if t_final <= 0:
-            raise SimulationError("t_final must be positive")
+        """Run one SSA realisation, recorded on a uniform time grid.
+
+        ``t_start`` matches the ODE engine's semantics: the sample grid
+        spans ``[t_start, t_final]``.  The dynamics are time-homogeneous,
+        so a shifted origin only relabels the grid.
+        """
+        if t_final <= t_start:
+            raise SimulationError("t_final must exceed t_start")
         state = self.propensity_state
         state.reset(self._initial_counts(initial))
-        sample_times = np.linspace(0.0, t_final, max(int(n_samples), 2))
+        sample_times = np.linspace(t_start, t_final,
+                                   max(int(n_samples), 2))
         samples = np.empty((sample_times.size, state.counts.size),
                            dtype=float)
         samples[0] = state.counts
@@ -206,7 +220,7 @@ class StochasticSimulator:
         grid = sample_times.tolist()
         n_times = len(grid)
 
-        t = 0.0
+        t = t_start
         events = 0
         while t < t_final:
             cumulative = a.cumsum()

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.crn.network import Network
 from repro.crn.rates import RateScheme
+from repro.crn.simulation.options import warn_renamed
 from repro.crn.simulation.result import Trajectory
 from repro.crn.simulation.sampling import select_reaction
 from repro.crn.simulation.ssa import IncrementalPropensities, \
@@ -48,15 +49,27 @@ class TauLeapingSimulator(StochasticSimulator):
                          "n_critical": self.n_critical}
         return spec
 
-    def simulate(self, t_final: float, *,
+    def simulate(self, t_final: float, *, t_start: float = 0.0,
                  initial: Mapping[str, float] | np.ndarray | None = None,
                  n_samples: int = 200,
-                 max_steps: int = 5_000_000) -> Trajectory:
-        if t_final <= 0:
-            raise SimulationError("t_final must be positive")
+                 max_events: int = 5_000_000,
+                 max_steps: int | None = None) -> Trajectory:
+        """Run one tau-leaping realisation on a uniform grid.
+
+        ``max_events`` bounds the number of solver steps (leaps plus
+        exact-SSA fallback bursts), mirroring the SSA engine's event
+        budget; the old ``max_steps`` spelling is a deprecated alias.
+        """
+        if max_steps is not None:
+            warn_renamed("simulate(max_steps=...)",
+                         "simulate(max_events=...)")
+            max_events = max_steps
+        if t_final <= t_start:
+            raise SimulationError("t_final must exceed t_start")
         state: IncrementalPropensities = self.propensity_state
         state.reset(self._initial_counts(initial))
-        sample_times = np.linspace(0.0, t_final, max(int(n_samples), 2))
+        sample_times = np.linspace(t_start, t_final,
+                                   max(int(n_samples), 2))
         samples = np.empty((sample_times.size, state.counts.size),
                            dtype=float)
         samples[0] = state.counts
@@ -64,16 +77,16 @@ class TauLeapingSimulator(StochasticSimulator):
         telemetry = self.tracer.enabled or self.metrics.enabled
         wall_start = perf_counter() if telemetry else 0.0
 
-        t = 0.0
+        t = t_start
         steps = 0
         leaps = 0
         rejected = 0
         fallbacks = 0
         while t < t_final:
             steps += 1
-            if steps > max_steps:
+            if steps > max_events:
                 raise SimulationError(
-                    f"tau-leaping exceeded {max_steps} steps at t={t:g}")
+                    f"tau-leaping exceeded {max_events} steps at t={t:g}")
             total = float(state.a.sum())
             if total <= 0.0:
                 break

@@ -57,6 +57,21 @@ class Bit:
         raise NetworkError(
             f"bit {self.name!r} is not settled: hi={hi:.3f} lo={lo:.3f}")
 
+    def read_soft(self, get) -> tuple[bool, bool]:
+        """Best-effort classification: ``(value, settled)``.
+
+        The fault-injection campaigns must keep scoring after a bit goes
+        mushy, so this returns the majority rail as the value and flags
+        whether :meth:`read_state` would have accepted the state.
+        """
+        hi, lo = float(get(self.hi)), float(get(self.lo))
+        value = hi >= lo
+        if value:
+            settled = abs(hi - UNIT) <= MARGIN and abs(lo) <= MARGIN
+        else:
+            settled = abs(lo - UNIT) <= MARGIN and abs(hi) <= MARGIN
+        return value, settled
+
     def read(self, trajectory: Trajectory, t: float | None = None) -> bool:
         if t is None:
             return self.read_state(lambda n: trajectory.final(n))

@@ -70,42 +70,82 @@ class BinaryCounter:
         """Counter value from a state accessor."""
         return bits_to_int([bit.read_state(get) for bit in self.bits])
 
+    def read_soft(self, get) -> tuple[int, int]:
+        """Best-effort ``(value, n_unsettled_bits)`` (never raises)."""
+        readings = [bit.read_soft(get) for bit in self.bits]
+        value = bits_to_int([v for v, _ in readings])
+        return value, sum(1 for _, settled in readings if not settled)
+
     def count(self, n_pulses: int, scheme: RateScheme | None = None,
               settle_time: float | None = None,
-              stochastic: bool = True, seed: int | None = None,
-              tracer=None, metrics=None) -> "CounterRun":
-        """Apply ``n_pulses`` increments, reading the value after each."""
+              stochastic: bool = True, seed=None,
+              tracer=None, metrics=None,
+              faults=None, strict: bool = True) -> "CounterRun":
+        """Apply ``n_pulses`` increments, reading the value after each.
+
+        ``faults`` takes a :class:`~repro.faults.models.FaultPlan` whose
+        perturbations are materialised before the run.  ``strict=False``
+        switches readings to :meth:`read_soft` -- mushy bits are scored
+        (best-guess value, ``settled`` flag) instead of raising -- which
+        is how the robustness campaigns keep measuring past the first
+        failure.
+        """
         scheme = scheme or RateScheme()
+        network = self.network
+        rates = None
+        if faults is not None and faults.active:
+            setup = faults.materialize(network, scheme)
+            network, scheme, rates = setup.network, setup.scheme, setup.rates
         settle = settle_time or 100.0 / scheme.fast
         if stochastic:
-            simulator = StochasticSimulator(self.network, scheme, seed=seed,
+            simulator = StochasticSimulator(network, scheme, rates=rates,
+                                            seed=seed,
                                             tracer=tracer, metrics=metrics)
         else:
-            simulator = OdeSimulator(self.network, scheme,
+            simulator = OdeSimulator(network, scheme, rates=rates,
                                      tracer=tracer, metrics=metrics)
         tracer = simulator.tracer
         metrics = simulator.metrics
-        state = self.network.initial_vector()
-        pulse_index = self.network.species_index(self.input_pulse)
-        values = [self.read(self._getter(state))]
+        state = network.initial_vector()
+        # Fault models never add or remove species, so indices computed
+        # against the pristine network remain valid on the faulted one.
+        pulse_index = network.species_index(self.input_pulse)
+        pulse_indices = [network.species_index(p) for p in self.pulses]
+
+        def observe(state):
+            getter = self._getter(state, network)
+            residual = float(sum(state[i] for i in pulse_indices))
+            if strict:
+                return self.read(getter), True, residual
+            value, unsettled = self.read_soft(getter)
+            return value, unsettled == 0, residual
+
+        value, settled_now, residual = observe(state)
+        values = [value]
+        settled = [settled_now]
+        residuals = [residual]
         for pulse in range(int(n_pulses)):
             state = state.copy()
             state[pulse_index] += 1.0
             trajectory = simulator.simulate(settle, initial=state,
                                             n_samples=4)
             state = trajectory.final()
-            values.append(self.read(self._getter(state)))
+            value, settled_now, residual = observe(state)
+            values.append(value)
+            settled.append(settled_now)
+            residuals.append(residual)
             if tracer.enabled:
                 tracer.emit_span(f"pulse:{pulse}", "machine",
                                  pulse * settle, (pulse + 1) * settle,
                                  {"value": values[-1]})
             if metrics.enabled:
                 metrics.inc("counter.pulses")
-        overflow = float(state[self.network.species_index(self.overflow)])
-        return CounterRun(values=values, overflow=int(round(overflow)))
+        overflow = float(state[network.species_index(self.overflow)])
+        return CounterRun(values=values, overflow=int(round(overflow)),
+                          settled=settled, residuals=residuals)
 
-    def _getter(self, state: np.ndarray):
-        network = self.network
+    def _getter(self, state: np.ndarray, network: Network | None = None):
+        network = network or self.network
 
         def get(name: str) -> float:
             return float(state[network.species_index(name)])
@@ -114,11 +154,24 @@ class BinaryCounter:
 
 
 class CounterRun:
-    """Sequence of counter readings, one per applied pulse."""
+    """Sequence of counter readings, one per applied pulse.
 
-    def __init__(self, values: list[int], overflow: int):
+    ``settled`` flags whether each reading's rails were cleanly digital
+    (always ``True`` under strict reads, which raise instead);
+    ``residuals`` is the leftover pulse/carry mass at each reading --
+    non-zero residue means the ripple had not finished when the value
+    was sampled.
+    """
+
+    def __init__(self, values: list[int], overflow: int,
+                 settled: list[bool] | None = None,
+                 residuals: list[float] | None = None):
         self.values = values
         self.overflow = overflow
+        self.settled = settled if settled is not None \
+            else [True] * len(values)
+        self.residuals = residuals if residuals is not None \
+            else [0.0] * len(values)
 
     def expected(self, modulo: int) -> list[int]:
         return [i % modulo for i in range(len(self.values))]

@@ -38,5 +38,10 @@ class SynthesisError(ReproError):
     """Raised when a signal-flow graph cannot be synthesized to reactions."""
 
 
+class FaultError(ReproError):
+    """Raised when a fault-injection plan is ill-formed or violates the
+    fault-model contract (e.g. a model adds or removes species)."""
+
+
 class SchedulingError(SynthesisError):
     """Raised when phase/colour assignment of a design fails."""

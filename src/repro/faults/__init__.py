@@ -1,0 +1,60 @@
+"""Fault injection and robustness campaigns.
+
+The paper argues the three-phase protocol is robust because correctness
+rests on a single coarse premise (fast reactions are fast relative to
+slow ones).  This package turns that argument into a measurement:
+
+- :mod:`repro.faults.models` -- perturbation models (rate mismatch,
+  separation compression, leaks, dilution, copy-number noise, species
+  deletion, clock glitches) applied to a network before or during
+  simulation via :class:`FaultPlan`;
+- :mod:`repro.faults.circuits` -- adapters that run a circuit under a
+  plan and score it in the digital domain (bit errors vs the ideal
+  machine, settling time, protocol health);
+- :mod:`repro.faults.campaign` -- seeded Monte Carlo campaigns fanned
+  over a process pool, bitwise reproducible serial vs parallel;
+- :mod:`repro.faults.margin` -- bisection of the minimum fast/slow
+  separation at which a circuit still computes.
+
+Entry point: ``python -m repro robustness --circuit counter``.
+"""
+
+from repro.faults.campaign import (BASELINE, CampaignResult, ModelStats,
+                                   RobustnessCampaign, TrialResult,
+                                   default_suite)
+from repro.faults.circuits import (CIRCUITS, CounterCircuit,
+                                   MachineCircuit, TrialScore,
+                                   make_circuit)
+from repro.faults.margin import (MarginProbe, MarginResult,
+                                 robustness_margin)
+from repro.faults.models import (ClockGlitch, CopyNumberNoise, Dilution,
+                                 FaultModel, FaultPlan, FaultSetup, Leak,
+                                 RateMismatch, SeparationCompression,
+                                 SpeciesDeletion)
+
+__all__ = [
+    "BASELINE",
+    "CIRCUITS",
+    "CampaignResult",
+    "ClockGlitch",
+    "CopyNumberNoise",
+    "CounterCircuit",
+    "Dilution",
+    "FaultModel",
+    "FaultPlan",
+    "FaultSetup",
+    "Leak",
+    "MachineCircuit",
+    "MarginProbe",
+    "MarginResult",
+    "ModelStats",
+    "RateMismatch",
+    "RobustnessCampaign",
+    "SeparationCompression",
+    "SpeciesDeletion",
+    "TrialResult",
+    "TrialScore",
+    "default_suite",
+    "make_circuit",
+    "robustness_margin",
+]

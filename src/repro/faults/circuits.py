@@ -1,0 +1,191 @@
+"""Circuits under test: adapters that score one faulted trial.
+
+A campaign needs the same four numbers from every circuit -- bit errors
+against the ideal machine, settling time, boundary-residual and
+phase-overlap health -- whether the circuit is the SSA binary counter or
+an ODE-driven synthesized filter.  Each adapter hides its driver behind
+``evaluate(scheme, plan, rng) -> TrialScore``.
+
+The counter adapter uses a **pinned readout schedule**: readings are
+taken at the *nominal* scheme's settle time even when the trial runs a
+compressed scheme.  The ripple counter is internally rate-independent
+(every reaction is fast, the carry path is self-sequencing), so without
+a fixed external schedule no amount of slowdown could ever make it
+wrong; with one, insufficient separation shows up exactly as the paper
+predicts -- the chemistry has not finished when the synchronous world
+looks at it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.apps.filters import iir_first_order, moving_average
+from repro.core.machine import SynchronousMachine
+from repro.crn.rates import RateScheme
+from repro.digital.counter import BinaryCounter
+from repro.errors import FaultError, SimulationError
+from repro.obs.classify import classify_failure
+from repro.obs.monitors import MonitorConfig
+
+#: |measured - ideal| above this is a bit error for analog machine
+#: outputs (well inside the rate-robustness benchmarks' observed <0.4
+#: worst-case deviation at healthy separation).
+BIT_ERROR_TOLERANCE = 0.5
+
+
+@dataclass(frozen=True)
+class TrialScore:
+    """Digital-domain score of one (possibly faulted) trial."""
+
+    ok: bool
+    bit_errors: int
+    bits_total: int
+    bit_error_rate: float
+    #: mean time per output sample (cycle time, or the pinned settle
+    #: window for the counter).
+    settling_time: float
+    #: worst residual mass fraction observed at a readout boundary.
+    boundary_residual: float
+    #: worst phase-overlap fraction reported by the protocol monitor.
+    overlap: float
+    stalled: bool
+    unsettled: int
+    classification: str | None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        # Stalled trials carry an infinite settling time; JSON has no
+        # spelling for it, so reports use null.
+        if not np.isfinite(payload["settling_time"]):
+            payload["settling_time"] = None
+        return payload
+
+
+class CounterCircuit:
+    """The n-bit SSA ripple counter under a pinned readout schedule."""
+
+    name = "counter"
+
+    def __init__(self, n_bits: int = 3, n_pulses: int | None = None):
+        self.n_bits = int(n_bits)
+        self.n_pulses = int(n_pulses) if n_pulses else 2 ** self.n_bits + 2
+
+    def nominal_scheme(self) -> RateScheme:
+        return RateScheme()
+
+    def evaluate(self, scheme: RateScheme, plan=None,
+                 rng=None) -> TrialScore:
+        counter = BinaryCounter(self.n_bits)
+        # Pinned schedule: the settle window is fixed by the nominal
+        # scheme, not the trial's (see module docstring).
+        settle = 100.0 / self.nominal_scheme().fast
+        run = counter.count(self.n_pulses, scheme=scheme,
+                            settle_time=settle, stochastic=True,
+                            seed=rng, faults=plan, strict=False)
+        expected = run.expected(2 ** self.n_bits)
+        bit_errors = sum(bin(v ^ e).count("1")
+                         for v, e in zip(run.values, expected))
+        bits_total = len(run.values) * self.n_bits
+        unsettled = sum(1 for settled in run.settled if not settled)
+        # Residual carry mass per reading, as a fraction of the one unit
+        # each pulse injects.
+        residual = float(max(run.residuals))
+        rate = bit_errors / bits_total
+        ok = bit_errors == 0 and unsettled == 0
+        classification = None if ok else classify_failure(
+            bit_error_rate=rate, boundary_residual=residual,
+            unsettled=unsettled)
+        return TrialScore(ok=ok, bit_errors=bit_errors,
+                          bits_total=bits_total, bit_error_rate=rate,
+                          settling_time=settle,
+                          boundary_residual=residual, overlap=0.0,
+                          stalled=False, unsettled=unsettled,
+                          classification=classification)
+
+
+class MachineCircuit:
+    """A synthesized design driven by :class:`SynchronousMachine`.
+
+    Output samples deviating from the discrete-time reference by more
+    than :data:`BIT_ERROR_TOLERANCE` count as bit errors; protocol
+    health comes from the machine's own monitor diagnostics.
+    """
+
+    def __init__(self, name: str, builder, samples):
+        self.name = name
+        self.builder = builder
+        self.samples = [float(v) for v in samples]
+
+    def nominal_scheme(self) -> RateScheme:
+        return RateScheme()
+
+    def evaluate(self, scheme: RateScheme, plan=None,
+                 rng=None) -> TrialScore:
+        bits_total = len(self.samples)
+        try:
+            machine = SynchronousMachine(self.builder(), scheme=scheme,
+                                         monitor=MonitorConfig(),
+                                         faults=plan)
+            run = machine.run({"x": self.samples})
+        except SimulationError as exc:
+            return TrialScore(
+                ok=False, bit_errors=bits_total, bits_total=bits_total,
+                bit_error_rate=1.0, settling_time=float("inf"),
+                boundary_residual=0.0, overlap=0.0, stalled=True,
+                unsettled=0,
+                classification=classify_failure(stalled=True),
+                detail=str(exc))
+        bit_errors = 0
+        for name, measured in run.outputs.items():
+            reference = run.reference[name]
+            n = min(len(measured), len(reference))
+            bit_errors += int(np.sum(np.abs(measured[:n] - reference[:n])
+                                     > BIT_ERROR_TOLERANCE))
+        rate = bit_errors / bits_total if bits_total else 0.0
+        residual = max((d.value for d in run.diagnostics
+                        if d.code == "REPRO-R104" and d.value is not None),
+                       default=0.0)
+        overlap = max((d.value for d in run.diagnostics
+                       if d.code == "REPRO-R101" and d.value is not None),
+                      default=0.0)
+        ok = bit_errors == 0
+        classification = None if ok else classify_failure(
+            run.diagnostics, bit_error_rate=rate,
+            boundary_residual=residual, overlap=overlap)
+        return TrialScore(ok=ok, bit_errors=bit_errors,
+                          bits_total=bits_total, bit_error_rate=rate,
+                          settling_time=run.mean_cycle_time,
+                          boundary_residual=float(residual),
+                          overlap=float(overlap), stalled=False,
+                          unsettled=0, classification=classification)
+
+
+def _make_ma(**kwargs) -> MachineCircuit:
+    return MachineCircuit("ma", lambda: moving_average(2),
+                          [8.0, 4.0, 6.0, 2.0, 6.0, 4.0], **kwargs)
+
+
+def _make_iir(**kwargs) -> MachineCircuit:
+    return MachineCircuit("iir", lambda: iir_first_order(),
+                          [8.0, 8.0, 8.0, 8.0, 4.0, 4.0], **kwargs)
+
+
+CIRCUITS = {
+    "counter": CounterCircuit,
+    "ma": _make_ma,
+    "iir": _make_iir,
+}
+
+
+def make_circuit(name: str, **kwargs):
+    """Instantiate a registered circuit adapter by name."""
+    try:
+        factory = CIRCUITS[name]
+    except KeyError:
+        raise FaultError(f"unknown circuit {name!r}; "
+                         f"choose from {sorted(CIRCUITS)}")
+    return factory(**kwargs)

@@ -1,0 +1,334 @@
+"""Fault models: physical perturbations of a network under test.
+
+The paper's robustness claim is qualitative -- "fast reactions need only
+be fast relative to slow ones" -- and the campaigns in
+:mod:`repro.faults.campaign` probe it quantitatively by injecting the
+perturbations a wet implementation actually suffers:
+
+- per-reaction rate-constant mismatch (:class:`RateMismatch`),
+- erosion of the fast/slow separation itself
+  (:class:`SeparationCompression`),
+- spurious zeroth-order production of signal species (:class:`Leak`),
+- global first-order dilution/decay (:class:`Dilution`),
+- pipetting noise on initial copy numbers (:class:`CopyNumberNoise`),
+- a missing species at t=0 (:class:`SpeciesDeletion`),
+- a transient loss of clock molecules mid-run (:class:`ClockGlitch`).
+
+Every model is a small frozen dataclass with four *setup* hooks
+(scheme, network, per-reaction rates, initial state) and one *runtime*
+hook (cycle boundaries).  The contract that keeps fault injection safe
+to wire through the machine drivers: **a model may add reactions and
+rescale quantities, but it must never add or remove species**, so every
+species index computed against the pristine network stays valid against
+the faulted one.  :class:`FaultPlan` enforces this.
+
+Plans are deterministic: a plan seeded with ``seed`` spawns one child
+:class:`numpy.random.SeedSequence` per model, so the same
+``(models, seed)`` pair always materialises the same perturbation --
+which is what makes campaign results bitwise reproducible serial vs
+parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.crn.network import Network
+from repro.crn.rates import RateScheme
+from repro.crn.reaction import Reaction
+from repro.errors import FaultError
+
+
+class FaultModel:
+    """Base class: every hook defaults to the identity.
+
+    Subclasses are frozen dataclasses, so models are hashable, picklable
+    and comparable -- a campaign payload ships them to worker processes
+    as-is.
+    """
+
+    #: short machine-readable name (defaults to the class name).
+    kind = ""
+
+    def describe(self) -> dict:
+        payload = {"kind": self.kind or type(self).__name__}
+        payload.update(asdict(self))
+        return payload
+
+    # -- setup hooks (applied once, before simulation) -----------------------
+
+    def perturb_scheme(self, scheme: RateScheme,
+                       rng: np.random.Generator) -> RateScheme:
+        return scheme
+
+    def perturb_network(self, network: Network, scheme: RateScheme,
+                        rng: np.random.Generator) -> None:
+        """Mutate the (already copied) network in place.
+
+        May only *add* reactions over the existing species set.
+        """
+
+    def perturb_rates(self, rates: np.ndarray, network: Network,
+                      scheme: RateScheme,
+                      rng: np.random.Generator) -> np.ndarray:
+        return rates
+
+    def perturb_initial(self, initial: np.ndarray, network: Network,
+                        rng: np.random.Generator) -> np.ndarray:
+        return initial
+
+    # -- runtime hook ---------------------------------------------------------
+
+    def on_boundary(self, cycle: int, state: np.ndarray, network: Network,
+                    rng: np.random.Generator) -> np.ndarray:
+        """Perturb the state vector at one cycle boundary."""
+        return state
+
+
+@dataclass(frozen=True)
+class RateMismatch(FaultModel):
+    """Independent log-normal mismatch on every rate constant.
+
+    ``sigma`` is the log-space standard deviation; 0.25 corresponds to a
+    typical one-sigma mismatch of ~28%.  This is the fault the paper
+    claims immunity to (within-category variation), so the default
+    suites expect it to be harmless.
+    """
+
+    sigma: float = 0.25
+    kind = "rate_mismatch"
+
+    def perturb_rates(self, rates, network, scheme, rng):
+        if self.sigma < 0:
+            raise FaultError("sigma must be non-negative")
+        return rates * rng.lognormal(mean=0.0, sigma=self.sigma,
+                                     size=rates.shape)
+
+
+@dataclass(frozen=True)
+class SeparationCompression(FaultModel):
+    """Divide the fast/slow separation by ``factor``.
+
+    The one axis the paper's guarantee *does* depend on.  The margin
+    search in :mod:`repro.faults.margin` sweeps this factor to find
+    where a circuit stops computing.
+    """
+
+    factor: float = 10.0
+    kind = "separation_compression"
+
+    def perturb_scheme(self, scheme, rng):
+        return scheme.compressed(self.factor)
+
+
+@dataclass(frozen=True)
+class Leak(FaultModel):
+    """Spurious zeroth-order production of signal-carrying species.
+
+    Adds ``0 -> X`` at ``rate * k_slow`` for every species whose role is
+    in ``roles`` -- the chemical analogue of a gate leaking output
+    without input.  The rate is expressed relative to the slow category
+    so the same model is meaningful under any scheme.
+    """
+
+    rate: float = 1e-3
+    roles: tuple[str, ...] = ("signal", "aux")
+    kind = "leak"
+
+    def perturb_network(self, network, scheme, rng):
+        if self.rate < 0:
+            raise FaultError("leak rate must be non-negative")
+        k = self.rate * scheme.slow
+        for species in network.species:
+            if species.role in self.roles:
+                network.add_reaction(Reaction(
+                    {}, {species: 1}, k, label=f"leak {species.name}"))
+
+
+@dataclass(frozen=True)
+class Dilution(FaultModel):
+    """Global first-order decay ``X -> 0`` of every species.
+
+    Models an open reactor (outflow) or spontaneous degradation; unlike
+    :class:`Leak` it also erodes the clock and the indicators, so it
+    attacks the protocol's conservation assumptions.
+    """
+
+    rate: float = 1e-4
+    kind = "dilution"
+
+    def perturb_network(self, network, scheme, rng):
+        if self.rate < 0:
+            raise FaultError("dilution rate must be non-negative")
+        k = self.rate * scheme.slow
+        for species in network.species:
+            network.add_reaction(Reaction(
+                {species: 1}, {}, k, label=f"dilution {species.name}"))
+
+
+@dataclass(frozen=True)
+class CopyNumberNoise(FaultModel):
+    """Log-normal pipetting noise on every non-zero initial quantity."""
+
+    sigma: float = 0.05
+    kind = "copy_number_noise"
+
+    def perturb_initial(self, initial, network, rng):
+        if self.sigma < 0:
+            raise FaultError("sigma must be non-negative")
+        initial = initial.copy()
+        nonzero = initial > 0
+        initial[nonzero] *= rng.lognormal(
+            mean=0.0, sigma=self.sigma, size=int(nonzero.sum()))
+        return initial
+
+
+@dataclass(frozen=True)
+class SpeciesDeletion(FaultModel):
+    """One species is simply missing at t=0.
+
+    ``species`` names the victim; ``None`` picks uniformly among the
+    species with non-zero initial quantity.  The species itself stays
+    registered (indices must not shift) -- only its copies are gone.
+    """
+
+    species: str | None = None
+    kind = "species_deletion"
+
+    def perturb_initial(self, initial, network, rng):
+        if self.species is not None:
+            initial = initial.copy()
+            initial[network.species_index(self.species)] = 0.0
+            return initial
+        candidates = np.nonzero(initial > 0)[0]
+        if candidates.size == 0:
+            return initial
+        initial = initial.copy()
+        initial[int(rng.choice(candidates))] = 0.0
+        return initial
+
+
+@dataclass(frozen=True)
+class ClockGlitch(FaultModel):
+    """Transient loss of clock molecules at one cycle boundary.
+
+    At boundary ``cycle``, a fraction of every clock-role species is
+    removed.  The machine drivers replenish the clock at the *next*
+    boundary, so the glitch perturbs exactly one cycle -- a recoverable
+    fault unless ``fraction`` is large enough to stall the oscillator.
+    """
+
+    cycle: int = 2
+    fraction: float = 0.5
+    kind = "clock_glitch"
+
+    def on_boundary(self, cycle, state, network, rng):
+        if not 0 <= self.fraction <= 1:
+            raise FaultError("fraction must be in [0, 1]")
+        if cycle != self.cycle:
+            return state
+        state = state.copy()
+        for species in network.species_with_role("clock"):
+            index = network.species_index(species)
+            state[index] *= 1.0 - self.fraction
+        return state
+
+
+@dataclass(frozen=True)
+class FaultSetup:
+    """Everything a driver needs to simulate the faulted system."""
+
+    network: Network
+    scheme: RateScheme
+    #: per-reaction numeric rates, or ``None`` when no model perturbed
+    #: them (drivers then resolve the scheme as usual).
+    rates: np.ndarray | None
+    initial: np.ndarray
+
+
+class FaultPlan:
+    """An ordered set of fault models plus the randomness to apply them.
+
+    A plan is a single-run object: :meth:`materialize` advances the
+    per-model generators, so build a fresh plan (same models, same seed)
+    for every trial that must reproduce the same perturbation.
+    """
+
+    def __init__(self, models, seed: int | np.random.SeedSequence | None = 0):
+        self.models: tuple[FaultModel, ...] = tuple(models)
+        for model in self.models:
+            if not isinstance(model, FaultModel):
+                raise FaultError(f"not a fault model: {model!r}")
+        if isinstance(seed, np.random.SeedSequence):
+            self.seed_sequence = seed
+        else:
+            self.seed_sequence = np.random.SeedSequence(seed)
+        children = self.seed_sequence.spawn(len(self.models))
+        self._rngs = [np.random.default_rng(child) for child in children]
+        self._setup: FaultSetup | None = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.models)
+
+    def describe(self) -> list[dict]:
+        return [model.describe() for model in self.models]
+
+    def materialize(self, network: Network, scheme: RateScheme,
+                    rates: np.ndarray | None = None) -> FaultSetup:
+        """Apply every setup hook and return the faulted system.
+
+        The input network is never mutated; the returned copy carries
+        the perturbed reactions *and* the perturbed initial quantities
+        (so ``setup.network.initial_vector()`` equals ``setup.initial``).
+        """
+        faulted = network.copy()
+        names_before = list(faulted.species_names)
+
+        for model, rng in zip(self.models, self._rngs):
+            scheme = model.perturb_scheme(scheme, rng)
+        for model, rng in zip(self.models, self._rngs):
+            model.perturb_network(faulted, scheme, rng)
+        if faulted.species_names != names_before:
+            raise FaultError(
+                "fault models must not add or remove species (indices "
+                "computed against the pristine network would go stale); "
+                f"species changed from {len(names_before)} to "
+                f"{faulted.n_species}")
+
+        base = np.asarray(rates, dtype=float) if rates is not None \
+            else faulted.rate_vector(scheme)
+        if base.shape != (faulted.n_reactions,):
+            # Caller-supplied rates predate fault reactions: extend with
+            # the scheme resolution of the added reactions.
+            resolved = faulted.rate_vector(scheme)
+            resolved[:base.size] = base
+            base = resolved
+        perturbed = base
+        for model, rng in zip(self.models, self._rngs):
+            perturbed = model.perturb_rates(perturbed, faulted, scheme, rng)
+        rates_out = perturbed if (rates is not None
+                                  or perturbed is not base) else None
+
+        initial = faulted.initial_vector()
+        for model, rng in zip(self.models, self._rngs):
+            initial = model.perturb_initial(initial, faulted, rng)
+        if np.any(initial < 0):
+            raise FaultError("faulted initial quantities must stay "
+                             "non-negative")
+        for name, value in zip(faulted.species_names, initial):
+            if value != faulted.get_initial(name):
+                faulted.set_initial(name, float(value))
+
+        self._setup = FaultSetup(network=faulted, scheme=scheme,
+                                 rates=rates_out, initial=initial)
+        return self._setup
+
+    def on_boundary(self, cycle: int, state: np.ndarray,
+                    network: Network) -> np.ndarray:
+        """Apply every runtime hook at one cycle boundary."""
+        for model, rng in zip(self.models, self._rngs):
+            state = model.on_boundary(cycle, state, network, rng)
+        return state

@@ -21,6 +21,7 @@ See ``docs/observability.md`` for the span, metric, and diagnostic
 catalogue.
 """
 
+from repro.obs.classify import classify_failure
 from repro.obs.metrics import (NULL_METRICS, Counter, Gauge, Histogram,
                                MetricsRegistry, NullMetrics,
                                ensure_metrics)
@@ -59,6 +60,7 @@ __all__ = [
     "Tracer",
     "check_phase_overlap",
     "chrome_events",
+    "classify_failure",
     "clock_diagnostics",
     "ensure_metrics",
     "ensure_tracer",

@@ -1,0 +1,57 @@
+"""Failure classification for robustness trials.
+
+A failed trial carries heterogeneous evidence -- a stalled driver, a
+batch of :class:`~repro.obs.monitors.RuntimeDiagnostic` findings, raw
+measured health metrics -- and the campaigns need one ``REPRO-R***``
+label per failure so results aggregate.  :func:`classify_failure`
+reduces the evidence to the single most *causal* code: residual mass at
+the boundary (R104) explains overlap and bit errors downstream of it,
+overlap (R101) explains mushy indicators, and so on, which is why the
+priority order below is not the numeric order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.obs.monitors import MonitorConfig, RuntimeDiagnostic
+
+#: Most-causal-first order used to pick one code from many findings.
+PRIORITY = ("REPRO-R104", "REPRO-R101", "REPRO-R103", "REPRO-R105",
+            "REPRO-R102")
+
+
+def classify_failure(diagnostics: Iterable[RuntimeDiagnostic] = (),
+                     *,
+                     stalled: bool = False,
+                     bit_error_rate: float = 0.0,
+                     boundary_residual: float | None = None,
+                     overlap: float | None = None,
+                     unsettled: int = 0,
+                     config: MonitorConfig | None = None) -> str | None:
+    """One ``REPRO-R***`` code for a failed trial, or ``None`` if the
+    evidence does not indicate a failure.
+
+    Parameters beyond ``diagnostics`` are raw measurements for drivers
+    that do not run a :class:`~repro.obs.monitors.ProtocolMonitor` (the
+    counter's SSA path): residual signal fraction at readout, phase
+    overlap, unsettled bit reads.
+    """
+    if stalled:
+        # The driver never reached a boundary: the rotation itself broke.
+        return "REPRO-R102"
+    codes = {d.code for d in diagnostics}
+    for code in PRIORITY:
+        if code in codes:
+            return code
+    config = config or MonitorConfig()
+    if boundary_residual is not None \
+            and boundary_residual > config.boundary_residual_warn:
+        return "REPRO-R104"
+    if overlap is not None and overlap > config.phase_overlap_warn:
+        return "REPRO-R101"
+    if unsettled > 0 or bit_error_rate > 0:
+        # Wrong or unreadable logic levels with no upstream protocol
+        # finding: the levels themselves are mushy.
+        return "REPRO-R103"
+    return None

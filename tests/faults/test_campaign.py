@@ -1,0 +1,125 @@
+"""Campaigns, margins, and the bitwise serial==parallel contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (CounterCircuit, FaultPlan, RateMismatch,
+                          RobustnessCampaign, default_suite, make_circuit,
+                          robustness_margin)
+
+
+class TestCircuits:
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(FaultError, match="unknown circuit"):
+            make_circuit("perpetuum")
+
+    def test_counter_nominal_trial_is_clean(self):
+        adapter = CounterCircuit(n_bits=2, n_pulses=4)
+        score = adapter.evaluate(adapter.nominal_scheme(),
+                                 rng=np.random.default_rng(0))
+        assert score.ok
+        assert score.bit_errors == 0
+        assert score.classification is None
+
+    def test_counter_compressed_scheme_fails_as_r104(self):
+        # The pinned readout schedule: at separation 5 the carries are
+        # still in flight when the synchronous world reads the bits.
+        adapter = CounterCircuit(n_bits=3)
+        nominal = adapter.nominal_scheme()
+        scheme = nominal.compressed(nominal.separation / 5.0)
+        score = adapter.evaluate(scheme, rng=np.random.default_rng(0))
+        assert not score.ok
+        assert score.bit_errors > 0
+        assert score.boundary_residual > 0
+        assert score.classification == "REPRO-R104"
+
+    def test_counter_trial_is_seed_deterministic(self):
+        adapter = CounterCircuit(n_bits=2, n_pulses=4)
+        scores = []
+        for _ in range(2):
+            plan = FaultPlan([RateMismatch(0.3)], seed=5)
+            scores.append(adapter.evaluate(
+                adapter.nominal_scheme(), plan=plan,
+                rng=np.random.default_rng(6)))
+        assert scores[0] == scores[1]
+
+
+class TestCampaign:
+    def test_serial_and_parallel_are_bitwise_identical(self):
+        kwargs = dict(circuit="counter", trials=3, seed=0,
+                      circuit_kwargs={"n_bits": 2, "n_pulses": 4},
+                      measure_margin=False)
+        serial = RobustnessCampaign(n_workers=1, **kwargs).run()
+        parallel = RobustnessCampaign(n_workers=4, **kwargs).run()
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_default_counter_suite_is_clean_at_nominal(self):
+        result = RobustnessCampaign(
+            circuit="counter", trials=3, seed=0, n_workers=1,
+            circuit_kwargs={"n_bits": 2, "n_pulses": 4},
+            measure_margin=False).run()
+        assert result.failures == 0
+        assert result.bit_errors == 0
+        # One stats row per model plus the baseline.
+        assert len(result.stats) == len(default_suite("counter")) + 1
+        assert result.stats[0].model == "baseline"
+
+    def test_render_mentions_the_headline_numbers(self):
+        result = RobustnessCampaign(
+            circuit="counter", trials=2, seed=0, n_workers=1,
+            circuit_kwargs={"n_bits": 2, "n_pulses": 4},
+            measure_margin=False).run()
+        text = result.render()
+        assert "failures: 0" in text
+        assert "baseline" in text
+
+    def test_to_dict_is_json_clean(self):
+        import json
+
+        result = RobustnessCampaign(
+            circuit="counter", trials=2, seed=0, n_workers=1,
+            circuit_kwargs={"n_bits": 2, "n_pulses": 4},
+            margin_trials=1).run()
+        json.dumps(result.to_dict())  # no inf/nan leaks
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(FaultError, match="at least one trial"):
+            RobustnessCampaign(trials=0)
+
+    def test_unknown_default_suite(self):
+        with pytest.raises(FaultError, match="no default fault suite"):
+            default_suite("perpetuum")
+
+
+class TestMargin:
+    def test_counter_margin_is_finite_and_classified(self):
+        result = robustness_margin(CounterCircuit(n_bits=3), seed=0,
+                                   trials=1)
+        assert np.isfinite(result.margin)
+        assert 2.0 < result.margin < 1000.0
+        assert result.failed_at < result.margin
+        assert result.margin / result.failed_at <= 1.5 + 1e-9
+        assert result.classification == "REPRO-R104"
+        assert result.n_evaluations <= 24
+
+    def test_margin_is_seed_deterministic(self):
+        a = robustness_margin(CounterCircuit(n_bits=2), seed=3, trials=1)
+        b = robustness_margin(CounterCircuit(n_bits=2), seed=3, trials=1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_passing_floor_reports_margin_at_lo(self):
+        # With a floor the counter still satisfies, the search reports
+        # the floor itself and no failure bracket.
+        result = robustness_margin(CounterCircuit(n_bits=2, n_pulses=3),
+                                   seed=0, trials=1,
+                                   separation_lo=900.0)
+        assert result.margin == pytest.approx(900.0)
+        assert np.isnan(result.failed_at)
+        assert result.classification is None
+
+    def test_bad_bracket_rejected(self):
+        with pytest.raises(FaultError, match="separation_lo"):
+            robustness_margin(CounterCircuit(), separation_lo=2000.0)
+        with pytest.raises(FaultError, match="tolerance"):
+            robustness_margin(CounterCircuit(), tolerance=0.5)

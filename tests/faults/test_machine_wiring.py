@@ -1,0 +1,79 @@
+"""Fault plans wired through the machine drivers and the counter."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import SynchronousMachine
+from repro.core.stochastic_machine import StochasticMachine
+from repro.digital.counter import BinaryCounter
+from repro.faults import (ClockGlitch, Dilution, FaultPlan, Leak,
+                          RateMismatch)
+
+
+def _ma_design():
+    from repro.apps.filters import moving_average
+
+    return moving_average(2)
+
+
+class TestSynchronousMachine:
+    def test_faulted_network_carries_the_extra_reactions(self):
+        clean = SynchronousMachine(_ma_design())
+        faulted = SynchronousMachine(
+            _ma_design(), faults=FaultPlan([Leak(rate=1e-5)], seed=1))
+        assert faulted.network.n_reactions > clean.network.n_reactions
+
+    def test_faulted_run_still_computes(self):
+        plan = FaultPlan([RateMismatch(sigma=0.1), Leak(rate=1e-5)],
+                         seed=2)
+        machine = SynchronousMachine(_ma_design(), faults=plan)
+        run = machine.run({"x": [8.0, 4.0]})
+        assert run.max_error() < 0.5
+
+    def test_small_clock_glitch_recovers(self):
+        plan = FaultPlan([ClockGlitch(cycle=1, fraction=0.05)], seed=3)
+        machine = SynchronousMachine(_ma_design(), faults=plan)
+        run = machine.run({"x": [8.0, 4.0]})
+        assert run.max_error() < 0.5
+
+    def test_inactive_plan_changes_nothing(self):
+        clean = SynchronousMachine(_ma_design())
+        noop = SynchronousMachine(_ma_design(),
+                                  faults=FaultPlan([], seed=0))
+        assert noop.network.n_reactions == clean.network.n_reactions
+
+
+class TestStochasticMachine:
+    def test_faulted_run_still_computes(self):
+        plan = FaultPlan([Dilution(rate=1e-6)], seed=4)
+        machine = StochasticMachine(_ma_design(), seed=7, faults=plan)
+        run = machine.run({"x": [8.0, 4.0]})
+        assert machine.network.n_reactions > 0
+        assert run.max_error() <= 1.0  # integer semantics, +/- 1 count
+
+
+class TestCounterWiring:
+    def test_faulted_count_reports_health_fields(self):
+        plan = FaultPlan([RateMismatch(sigma=0.3)], seed=5)
+        counter = BinaryCounter(2)
+        run = counter.count(4, stochastic=True,
+                            seed=np.random.default_rng(0), faults=plan,
+                            strict=False)
+        assert len(run.settled) == len(run.values)
+        assert len(run.residuals) == len(run.values)
+        assert all(run.settled)
+        assert run.values == [0, 1, 2, 3, 0]
+
+    def test_strict_false_tolerates_unsettled_readings(self):
+        # Compressed scheme + pinned settle window: readings happen
+        # before the carries finish; strict=False reports instead of
+        # raising.
+        from repro.crn.rates import RateScheme
+
+        nominal = RateScheme()
+        scheme = nominal.compressed(nominal.separation / 5.0)
+        run = BinaryCounter(3).count(
+            10, scheme=scheme, settle_time=100.0 / nominal.fast,
+            stochastic=True, seed=np.random.default_rng(0),
+            strict=False)
+        assert max(run.residuals) > 0

@@ -1,0 +1,57 @@
+"""The ``python -m repro robustness`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRobustness:
+    def test_runs_and_reports(self, capsys):
+        assert main(["robustness", "--circuit", "counter",
+                     "--trials", "2", "--seed", "0", "--no-margin"]) == 0
+        out = capsys.readouterr().out
+        assert "robustness campaign" in out
+        assert "baseline" in out
+        assert "failures: 0" in out
+
+    def test_json_report_is_valid_and_complete(self, tmp_path, capsys):
+        report = tmp_path / "campaign.json"
+        assert main(["robustness", "--circuit", "counter",
+                     "--trials", "2", "--seed", "0",
+                     "--margin-trials", "1",
+                     "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["circuit"] == "counter"
+        assert payload["bit_errors"] == 0
+        assert payload["failures"] == 0
+        assert payload["margin"]["margin"] is not None
+        assert payload["margin"]["classification"].startswith("REPRO-R")
+        assert len(payload["trials"]) == payload["n_trials"]
+
+    def test_explicit_fault_selection(self, capsys):
+        assert main(["robustness", "--circuit", "counter",
+                     "--trials", "2", "--seed", "0", "--no-margin",
+                     "--fault", "rate_mismatch",
+                     "--fault", "leak"]) == 0
+        out = capsys.readouterr().out
+        assert "rate_mismatch" in out
+        assert "leak" in out
+        assert "dilution" not in out  # default suite not used
+
+    def test_unknown_fault_is_a_usage_error(self, capsys):
+        assert main(["robustness", "--circuit", "counter",
+                     "--trials", "2", "--no-margin",
+                     "--fault", "gremlins"]) == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_deterministic_across_invocations(self, tmp_path):
+        reports = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main(["robustness", "--circuit", "counter",
+                         "--trials", "3", "--seed", "7", "--no-margin",
+                         "--json", str(path)]) == 0
+            reports.append(json.loads(path.read_text()))
+        assert reports[0] == reports[1]
