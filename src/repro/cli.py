@@ -2,14 +2,15 @@
 
 Commands
 --------
-simulate   integrate a ``.crn`` file and print final quantities / a plot
-clock      run the molecular clock and report period/jitter
-filter     stream samples through a synthesized filter
-counter    run the binary counter
-robustness run a fault-injection robustness campaign
-dsd        compile a ``.crn`` file to strand displacement (+ FASTA)
-lint       static analysis of ``.crn`` files and built-in circuits
-report     summarise a recorded JSONL trace
+simulate    integrate a ``.crn`` file and print final quantities / a plot
+clock       run the molecular clock and report period/jitter
+filter      stream samples through a synthesized filter
+counter     run the binary counter
+robustness  run a fault-injection robustness campaign
+conformance cross-check every engine against invariants and each other
+dsd         compile a ``.crn`` file to strand displacement (+ FASTA)
+lint        static analysis of ``.crn`` files and built-in circuits
+report      summarise a recorded JSONL trace
 
 The simulation commands accept ``--trace FILE`` (``.jsonl`` for the
 canonical line format, ``.json`` for a Chrome trace-event file) and
@@ -277,6 +278,77 @@ def _run_robustness(args) -> int:
     return 0
 
 
+def _add_conformance(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "conformance",
+        help="cross-check every simulation engine against metamorphic "
+             "invariants and differential oracles")
+    parser.add_argument("--budget", default="small",
+                        choices=["tiny", "small", "medium", "large"],
+                        help="generator budget (default small; the "
+                             "nightly CI job runs large)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed; (budget, seed) names one "
+                             "exact target list forever (default 0)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for ensemble oracles "
+                             "(default: CPU count; 1 forces serial)")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="write the deterministic JSON report")
+    parser.add_argument("--corpus", default="", metavar="DIR",
+                        help="replay-corpus directory for shrunk "
+                             "reproducers (default "
+                             "tests/conformance/corpus when it exists)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without shrinking or "
+                             "writing reproducers")
+    parser.add_argument("--replay", default="", metavar="FILE",
+                        help="replay the invariant battery against one "
+                             ".crn file (corpus reproducer) and exit")
+    parser.set_defaults(run=_run_conformance)
+
+
+def _run_conformance(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.conformance import replay_network, run_conformance
+    from repro.conformance.runner import DEFAULT_CORPUS_DIR
+
+    if args.replay:
+        corpus = DEFAULT_CORPUS_DIR
+        path = Path(args.replay)
+        if not path.exists() and (corpus / path.name).exists():
+            path = corpus / path.name
+        network = load_network(path)
+        results = replay_network(network, name=path.name,
+                                 seed=args.seed)
+        failures = [r for r in results if r.failed]
+        for result in results:
+            line = f"{result.status:5s} {result.check} [{result.engine}]"
+            if result.detail:
+                line += f": {result.detail}"
+            print(line)
+        print(f"{len(results) - len(failures)}/{len(results)} checks "
+              f"passed on {path}")
+        return 1 if failures else 0
+
+    corpus_dir = args.corpus or (
+        str(DEFAULT_CORPUS_DIR) if DEFAULT_CORPUS_DIR.is_dir() else None)
+    report = run_conformance(
+        args.budget, args.seed, n_workers=args.workers,
+        corpus_dir=None if args.no_shrink else corpus_dir,
+        shrink=not args.no_shrink)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote conformance report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _add_dsd(subparsers) -> None:
     parser = subparsers.add_parser(
         "dsd", help="compile a .crn file to strand displacement")
@@ -414,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_filter(subparsers)
     _add_counter(subparsers)
     _add_robustness(subparsers)
+    _add_conformance(subparsers)
     _add_dsd(subparsers)
     _add_lint(subparsers)
     _add_report(subparsers)

@@ -1,0 +1,201 @@
+"""Constrained random generation of conformance targets.
+
+The harness needs *many* small networks that every engine can afford to
+simulate, so the generator is constrained rather than free-form:
+
+- mass-action order at most two (the implementable fragment);
+- no expansive reactions: for order >= 1 the total product coefficient
+  never exceeds the total reactant coefficient, and zeroth-order sources
+  produce exactly one unit -- so deterministic states stay bounded
+  (linear growth at worst) and SSA event counts stay affordable;
+- no no-op reactions (identical reactant and product multisets);
+- integer initial quantities, so the stochastic engines' ``rint``
+  rounding is exact and cross-engine comparisons are meaningful;
+- every candidate is linted and rejected on any error-severity
+  diagnostic ("lint-clean"), so the harness never chases networks the
+  static analyser already rejects.
+
+All randomness flows from one :class:`numpy.random.SeedSequence`, so a
+``(budget, seed)`` pair names one exact target list forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crn.network import Network
+from repro.crn.rates import FAST, SLOW, RateScheme
+from repro.errors import NetworkError
+
+#: Rate scheme used for random conformance targets.  A mildly stiff
+#: separation (50x) keeps LSODA/BDF honest while keeping exact-SSA
+#: event counts affordable for ensemble oracles.
+CONFORMANCE_SCHEME = RateScheme({FAST: 50.0, SLOW: 1.0})
+
+
+@dataclass(frozen=True)
+class GeneratorBudget:
+    """Size knobs for one conformance run.
+
+    ``n_networks`` random networks are generated with at most
+    ``max_species``/``max_reactions`` each; stochastic ensemble oracles
+    use ``n_runs`` realisations; ``t_final`` bounds every integration
+    span; ``include_circuits`` adds the built-in clock/counter/machine
+    networks as targets.
+    """
+
+    n_networks: int
+    max_species: int
+    max_reactions: int
+    n_runs: int
+    t_final: float
+    include_circuits: bool
+
+
+BUDGETS: dict[str, GeneratorBudget] = {
+    # "tiny" exists for the test suite: one network, minimal ensembles.
+    "tiny": GeneratorBudget(n_networks=1, max_species=4, max_reactions=4,
+                            n_runs=8, t_final=1.0, include_circuits=False),
+    "small": GeneratorBudget(n_networks=4, max_species=5, max_reactions=6,
+                             n_runs=16, t_final=2.0,
+                             include_circuits=True),
+    "medium": GeneratorBudget(n_networks=12, max_species=7,
+                              max_reactions=10, n_runs=32, t_final=2.0,
+                              include_circuits=True),
+    "large": GeneratorBudget(n_networks=40, max_species=10,
+                             max_reactions=16, n_runs=64, t_final=4.0,
+                             include_circuits=True),
+}
+
+#: Generation attempts per accepted network before giving up.  The
+#: constraints are mild, so rejection sampling converges fast; the cap
+#: guards against a buggy constraint locking the generator.
+_MAX_ATTEMPTS = 200
+
+
+def _random_reaction(rng: np.random.Generator, names: list[str]) -> tuple:
+    """One constrained ``(reactants, products, rate)`` triple."""
+    order = int(rng.choice([0, 1, 1, 2, 2, 2]))
+    reactants: dict[str, int] = {}
+    for _ in range(order):
+        name = str(rng.choice(names))
+        reactants[name] = reactants.get(name, 0) + 1
+    if order == 0:
+        # Zeroth-order source: exactly one product unit (linear growth).
+        products = {str(rng.choice(names)): 1}
+    else:
+        budget = sum(reactants.values())
+        n_products = int(rng.integers(0, budget + 1))
+        products = {}
+        for _ in range(n_products):
+            name = str(rng.choice(names))
+            products[name] = products.get(name, 0) + 1
+    kind = int(rng.choice([0, 1, 2]))
+    if kind == 0:
+        rate: float | str = FAST
+    elif kind == 1:
+        rate = SLOW
+    else:
+        rate = float(np.round(10.0 ** rng.uniform(-1.0, 1.5), 4))
+    return reactants, products, rate
+
+
+def random_network(seed: np.random.SeedSequence | int,
+                   max_species: int = 5, max_reactions: int = 6,
+                   name: str = "conf") -> Network:
+    """One random, lint-clean, non-expansive mass-action network.
+
+    Deterministic in ``seed``: the same seed always produces the same
+    network, independently of how many candidates were rejected.
+    """
+    from repro.lint import LintConfig, lint_network
+
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(_MAX_ATTEMPTS):
+        network = Network(name)
+        n_species = int(rng.integers(2, max_species + 1))
+        names = [f"S{i}" for i in range(n_species)]
+        for s in names:
+            network.add_species(s)
+        n_reactions = int(rng.integers(1, max_reactions + 1))
+        for _ in range(n_reactions):
+            reactants, products, rate = _random_reaction(rng, names)
+            if reactants == products:
+                continue  # no-op reaction: nothing to simulate
+            network.add(reactants, products, rate)
+        if not network.reactions:
+            continue
+        # Integer initial quantities, at least one positive so every
+        # engine has something to do.
+        for s in names:
+            if rng.random() < 0.7:
+                network.set_initial(s, float(rng.integers(1, 11)))
+        if not any(network.initial.values()):
+            network.set_initial(names[0], 5.0)
+        report = lint_network(network, LintConfig())
+        if report.exit_code() == 0:
+            return network
+    raise NetworkError(
+        f"could not generate a lint-clean network in {_MAX_ATTEMPTS} "
+        f"attempts (seed {seed.entropy!r})")
+
+
+@dataclass(frozen=True)
+class Target:
+    """One conformance target: a network plus how to exercise it.
+
+    ``stochastic`` gates the SSA/tau checks and oracles (off for the
+    oscillator, whose event counts are prohibitive at unit volume);
+    ``stiff`` gates the explicit internal-rk45 differential oracle.
+    """
+
+    name: str
+    network: Network
+    scheme: RateScheme
+    t_final: float
+    stochastic: bool = True
+    stiff: bool = False
+
+
+def _circuit_targets(t_final: float) -> list[Target]:
+    """The built-in circuits as conformance targets.
+
+    These are the networks the paper's claims actually ride on; the
+    random networks cover the mass-action fragment broadly, the circuits
+    cover the protocol machinery (clock rotation, dual-rail carry
+    chain, a synthesized machine network).
+    """
+    from repro.core.clock import build_clock
+    from repro.digital.counter import BinaryCounter
+
+    clock_network, _, _ = build_clock(mass=20.0)
+    counter = BinaryCounter(2)
+    counter_network = counter.network.copy()
+    counter_network.set_initial(counter.input_pulse, 1.0)
+    return [
+        Target("circuit:clock", clock_network, RateScheme(),
+               t_final=min(t_final, 2.0), stochastic=False, stiff=True),
+        Target("circuit:counter2", counter_network, RateScheme(),
+               t_final=min(t_final, 1.0), stochastic=True, stiff=True),
+    ]
+
+
+def generate_targets(budget: GeneratorBudget,
+                     seed: int = 0) -> list[Target]:
+    """The deterministic target list for one ``(budget, seed)`` pair."""
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(budget.n_networks)
+    targets = [
+        Target(f"random:{i:03d}",
+               random_network(child, budget.max_species,
+                              budget.max_reactions, name=f"conf_{i:03d}"),
+               CONFORMANCE_SCHEME, budget.t_final)
+        for i, child in enumerate(children)
+    ]
+    if budget.include_circuits:
+        targets.extend(_circuit_targets(budget.t_final))
+    return targets

@@ -1,0 +1,155 @@
+"""Greedy shrinking of failing conformance targets.
+
+When a check fails on a generated network, the raw reproducer is noise:
+most of its reactions and species are irrelevant.  :func:`shrink_network`
+greedily minimises the network while a caller-supplied predicate keeps
+reporting "still failing":
+
+1. drop reactions, one at a time, largest index first;
+2. drop species that no remaining reaction touches;
+3. zero initial quantities, then halve the survivors toward 1.
+
+Each accepted step restarts the pass, so the result is 1-minimal: no
+single reaction, stranded species or initial quantity can be removed
+without losing the failure.  :func:`write_reproducer` serialises the
+result through :meth:`Network.to_text` into the replay corpus
+(``tests/conformance/corpus/``), which tier-1 replays forever after.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.crn.network import Network
+
+#: Shrink-step ceiling; greedy descent on generated networks converges
+#: in far fewer, the cap guards against a flapping predicate.
+_MAX_STEPS = 500
+
+
+def _rebuild(network: Network, *, keep_reactions: list[int],
+             initial: dict[str, float]) -> Network:
+    """A fresh network with a subset of reactions/initials.
+
+    Species that no kept reaction references and no kept initial feeds
+    are dropped; the survivors keep their registration order (and with
+    it the state-vector layout).
+    """
+    kept = [network.reactions[j] for j in keep_reactions]
+    used = {species.name for reaction in kept
+            for species in reaction.species}
+    used |= {name for name, value in initial.items() if value > 0.0}
+    rebuilt = Network(network.name)
+    for species in network.species:
+        if species.name in used:
+            rebuilt.add_species(species)
+    for reaction in kept:
+        rebuilt.add_reaction(reaction)
+    for name, value in initial.items():
+        if value > 0.0 and name in used:
+            rebuilt.set_initial(name, value)
+    return rebuilt
+
+
+def _still_fails(predicate: Callable[[Network], bool],
+                 candidate: Network) -> bool:
+    """Whether the candidate still reproduces the failure.
+
+    A candidate that cannot even be evaluated (no reactions, a
+    predicate crash on degenerate input) is *not* a reproducer.
+    """
+    if not candidate.reactions:
+        return False
+    try:
+        return bool(predicate(candidate))
+    except Exception:  # noqa: BLE001 -- degenerate candidate, reject
+        return False
+
+
+def shrink_network(network: Network,
+                   predicate: Callable[[Network], bool]) -> Network:
+    """Greedily minimise ``network`` while ``predicate`` holds.
+
+    ``predicate(candidate) -> True`` must mean "this candidate still
+    exhibits the original failure".  Returns the smallest network found
+    (possibly the input itself if nothing could be removed).
+    """
+    current = network
+    initial = dict(current.initial)
+    steps = 0
+    progress = True
+    while progress and steps < _MAX_STEPS:
+        progress = False
+        # Pass 1: drop reactions, largest index first so indices of
+        # not-yet-tried reactions stay valid after an accepted removal.
+        for j in range(current.n_reactions - 1, -1, -1):
+            keep = [i for i in range(current.n_reactions) if i != j]
+            candidate = _rebuild(current, keep_reactions=keep,
+                                 initial=initial)
+            steps += 1
+            if _still_fails(predicate, candidate):
+                current = candidate
+                initial = dict(current.initial)
+                progress = True
+        # Pass 2: zero initial quantities one at a time.
+        for name in sorted(initial):
+            if initial[name] <= 0.0:
+                continue
+            trial = dict(initial)
+            trial[name] = 0.0
+            candidate = _rebuild(
+                current,
+                keep_reactions=list(range(current.n_reactions)),
+                initial=trial)
+            steps += 1
+            if _still_fails(predicate, candidate):
+                current = candidate
+                initial = dict(current.initial)
+                progress = True
+        # Pass 3: halve surviving initial quantities toward 1.
+        for name in sorted(initial):
+            value = initial[name]
+            while value > 1.0 and steps < _MAX_STEPS:
+                trial = dict(initial)
+                trial[name] = float(max(1.0, round(value / 2.0)))
+                candidate = _rebuild(
+                    current,
+                    keep_reactions=list(range(current.n_reactions)),
+                    initial=trial)
+                steps += 1
+                if not _still_fails(predicate, candidate):
+                    break
+                current = candidate
+                initial = dict(current.initial)
+                value = initial[name]
+                progress = True
+    return current
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+
+
+def write_reproducer(network: Network, check: str, detail: str,
+                     directory: str | Path) -> Path:
+    """Serialise a shrunk failing network into the replay corpus.
+
+    The file name encodes the failing check; a header comment records
+    what failed so a reader does not need the original report.  Returns
+    the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"shrunk-{_slug(check)}.crn"
+    header = [
+        f"# shrunk conformance reproducer for check: {check}",
+        f"# failure: {detail}" if detail else "# failure: (no detail)",
+        "# replayed forever by tests/conformance/test_corpus_replay.py;",
+        "# reproduce with: python -m repro conformance --replay "
+        + path.name,
+    ]
+    path.write_text("\n".join(header) + "\n" + network.to_text(),
+                    encoding="utf-8")
+    return path

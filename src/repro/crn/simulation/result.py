@@ -90,16 +90,49 @@ class Trajectory:
 
     def final(self, name: str | None = None):
         """Final quantity of one species, or the full final state vector."""
+        if self.times.size == 0:
+            raise SimulationError("empty trajectory has no final state")
         if name is None:
             return self.states[-1].copy()
         return float(self.column(name)[-1])
 
     def final_state(self) -> dict[str, float]:
+        if self.times.size == 0:
+            raise SimulationError("empty trajectory has no final state")
         return {name: float(v) for name, v in zip(self.names, self.states[-1])}
 
-    def at(self, t: float, name: str) -> float:
-        """Linearly interpolated quantity of ``name`` at time ``t``."""
+    def _check_horizon(self, t_min: float, t_max: float, what: str,
+                       clamp: bool) -> None:
+        """Reject reads outside the simulated span ``[times[0], t_final]``.
+
+        ``np.interp`` silently clamps to the endpoint values, which used
+        to turn a readout schedule outrunning the horizon into plausible
+        -- and wrong -- numbers.  A small relative tolerance absorbs
+        float fuzz from stitched cycle boundaries; ``clamp=True`` is the
+        explicit opt-in for endpoint extension.
+        """
+        if self.times.size == 0:
+            raise SimulationError(f"cannot read {what} of an empty "
+                                  f"trajectory")
+        if clamp:
+            return
+        lo, hi = float(self.times[0]), float(self.times[-1])
+        slack = 1e-9 * max(1.0, abs(lo), abs(hi))
+        if t_min < lo - slack or t_max > hi + slack:
+            raise SimulationError(
+                f"{what} at t in [{t_min:g}, {t_max:g}] is outside the "
+                f"simulated horizon [{lo:g}, {hi:g}]; simulate further "
+                f"or pass clamp=True to extend the endpoint values")
+
+    def at(self, t: float, name: str, *, clamp: bool = False) -> float:
+        """Linearly interpolated quantity of ``name`` at time ``t``.
+
+        ``t`` must lie within the simulated horizon; reads outside it
+        raise :class:`SimulationError` unless ``clamp=True`` explicitly
+        requests endpoint extension.
+        """
         series = self.column(name)
+        self._check_horizon(t, t, f"at({t:g})", clamp)
         return float(np.interp(t, self.times, series))
 
     def total(self, names: Iterable[str]) -> np.ndarray:
@@ -111,6 +144,8 @@ class Trajectory:
 
     @property
     def t_final(self) -> float:
+        if self.times.size == 0:
+            raise SimulationError("empty trajectory has no t_final")
         return float(self.times[-1])
 
     # -- composition ----------------------------------------------------------
@@ -137,15 +172,60 @@ class Trajectory:
                           np.vstack([self.states, states]),
                           self.names, {**self.meta, **other.meta})
 
+    def _interp_row(self, t: float) -> np.ndarray:
+        """Linearly interpolated full state row at time ``t``."""
+        row = np.empty(len(self.names))
+        for i in range(len(self.names)):
+            row[i] = np.interp(t, self.times, self.states[:, i])
+        return row
+
     def window(self, t0: float, t1: float) -> "Trajectory":
-        """Sub-trajectory restricted to ``t0 <= t <= t1``."""
-        mask = (self.times >= t0) & (self.times <= t1)
-        return Trajectory(self.times[mask], self.states[mask], self.names,
+        """Sub-trajectory over ``[t0, t1]`` with interpolated boundaries.
+
+        The boundary samples are linearly interpolated (exact when they
+        coincide with existing samples), so the result is never empty: a
+        window falling entirely between two samples yields its two
+        interpolated endpoints instead of an empty trajectory whose
+        ``t_final`` used to crash with a raw ``IndexError``.  The window
+        must overlap the simulated span; a disjoint window raises
+        :class:`SimulationError`.
+        """
+        if t1 < t0:
+            raise SimulationError(f"window bounds are reversed: "
+                                  f"[{t0:g}, {t1:g}]")
+        if self.times.size == 0:
+            raise SimulationError("cannot window an empty trajectory")
+        lo = max(t0, float(self.times[0]))
+        hi = min(t1, float(self.times[-1]))
+        if lo > hi:
+            raise SimulationError(
+                f"window [{t0:g}, {t1:g}] does not overlap the "
+                f"simulated horizon [{self.times[0]:g}, "
+                f"{self.times[-1]:g}]")
+        inner = (self.times > lo) & (self.times < hi)
+        rows = [self._interp_row(lo)]
+        times = [lo]
+        if np.any(inner):
+            times.extend(self.times[inner].tolist())
+            rows.extend(self.states[inner])
+        if hi > lo:
+            times.append(hi)
+            rows.append(self._interp_row(hi))
+        return Trajectory(np.asarray(times), np.vstack(rows), self.names,
                           self.meta)
 
-    def resampled(self, times: np.ndarray) -> "Trajectory":
-        """Linear-interpolation resample onto new time points."""
+    def resampled(self, times: np.ndarray, *,
+                  clamp: bool = False) -> "Trajectory":
+        """Linear-interpolation resample onto new time points.
+
+        Every requested time must lie within the simulated horizon
+        (raise instead of silently clamping past it); ``clamp=True``
+        explicitly opts into endpoint extension.
+        """
         times = np.asarray(times, dtype=float)
+        if times.size:
+            self._check_horizon(float(times.min()), float(times.max()),
+                                "resampled()", clamp)
         states = np.empty((times.size, len(self.names)))
         for i in range(len(self.names)):
             states[:, i] = np.interp(times, self.times, self.states[:, i])

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import SimulationError
+
 
 def cumulative_propensities(propensities: np.ndarray) -> np.ndarray:
     """Cumulative sums of a propensity vector; ``result[-1]`` is a_0."""
@@ -31,7 +33,11 @@ def select_reaction(propensities: np.ndarray, u: float, *,
     ``side='right'`` search skips zero-width bins, so reactions with zero
     propensity can never be selected -- including when ``u == 0`` or when
     the draw lands exactly on a bin boundary.  If rounding pushes the draw
-    past the final bin, the last reaction with positive propensity fires.
+    past the final bin, the last reaction with *positive* propensity
+    fires; with no positive propensity at all the state is absorbing and
+    no reaction may fire, so the draw raises :class:`SimulationError`
+    instead of silently firing the last reaction (both simulators guard
+    ``total > 0`` before drawing, so reaching this is a caller bug).
 
     ``cumulative`` (and optionally ``total``) can be supplied by callers
     that already computed the cumulative sums for this event.
@@ -43,5 +49,9 @@ def select_reaction(propensities: np.ndarray, u: float, *,
     j = int(cumulative.searchsorted(u * total, side="right"))
     if j >= propensities.shape[0]:
         positive = np.nonzero(propensities > 0.0)[0]
-        j = int(positive[-1]) if positive.size else propensities.shape[0] - 1
+        if not positive.size:
+            raise SimulationError(
+                "select_reaction() called with no positive propensity: "
+                "the state is absorbing and no reaction can fire")
+        j = int(positive[-1])
     return j

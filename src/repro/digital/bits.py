@@ -73,6 +73,12 @@ class Bit:
         return value, settled
 
     def read(self, trajectory: Trajectory, t: float | None = None) -> bool:
+        """Classify the bit at time ``t`` (default: final sample).
+
+        ``t`` must lie within the simulated horizon; a readout schedule
+        that outruns the trajectory raises :class:`SimulationError`
+        instead of silently reading the clamped endpoint value.
+        """
         if t is None:
             return self.read_state(lambda n: trajectory.final(n))
         return self.read_state(lambda n: trajectory.at(t, n))

@@ -1,0 +1,1 @@
+"""Tests for the cross-engine conformance harness (PR 5)."""

@@ -1,0 +1,78 @@
+"""Tests for the constrained random network/target generator."""
+
+import numpy as np
+import pytest
+
+from repro.conformance.generator import (BUDGETS, GeneratorBudget,
+                                         generate_targets, random_network)
+from repro.crn.rates import FAST, SLOW
+from repro.lint import LintConfig, lint_network
+
+_TINY = BUDGETS["tiny"]
+
+
+class TestRandomNetwork:
+    def test_deterministic_in_seed(self):
+        a = random_network(1234)
+        b = random_network(1234)
+        assert a.to_text() == b.to_text()
+
+    def test_different_seeds_differ(self):
+        texts = {random_network(seed).to_text() for seed in range(5)}
+        assert len(texts) > 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_networks_satisfy_constraints(self, seed):
+        network = random_network(seed)
+        assert network.reactions
+        for reaction in network.reactions:
+            order = sum(reaction.reactants.values())
+            n_products = sum(reaction.products.values())
+            assert order <= 2
+            if order == 0:
+                assert n_products == 1
+            else:
+                assert n_products <= order  # non-expansive
+            assert reaction.reactants != reaction.products
+            if reaction.rate not in (FAST, SLOW):
+                assert float(reaction.rate) > 0.0
+        initials = list(network.initial.values())
+        assert any(v > 0 for v in initials)
+        assert all(float(v).is_integer() for v in initials)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_networks_are_lint_clean(self, seed):
+        report = lint_network(random_network(seed), LintConfig())
+        assert report.exit_code() == 0
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(7)
+        a = random_network(sequence)
+        b = random_network(np.random.SeedSequence(7))
+        assert a.to_text() == b.to_text()
+
+
+class TestTargets:
+    def test_target_list_is_deterministic(self):
+        a = generate_targets(_TINY, seed=0)
+        b = generate_targets(_TINY, seed=0)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.network.to_text() for t in a] == \
+               [t.network.to_text() for t in b]
+
+    def test_budget_scales_target_count(self):
+        budget = GeneratorBudget(n_networks=3, max_species=4,
+                                 max_reactions=4, n_runs=4, t_final=1.0,
+                                 include_circuits=False)
+        assert len(generate_targets(budget, seed=0)) == 3
+
+    def test_circuit_targets_included_when_requested(self):
+        names = [t.name for t in generate_targets(BUDGETS["small"],
+                                                  seed=0)]
+        assert "circuit:clock" in names
+        assert "circuit:counter2" in names
+
+    def test_budget_table_is_ordered_by_size(self):
+        sizes = [BUDGETS[k].n_networks
+                 for k in ("tiny", "small", "medium", "large")]
+        assert sizes == sorted(sizes)

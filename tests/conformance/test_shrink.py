@@ -1,0 +1,76 @@
+"""Tests for the greedy shrinker and corpus serialisation."""
+
+from repro.conformance.shrink import shrink_network, write_reproducer
+from repro.crn.network import Network
+from repro.crn.parser import load_network
+
+
+def _big_network() -> Network:
+    network = Network("shrinkme")
+    for i in range(6):
+        network.add_species(f"S{i}")
+    network.add({"S0": 1}, {"S1": 1}, 1.0)
+    network.add({"S1": 1}, {"S2": 1}, 2.0)
+    network.add({"S2": 1}, {"S3": 1}, 3.0)
+    network.add({"S3": 1, "S4": 1}, {"S5": 1}, 4.0)
+    network.add({}, {"S4": 1}, 0.5)
+    for i in range(6):
+        network.set_initial(f"S{i}", 8.0)
+    return network
+
+
+def _has_rate(network: Network, value: float) -> bool:
+    return any(reaction.rate == value for reaction in network.reactions)
+
+
+class TestShrinkNetwork:
+    def test_shrinks_to_single_relevant_reaction(self):
+        minimal = shrink_network(_big_network(),
+                                 lambda n: _has_rate(n, 3.0))
+        assert minimal.n_reactions == 1
+        assert minimal.reactions[0].rate == 3.0
+
+    def test_drops_stranded_species_and_initials(self):
+        minimal = shrink_network(_big_network(),
+                                 lambda n: _has_rate(n, 1.0))
+        names = {s.name for s in minimal.species}
+        assert names <= {"S0", "S1"}
+        assert all(v <= 1.0 for v in minimal.initial.values())
+
+    def test_halves_initial_quantities_toward_one(self):
+        def predicate(network):
+            return (_has_rate(network, 1.0)
+                    and network.initial.get("S0", 0.0) >= 1.0)
+        minimal = shrink_network(_big_network(), predicate)
+        assert minimal.initial.get("S0") == 1.0
+
+    def test_crashing_predicate_rejects_candidate(self):
+        # A candidate the predicate cannot even evaluate is not a
+        # reproducer; the shrinker must keep the last good network.
+        def fragile(network):
+            if network.n_reactions < 2:
+                raise ValueError("degenerate")
+            return _has_rate(network, 3.0)
+        minimal = shrink_network(_big_network(), fragile)
+        assert minimal.n_reactions == 2
+        assert _has_rate(minimal, 3.0)
+
+    def test_unshrinkable_network_returned_unchanged(self):
+        network = _big_network()
+        minimal = shrink_network(network, lambda n: False)
+        assert minimal is network
+
+
+class TestWriteReproducer:
+    def test_written_file_parses_back(self, tmp_path):
+        minimal = shrink_network(_big_network(),
+                                 lambda n: _has_rate(n, 3.0))
+        path = write_reproducer(minimal, "meta.example",
+                                "max deviation 1e-2", tmp_path)
+        assert path.name == "shrunk-meta-example.crn"
+        replayed = load_network(path)
+        assert replayed.n_reactions == minimal.n_reactions
+        text = path.read_text(encoding="utf-8")
+        assert "meta.example" in text
+        assert "max deviation 1e-2" in text
+        assert "--replay" in text

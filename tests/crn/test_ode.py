@@ -217,6 +217,27 @@ class TestInternalIntegrator:
         internal_y = internal.simulate(20.0).final("Y")
         assert internal_y == pytest.approx(scipy_y, rel=1e-3)
 
+    def test_dense_output_matches_tolerance_between_steps(self):
+        """Sampled values must carry step-level accuracy (PR 5 fix).
+
+        The conformance oracle caught the internal integrator linearly
+        interpolating between accepted steps: at tight tolerances the
+        steps are large, so mid-grid samples carried O(h^2) error that
+        swamped the integration tolerance.  The Dormand-Prince 4th-order
+        dense output keeps sampled values at integrator accuracy."""
+        import numpy as np
+
+        from repro.crn.simulation.rk import integrate_rk45
+
+        grid = np.linspace(0.0, 3.0, 200)
+        _, dense = integrate_rk45(
+            lambda t, x: np.array([-x[0], -5.0 * x[1]]), (0.0, 3.0),
+            np.array([2.0, 1.0]), rtol=1e-9, atol=1e-11,
+            dense_times=grid)
+        exact = np.stack([2.0 * np.exp(-grid), np.exp(-5.0 * grid)],
+                         axis=1)
+        assert float(np.abs(dense - exact).max()) < 1e-8
+
     def test_internal_rejects_events(self):
         network = _decay_network()
         simulator = OdeSimulator(network, method="internal-rk45")

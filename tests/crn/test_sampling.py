@@ -1,0 +1,44 @@
+"""Unit tests for the shared stochastic-sampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.crn.simulation.sampling import (cumulative_propensities,
+                                           select_reaction)
+from repro.errors import SimulationError
+
+
+class TestSelectReaction:
+    def test_proportional_selection(self):
+        propensities = np.array([1.0, 3.0])
+        assert select_reaction(propensities, 0.1) == 0
+        assert select_reaction(propensities, 0.9) == 1
+
+    def test_zero_propensity_never_selected(self):
+        propensities = np.array([0.0, 2.0, 0.0, 1.0])
+        draws = np.linspace(0.0, 0.999, 101)
+        chosen = {select_reaction(propensities, u) for u in draws}
+        assert chosen <= {1, 3}
+
+    def test_rounding_overflow_falls_back_to_last_positive(self):
+        # u == 1.0 can never be produced by rng.random(), but rounding
+        # in the cumulative sum can push the draw past the final bin;
+        # the last *positive* reaction fires, never a zero one.
+        propensities = np.array([2.0, 1.0, 0.0])
+        assert select_reaction(propensities, 1.0) == 1
+
+    def test_all_zero_propensities_raise(self):
+        """The absorbing-state draw must fail loudly (PR 5 fix).
+
+        The fallback used to silently fire the last reaction even when
+        every propensity was zero, corrupting the state instead of
+        surfacing the caller bug (both simulators guard ``total > 0``
+        before drawing)."""
+        with pytest.raises(SimulationError, match="absorbing"):
+            select_reaction(np.zeros(3), 0.5)
+
+    def test_precomputed_cumulative_path(self):
+        propensities = np.array([1.0, 1.0])
+        cumulative = cumulative_propensities(propensities)
+        assert select_reaction(propensities, 0.75, cumulative=cumulative,
+                               total=float(cumulative[-1])) == 1

@@ -94,6 +94,92 @@ class TestComposition:
         assert dense.at(2.0, "B") == pytest.approx(8.0)
 
 
+class TestHorizon:
+    """Reads outside the simulated span must fail loudly (PR 5 fix).
+
+    ``np.interp`` silently clamps to the endpoint values, which used to
+    turn readout schedules that outran the horizon into plausible-but-
+    wrong numbers."""
+
+    def test_at_past_horizon_raises(self):
+        with pytest.raises(SimulationError, match="horizon"):
+            _trajectory().at(4.5, "A")
+
+    def test_at_before_horizon_raises(self):
+        with pytest.raises(SimulationError, match="horizon"):
+            _trajectory().at(-0.5, "A")
+
+    def test_at_clamp_optin_extends_endpoint(self):
+        assert _trajectory().at(99.0, "A", clamp=True) == 16.0
+        assert _trajectory().at(-1.0, "B", clamp=True) == 10.0
+
+    def test_at_tolerates_boundary_float_fuzz(self):
+        t = np.nextafter(4.0, 5.0)  # one ulp past t_final
+        assert _trajectory().at(t, "A") == pytest.approx(16.0)
+
+    def test_resampled_past_horizon_raises(self):
+        with pytest.raises(SimulationError, match="horizon"):
+            _trajectory().resampled(np.linspace(0.0, 5.0, 11))
+
+    def test_resampled_clamp_optin(self):
+        dense = _trajectory().resampled(np.array([3.0, 5.0]), clamp=True)
+        assert dense.final("A") == 16.0
+
+    def test_empty_trajectory_readouts_raise(self):
+        empty = Trajectory(np.empty(0), np.empty((0, 1)), ["A"])
+        with pytest.raises(SimulationError):
+            empty.final()
+        with pytest.raises(SimulationError):
+            empty.final_state()
+        with pytest.raises(SimulationError):
+            _ = empty.t_final
+        with pytest.raises(SimulationError):
+            empty.at(0.0, "A")
+
+
+class TestWindowBoundaries:
+    """window() interpolates its boundaries and is never empty (PR 5 fix).
+
+    A window falling strictly between two samples used to return an
+    empty trajectory whose ``t_final`` crashed with a raw IndexError."""
+
+    def test_window_between_samples_is_nonempty(self):
+        window = _trajectory().window(1.25, 1.75)
+        assert len(window) == 2
+        assert window.times[0] == 1.25 and window.t_final == 1.75
+        # Boundary values are linear interpolants of the bracketing rows.
+        assert window.final("B") == pytest.approx(10.0 - 1.75)
+
+    def test_window_interpolates_partial_overlap(self):
+        window = _trajectory().window(2.5, 99.0)
+        assert window.times[0] == 2.5
+        assert window.t_final == 4.0
+
+    def test_window_degenerate_point(self):
+        point = _trajectory().window(1.5, 1.5)
+        assert len(point) == 1
+        assert point.final("B") == pytest.approx(8.5)
+
+    def test_window_reversed_bounds_raise(self):
+        with pytest.raises(SimulationError, match="reversed"):
+            _trajectory().window(3.0, 1.0)
+
+    def test_window_disjoint_raises(self):
+        with pytest.raises(SimulationError, match="overlap"):
+            _trajectory().window(5.0, 6.0)
+
+    def test_window_of_empty_raises(self):
+        empty = Trajectory(np.empty(0), np.empty((0, 1)), ["A"])
+        with pytest.raises(SimulationError):
+            empty.window(0.0, 1.0)
+
+    def test_window_exact_samples_bitwise(self):
+        window = _trajectory().window(1.0, 3.0)
+        original = _trajectory()
+        assert np.array_equal(window.times, original.times[1:4])
+        assert np.array_equal(window.states, original.states[1:4])
+
+
 class TestExport:
     def test_to_csv(self, tmp_path):
         path = tmp_path / "out.csv"

@@ -1,0 +1,99 @@
+"""Property-based tests for Trajectory composition ops (PR 5).
+
+The conformance harness checks these invariants across engines on
+generated networks; here the same algebra is pinned down directly on
+randomised trajectories, where hypothesis can shrink a violation to a
+minimal counterexample:
+
+- ``concat`` is associative: ``(a + b) + c == a + (b + c)`` bitwise;
+- ``window`` composes: windowing a window equals windowing the original
+  over the intersection of the two spans;
+- ``resampled`` is idempotent on its own grid, and resampling onto the
+  trajectory's own time axis is the identity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crn.simulation.result import Trajectory
+
+# Seeded-random trajectory parameters: hypothesis drives the seed and
+# shape, numpy fills in well-behaved float data (no NaN/inf corner
+# cases -- simulators never emit those; shape and split points are the
+# interesting search space here).
+trajectories = st.tuples(st.integers(0, 2**32 - 1), st.integers(4, 12),
+                         st.integers(1, 3))
+
+
+def _trajectory(seed: int, n_samples: int, n_species: int) -> Trajectory:
+    rng = np.random.default_rng(seed)
+    steps = rng.uniform(0.05, 1.0, n_samples)
+    times = np.concatenate([[0.0], np.cumsum(steps)])[:n_samples]
+    states = rng.uniform(0.0, 10.0, (n_samples, n_species))
+    names = [f"S{i}" for i in range(n_species)]
+    return Trajectory(times, states, names)
+
+
+def _split(trajectory: Trajectory, i: int, j: int):
+    """Three overlapping-boundary pieces, as the cycle driver emits."""
+    t, s, names = trajectory.times, trajectory.states, trajectory.names
+    return (Trajectory(t[:i + 1], s[:i + 1], names),
+            Trajectory(t[i:j + 1], s[i:j + 1], names),
+            Trajectory(t[j:], s[j:], names))
+
+
+@settings(deadline=None, max_examples=60)
+@given(trajectories, st.data())
+def test_concat_associative(params, data):
+    trajectory = _trajectory(*params)
+    n = len(trajectory)
+    i = data.draw(st.integers(1, n - 2), label="first split")
+    j = data.draw(st.integers(i + 1, n - 1), label="second split")
+    a, b, c = _split(trajectory, i, j)
+    left = a.concat(b).concat(c)
+    right = a.concat(b.concat(c))
+    assert np.array_equal(left.times, right.times)
+    assert np.array_equal(left.states, right.states)
+    # Reassembly also reproduces the original exactly.
+    assert np.array_equal(left.times, trajectory.times)
+    assert np.array_equal(left.states, trajectory.states)
+
+
+@settings(deadline=None, max_examples=60)
+@given(trajectories, st.data())
+def test_window_composes(params, data):
+    trajectory = _trajectory(*params)
+    t0, t1 = float(trajectory.times[0]), float(trajectory.times[-1])
+    span = t1 - t0
+    # Outer window [a, b], inner window [c, d] with [c, d] inside [a, b].
+    fracs = sorted(data.draw(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=4,
+                 max_size=4), label="window fractions"))
+    a, c, d, b = (t0 + f * span for f in fracs)
+    once = trajectory.window(c, d)
+    twice = trajectory.window(a, b).window(c, d)
+    assert np.allclose(twice.times, once.times, rtol=0.0, atol=1e-12)
+    # Boundary rows are re-interpolated on a refined knot set, which is
+    # exact for a piecewise-linear signal up to float rounding.
+    assert np.allclose(twice.states, once.states, rtol=1e-9, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=60)
+@given(trajectories)
+def test_resampled_idempotent(params):
+    trajectory = _trajectory(*params)
+    grid = np.linspace(trajectory.times[0], trajectory.t_final, 9)
+    once = trajectory.resampled(grid)
+    twice = once.resampled(grid)
+    assert np.array_equal(once.times, twice.times)
+    assert np.array_equal(once.states, twice.states)
+
+
+@settings(deadline=None, max_examples=60)
+@given(trajectories)
+def test_resampled_on_own_grid_is_identity(params):
+    trajectory = _trajectory(*params)
+    again = trajectory.resampled(trajectory.times)
+    assert np.array_equal(again.times, trajectory.times)
+    assert np.array_equal(again.states, trajectory.states)
