@@ -1,0 +1,48 @@
+"""Static composition certificates (ISS-style error propagation).
+
+Public surface:
+
+- :class:`~repro.certify.certificate.Certificate` /
+  :class:`~repro.certify.certificate.CertifyConfig` -- the data model;
+- :func:`~repro.certify.derive.certificate_for` -- derive a
+  certificate for a design, circuit or network from structure alone;
+- :func:`~repro.certify.compose.certify_composition` -- small-gain
+  checked composition (used by ``cascade(..., certify=True)``);
+- :func:`~repro.certify.soundness.certified_margin_campaign` --
+  dynamic falsification harness for the static bounds;
+- ``python -m repro certify`` -- the CLI front-end.
+
+See ``docs/certify.md`` for the certified claim and its validation.
+"""
+
+from repro.certify.certificate import (Certificate, CertifyConfig,
+                                       DEFAULT_NOISE_MARGIN,
+                                       DEFAULT_RESIDUAL_COEFFICIENT,
+                                       DEFAULT_SIGNAL_SCALE)
+from repro.certify.compose import (cascade_certificates,
+                                   certify_composition,
+                                   compose_certificates,
+                                   parallel_certificates)
+from repro.certify.derive import (certificate_for, design_certificate,
+                                  network_certificate)
+from repro.certify.soundness import (certified_margin_campaign,
+                                     circuit_certificate,
+                                     margin_consistency)
+
+__all__ = [
+    "Certificate",
+    "CertifyConfig",
+    "DEFAULT_NOISE_MARGIN",
+    "DEFAULT_RESIDUAL_COEFFICIENT",
+    "DEFAULT_SIGNAL_SCALE",
+    "cascade_certificates",
+    "certificate_for",
+    "certified_margin_campaign",
+    "certify_composition",
+    "circuit_certificate",
+    "compose_certificates",
+    "design_certificate",
+    "margin_consistency",
+    "network_certificate",
+    "parallel_certificates",
+]

@@ -1,0 +1,272 @@
+"""Composition certificates: the data model.
+
+A :class:`Certificate` is a *static* guarantee about one module -- a
+:class:`~repro.core.dfg.MatrixDesign`, a synthesized circuit, or a raw
+reaction network -- computed from structure alone (coefficients,
+stoichiometry, rate categories; no simulation).  It follows the
+input-to-state-stability composition line (arXiv:2506.12056,
+arXiv:2512.07116): every module carries
+
+- an **ISS gain bound** (worst-case input-to-output amplification over
+  arbitrary input streams),
+- a **state contraction** factor over a finite horizon (the internal
+  small-gain condition: feedback must shed energy within ``horizon``
+  cycles, or the module is uncertifiable),
+- a **disturbance-amplification factor** (how much a per-cycle additive
+  disturbance -- the protocol's settling residue -- can grow before it
+  reaches an output), and
+- **settling-rate margins** tying the above to the fast/slow rate
+  separation the module runs at.
+
+The certified claim, spelled out in ``docs/certify.md``: at a fast/slow
+separation :math:`s`, the end-to-end output deviation from the exact
+discrete-time reference is at most ``error_bound(s)``.  A module is
+*certified* at an operating point when that bound stays inside the
+digital noise margin; compositions inherit certificates through the
+small-gain rules in :mod:`repro.certify.compose`.
+
+Gains derived from design coefficients are exact rationals
+(:class:`fractions.Fraction`), so certificates compose without rounding
+drift and reports are bitwise deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+from repro.errors import CertifyError
+
+#: Digital noise margin: |measured - reference| above this is a bit
+#: error.  Matches ``repro.faults.circuits.BIT_ERROR_TOLERANCE`` so the
+#: static bound and the dynamic fault campaigns score the same event.
+DEFAULT_NOISE_MARGIN = 0.5
+
+#: Worst-case input amplitude the bound is evaluated at (the fault
+#: campaigns drive samples up to 8.0).
+DEFAULT_SIGNAL_SCALE = 8.0
+
+#: Per-cycle settling-residue coefficient: one cycle of the three-phase
+#: protocol leaves at most ``residual_coefficient / separation`` units
+#: of un-transferred quantity per unit of signal (three phase stages
+#: plus indicator-residue standing mass; calibrated conservative --
+#: the soundness campaign in ``tests/certify/test_soundness.py`` checks
+#: that the resulting bound over-estimates the measured breaking point).
+DEFAULT_RESIDUAL_COEFFICIENT = 10.0
+
+
+@dataclass(frozen=True)
+class CertifyConfig:
+    """Tuning knobs of the certificate pass.
+
+    Parameters
+    ----------
+    noise_margin:
+        absolute output deviation treated as a digital bit error.
+    signal_scale:
+        worst-case input amplitude the error bound is evaluated at.
+    residual_coefficient:
+        per-cycle disturbance is bounded by
+        ``residual_coefficient / separation`` per unit of signal.
+    headroom:
+        REPRO-W803 fires when the operating separation is below
+        ``headroom * min_separation`` -- certified, but with less
+        slack than configured.
+    phase_budget:
+        fraction of one slow time unit a transfer may spend settling;
+        REPRO-W804 fires when the required settle time exceeds it.
+    tail_windows:
+        number of contraction windows summed exactly before bounding
+        the geometric tail (larger = tighter, slower).
+    max_horizon:
+        longest contraction horizon searched before declaring a module
+        uncertifiable (default: ``max(2 * n_delays, 8)``).
+    """
+
+    noise_margin: float = DEFAULT_NOISE_MARGIN
+    signal_scale: float = DEFAULT_SIGNAL_SCALE
+    residual_coefficient: float = DEFAULT_RESIDUAL_COEFFICIENT
+    headroom: float = 1.1
+    phase_budget: float = 0.02
+    tail_windows: int = 4
+    max_horizon: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.noise_margin <= 0:
+            raise CertifyError("noise_margin must be positive")
+        if self.signal_scale <= 0:
+            raise CertifyError("signal_scale must be positive")
+        if self.residual_coefficient <= 0:
+            raise CertifyError("residual_coefficient must be positive")
+        if self.headroom < 1.0:
+            raise CertifyError("headroom must be >= 1")
+        if self.phase_budget <= 0:
+            raise CertifyError("phase_budget must be positive")
+        if self.tail_windows < 1:
+            raise CertifyError("tail_windows must be >= 1")
+
+    def horizon_limit(self, n_delays: int) -> int:
+        if self.max_horizon is not None:
+            return max(1, int(self.max_horizon))
+        return max(2 * n_delays, 8)
+
+
+def _fraction_str(value: Fraction) -> str:
+    """Deterministic JSON spelling of an exact rational."""
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """ISS-style composition certificate of one module.
+
+    Attributes
+    ----------
+    module:
+        name of the certified module.
+    kind:
+        how the certificate was derived: ``design`` (exact rational
+        algebra over a :class:`~repro.core.dfg.MatrixDesign`),
+        ``network`` (structural bounds over raw stoichiometry), or a
+        composition rule (``cascade`` / ``parallel``).
+    gain:
+        ISS input-to-output gain: ``sup ||y||_inf / ||u||_inf`` over
+        all bounded input streams, zero initial state.
+    state_gain:
+        ISS input-to-state gain (same, for the delay registers).
+    contraction:
+        ``||A^horizon||_inf`` of the delay-to-delay block -- strictly
+        below one, or the module would be uncertifiable.
+    horizon:
+        number of cycles over which the state block contracts.
+    transient:
+        worst intermediate state amplification ``max ||A^k||_inf`` for
+        ``k < horizon`` (overshoot before the contraction bites).
+    disturbance_gain:
+        worst-case output deviation per unit of per-cycle additive
+        disturbance injected simultaneously at every sink.
+    settling_rate:
+        lower bound on the exponential settling rate of one transfer
+        (the slowest resolved fast rate), in 1/time units.
+    separation:
+        the operating fast/slow separation the rate margins were
+        evaluated at (worst-case over the module's reactions when a
+        network is available, else the scheme ratio).
+    """
+
+    module: str
+    kind: str
+    gain: Fraction
+    state_gain: Fraction
+    contraction: Fraction
+    horizon: int
+    transient: Fraction
+    disturbance_gain: Fraction
+    settling_rate: float
+    separation: float
+
+    def __post_init__(self) -> None:
+        if self.contraction >= 1:
+            raise CertifyError(
+                f"module {self.module!r}: contraction "
+                f"{self.contraction} is not < 1 (REPRO-C801)")
+
+    # -- the certified claim --------------------------------------------------
+
+    def cycle_disturbance(self, separation: float,
+                          config: CertifyConfig) -> float:
+        """Per-cycle settling residue per unit signal at ``separation``."""
+        if separation <= 0:
+            raise CertifyError("separation must be positive")
+        return config.residual_coefficient / separation
+
+    def error_bound(self, separation: float,
+                    config: CertifyConfig) -> float:
+        """Certified worst-case output deviation at ``separation``.
+
+        Per-cycle protocol residue (at most
+        ``residual_coefficient / separation`` per unit signal) is
+        amplified by at most :attr:`disturbance_gain` before reaching
+        an output; signals are bounded by ``config.signal_scale``.
+        """
+        return (float(self.disturbance_gain)
+                * self.cycle_disturbance(separation, config)
+                * config.signal_scale)
+
+    def min_separation(self, config: CertifyConfig) -> float:
+        """Smallest separation at which the bound stays digital.
+
+        Solves ``error_bound(s) == noise_margin`` for ``s``; at any
+        separation at or above this the certificate guarantees zero
+        bit errors.
+        """
+        return (float(self.disturbance_gain) * config.residual_coefficient
+                * config.signal_scale / config.noise_margin)
+
+    def required_settle_time(self, config: CertifyConfig) -> float:
+        """Time one transfer needs to settle inside the noise margin.
+
+        A transfer decays exponentially at :attr:`settling_rate`; it
+        must shrink a full-scale amplified signal below the noise
+        margin, i.e. run for ``ln(gain * scale / margin)`` e-folds.
+        """
+        folds = math.log(max(
+            float(self.disturbance_gain) * config.signal_scale
+            / config.noise_margin, math.e))
+        return folds / self.settling_rate
+
+    def certified_at(self, separation: float,
+                     config: CertifyConfig) -> bool:
+        """True when the error bound stays inside the noise margin."""
+        return self.error_bound(separation, config) <= config.noise_margin
+
+    # -- serialisation --------------------------------------------------------
+
+    def renamed(self, module: str) -> "Certificate":
+        return replace(self, module=module)
+
+    def to_dict(self, config: CertifyConfig | None = None) -> dict:
+        payload = {
+            "module": self.module,
+            "kind": self.kind,
+            "gain": _fraction_str(self.gain),
+            "state_gain": _fraction_str(self.state_gain),
+            "contraction": _fraction_str(self.contraction),
+            "horizon": self.horizon,
+            "transient": _fraction_str(self.transient),
+            "disturbance_gain": _fraction_str(self.disturbance_gain),
+            "settling_rate": self.settling_rate,
+            "separation": self.separation,
+        }
+        if config is not None:
+            payload["min_separation"] = self.min_separation(config)
+            payload["error_bound"] = self.error_bound(
+                self.separation, config)
+            payload["certified"] = self.certified_at(
+                self.separation, config)
+        return payload
+
+    def render(self, config: CertifyConfig | None = None) -> str:
+        lines = [
+            f"certificate {self.module} [{self.kind}]",
+            f"  ISS gain            {float(self.gain):.4g} "
+            f"(= {_fraction_str(self.gain)})",
+            f"  state gain          {float(self.state_gain):.4g}",
+            f"  contraction         {float(self.contraction):.4g} "
+            f"over {self.horizon} cycle(s), "
+            f"transient {float(self.transient):.4g}",
+            f"  disturbance gain    {float(self.disturbance_gain):.4g}",
+            f"  settling rate       {self.settling_rate:.4g} /time",
+            f"  separation          {self.separation:.4g}",
+        ]
+        if config is not None:
+            lines.append(
+                f"  min separation      "
+                f"{self.min_separation(config):.4g} "
+                f"(error bound {self.error_bound(self.separation, config):.4g}"
+                f" <= margin {config.noise_margin:g}: "
+                f"{'yes' if self.certified_at(self.separation, config) else 'NO'})")
+        return "\n".join(lines)

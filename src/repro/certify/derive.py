@@ -1,0 +1,346 @@
+"""Derive composition certificates from structure alone.
+
+Two derivation paths:
+
+:func:`design_certificate`
+    exact rational algebra over a :class:`~repro.core.dfg.MatrixDesign`.
+    Partition the one-cycle coefficient matrix into the standard
+    state-space blocks (``A``: delays -> delays, ``B``: inputs -> delays,
+    ``C``: delays -> outputs, ``D``: inputs -> outputs) and bound the
+    discrete-time convolution sums with induced infinity norms:
+
+    - contraction: the smallest horizon ``h`` with ``||A^h|| < 1``
+      (the *internal* small-gain condition -- feedback must shed energy
+      within ``h`` cycles; an undamped accumulator has no such horizon
+      and is uncertifiable, REPRO-C801);
+    - ISS gain: ``||D|| + sum_k ||C A^k B||``, summed exactly over
+      ``tail_windows * h`` terms, the geometric tail bounded by the
+      contraction factor;
+    - disturbance gain: ``1 + ||C|| * sum_k ||A^k||`` -- a per-cycle
+      additive disturbance on every sink is either on an output sink
+      directly (the 1) or enters the state and is amplified by at most
+      the summed state response.
+
+    Everything is a :class:`fractions.Fraction`; no floating point
+    enters until the rate margins.
+
+:func:`network_certificate`
+    structural bounds over raw stoichiometry for hand-built reaction
+    programs (clock, counter, FSM).  Signal mass may fan out (a gated
+    copy reaction ``X -> X1 + X2`` doubles an error) but must not
+    amplify around a loop: an expansive reaction (total product
+    coefficients exceeding reactant coefficients over non-indicator
+    species) may not sit on any cycle of the signal-conveyance graph
+    (REPRO-C801: unbounded error growth).  The disturbance gain is the
+    worst single-reaction expansion factor.
+
+Both paths fold in the rate-separation margins of the lint rate
+machinery: the settling rate is the slowest resolved *fast* rate and
+the operating separation is the worst-case ``min(fast)/max(slow)``
+over the module's reactions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.core.dfg import MatrixDesign, SignalFlowGraph
+from repro.crn.network import Network
+from repro.crn.rates import RateScheme
+from repro.crn.species import Species
+from repro.errors import CertifyError
+from repro.certify.certificate import Certificate, CertifyConfig
+
+#: Sparse exact matrix: ``{(row, col): value}`` with zero entries absent.
+Matrix = Mapping[tuple[str, str], Fraction]
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+# -- exact sparse linear algebra ----------------------------------------------
+
+def _block(design: MatrixDesign, rows: Iterable[str],
+           cols: Iterable[str]) -> dict[tuple[str, str], Fraction]:
+    """Sub-matrix of the design's coefficients."""
+    row_set, col_set = set(rows), set(cols)
+    return {(sink, source): value
+            for (sink, source), value in design.coefficients.items()
+            if sink in row_set and source in col_set}
+
+
+def _identity(names: Iterable[str]) -> dict[tuple[str, str], Fraction]:
+    return {(name, name): ONE for name in names}
+
+
+def _matmul(left: Matrix, right: Matrix) -> dict[tuple[str, str], Fraction]:
+    """Sparse exact product ``left @ right``."""
+    by_row: dict[str, list[tuple[str, Fraction]]] = {}
+    for (row, mid), value in right.items():
+        by_row.setdefault(row, []).append((mid, value))
+    product: dict[tuple[str, str], Fraction] = {}
+    for (row, mid), value in left.items():
+        for col, inner in by_row.get(mid, ()):
+            key = (row, col)
+            total = product.get(key, ZERO) + value * inner
+            if total:
+                product[key] = total
+            else:
+                product.pop(key, None)
+    return product
+
+
+def _inf_norm(matrix: Matrix) -> Fraction:
+    """Induced infinity norm: the largest absolute row sum."""
+    rows: dict[str, Fraction] = {}
+    for (row, _), value in matrix.items():
+        rows[row] = rows.get(row, ZERO) + abs(value)
+    return max(rows.values(), default=ZERO)
+
+
+def _geometric_sum(terms: list[Fraction], window: int,
+                   contraction: Fraction) -> Fraction:
+    """Bound ``sum_k a_k`` for ``k >= 0`` given exact leading terms.
+
+    ``terms`` holds ``a_0 .. a_{m-1}`` with ``m`` a multiple of
+    ``window`` and ``a_{k+window} <= contraction * a_k``; the tail is
+    bounded by the last window scaled by the geometric series.
+    """
+    exact = sum(terms, ZERO)
+    if contraction == 0:
+        return exact
+    last_window = sum(terms[-window:], ZERO)
+    return exact + last_window * contraction / (1 - contraction)
+
+
+# -- rate margins -------------------------------------------------------------
+
+def rate_margins(network: Network | None,
+                 scheme: RateScheme) -> tuple[float, float]:
+    """(settling_rate, separation) for a module.
+
+    The settling rate is the slowest resolved *fast* rate (a lower
+    bound on every transfer's exponential settling); the separation is
+    the worst-case ``min(fast)/max(slow)`` over the module's reactions.
+    Falls back to the scheme's own values when the module has no
+    network or lacks one of the categories.  Unknown symbolic
+    categories make settling unboundable -- REPRO-C801.
+    """
+    if network is None:
+        return scheme.fast, scheme.separation
+    from repro.lint.rules.rates import (AUXILIARY_CATEGORIES,
+                                        classify_rate)
+
+    fasts: list[float] = []
+    slows: list[float] = []
+    for reaction in network.reactions:
+        rate = reaction.rate
+        if isinstance(rate, str) and rate in AUXILIARY_CATEGORIES:
+            continue
+        category = classify_rate(rate, scheme)
+        if category is None:
+            raise CertifyError(
+                f"network {network.name!r}: reaction {reaction} uses "
+                f"unknown rate category {rate!r}; settling cannot be "
+                f"bounded (REPRO-C801)")
+        resolved = scheme.resolve(rate)
+        if category == "fast":
+            fasts.append(resolved)
+        else:
+            slows.append(resolved)
+    settling = min(fasts) if fasts else scheme.fast
+    if fasts and slows:
+        separation = min(fasts) / max(slows)
+    else:
+        separation = scheme.separation
+    return settling, separation
+
+
+# -- design path --------------------------------------------------------------
+
+def design_certificate(design: MatrixDesign,
+                       scheme: RateScheme | None = None,
+                       config: CertifyConfig | None = None,
+                       network: Network | None = None,
+                       kind: str = "design") -> Certificate:
+    """Certificate of a matrix-form design, by exact rational algebra.
+
+    Raises :class:`~repro.errors.CertifyError` (REPRO-C801) when the
+    delay-to-delay block has no contracting horizon -- internal
+    feedback that never sheds energy admits no error bound.
+    """
+    scheme = scheme if scheme is not None else RateScheme()
+    config = config if config is not None else CertifyConfig()
+    design.validate()
+    settling, separation = rate_margins(network, scheme)
+
+    delays, inputs, outputs = design.delays, design.inputs, design.outputs
+    a = _block(design, delays, delays)
+    b = _block(design, delays, inputs)
+    c = _block(design, outputs, delays)
+    d = _block(design, outputs, inputs)
+    d_norm = _inf_norm(d)
+    c_norm = _inf_norm(c)
+
+    if not delays:
+        return Certificate(
+            module=design.name, kind=kind, gain=d_norm,
+            state_gain=ZERO, contraction=ZERO, horizon=0,
+            transient=ONE, disturbance_gain=ONE,
+            settling_rate=settling, separation=separation)
+
+    # Find the contraction horizon: the smallest h with ||A^h|| < 1.
+    limit = config.horizon_limit(len(delays))
+    power = _identity(delays)
+    powers = [power]
+    norms = [ONE]
+    horizon = None
+    for step in range(1, limit + 1):
+        power = _matmul(power, a)
+        powers.append(power)
+        norms.append(_inf_norm(power))
+        if norms[-1] < 1:
+            horizon = step
+            break
+    if horizon is None:
+        raise CertifyError(
+            f"module {design.name!r} is uncertifiable: "
+            f"||A^k||_inf >= 1 for every horizon k <= {limit} "
+            f"(||A^{limit}|| = {float(norms[-1]):.4g}); internal "
+            f"feedback never contracts (REPRO-C801)")
+    contraction = norms[horizon]
+    transient = max(norms[:horizon], default=ONE)
+
+    # Exact partial sums over tail_windows contraction windows, then a
+    # geometric tail bound: a_{k+h} = ||X A^{k+h} Y|| <= ||A^h|| * a_k.
+    n_terms = config.tail_windows * horizon
+    while len(powers) <= n_terms - 1:
+        power = _matmul(power, a)
+        powers.append(power)
+    t_terms = [_inf_norm(p) for p in powers[:n_terms]]
+    sy_terms = [_inf_norm(_matmul(c, _matmul(p, b)))
+                for p in powers[:n_terms]]
+    sx_terms = [_inf_norm(_matmul(p, b)) for p in powers[:n_terms]]
+
+    t_total = _geometric_sum(t_terms, horizon, contraction)
+    gain = d_norm + _geometric_sum(sy_terms, horizon, contraction)
+    state_gain = _geometric_sum(sx_terms, horizon, contraction)
+    disturbance = ONE + c_norm * t_total
+
+    return Certificate(
+        module=design.name, kind=kind, gain=gain, state_gain=state_gain,
+        contraction=contraction, horizon=horizon, transient=transient,
+        disturbance_gain=disturbance, settling_rate=settling,
+        separation=separation)
+
+
+# -- network path -------------------------------------------------------------
+
+def _signal_mass(network: Network,
+                 side: Mapping[Species, int]) -> Fraction:
+    """Total stoichiometric signal mass of one reaction side."""
+    total = ZERO
+    for species, coeff in side.items():
+        if network.get_species(species.name).role != "indicator":
+            total += Fraction(coeff)
+    return total
+
+
+def network_certificate(network: Network,
+                        scheme: RateScheme | None = None,
+                        config: CertifyConfig | None = None) -> Certificate:
+    """Structural certificate of a raw reaction network.
+
+    Signal mass must not amplify around a loop: reactions whose signal
+    products outweigh their signal reactants (fan-out copies) are fine
+    feed-forward, but a cycle of them grows errors without bound --
+    REPRO-C801.  The worst single-reaction expansion factor is the
+    per-cycle disturbance gain.
+    """
+    scheme = scheme if scheme is not None else RateScheme()
+    config = config if config is not None else CertifyConfig()
+    settling, separation = rate_margins(network, scheme)
+
+    conveying_edges: list[tuple[str, str]] = []
+    expansive_edges: list[tuple[str, str]] = []
+    worst = ONE
+    for reaction in network.reactions:
+        reactant_mass = _signal_mass(network, reaction.reactants)
+        if reactant_mass == 0:
+            # Zeroth-order source: exogenous input, flux independent
+            # of any state deviation -- amplifies no error.
+            continue
+        product_mass = _signal_mass(network, reaction.products)
+        edges = [(source.name, target.name)
+                 for source in reaction.reactants
+                 if network.get_species(source.name).role != "indicator"
+                 for target in reaction.products
+                 if network.get_species(target.name).role != "indicator"]
+        conveying_edges.extend(edges)
+        if product_mass > reactant_mass:
+            worst = max(worst, product_mass / reactant_mass)
+            expansive_edges.extend(edges)
+
+    # An expansive reaction may fan out feed-forward, but any cycle of
+    # the signal-conveyance graph passing through an expansive edge
+    # re-amplifies its own error every lap.
+    if any(_reaches(conveying_edges, target, source)
+           for source, target in expansive_edges):
+        raise CertifyError(
+            f"network {network.name!r} is uncertifiable: a signal-mass "
+            f"expanding reaction sits on a feedback loop; errors "
+            f"amplify without bound (REPRO-C801)")
+
+    return Certificate(
+        module=network.name, kind="network", gain=worst,
+        state_gain=worst, contraction=ZERO, horizon=0, transient=ONE,
+        disturbance_gain=worst, settling_rate=settling,
+        separation=separation)
+
+
+def _reaches(edges: list[tuple[str, str]], start: str,
+             goal: str) -> bool:
+    """True when ``goal`` is reachable from ``start`` (inclusive)."""
+    adjacency: dict[str, list[str]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, []).append(target)
+    seen: set[str] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(adjacency.get(node, ()))
+    return False
+
+
+# -- dispatch -----------------------------------------------------------------
+
+def certificate_for(target: object, scheme: RateScheme | None = None,
+                    config: CertifyConfig | None = None) -> Certificate:
+    """Certificate for any certifiable object.
+
+    Accepts a :class:`MatrixDesign`, a :class:`SignalFlowGraph`, a
+    synthesized circuit (design algebra plus network rate margins), or
+    a raw :class:`Network`.
+    """
+    if isinstance(target, MatrixDesign):
+        return design_certificate(target, scheme, config)
+    if isinstance(target, SignalFlowGraph):
+        return design_certificate(target.to_matrix(), scheme, config)
+    if isinstance(target, Network):
+        return network_certificate(target, scheme, config)
+    design = getattr(target, "design", None)
+    network = getattr(target, "network", None)
+    if isinstance(design, MatrixDesign):
+        certificate = design_certificate(
+            design, scheme, config,
+            network=network if isinstance(network, Network) else None)
+        return certificate
+    raise CertifyError(
+        f"cannot certify object of type {type(target).__name__}; "
+        f"expected a design, signal-flow graph, circuit or network")

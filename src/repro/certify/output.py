@@ -1,0 +1,131 @@
+"""Certify-run aggregation and rendering.
+
+The ``certify`` CLI collects one :class:`CertifyResult` per target --
+the derived certificate (``None`` when the module is uncertifiable)
+plus the REPRO-C diagnostics from the lint pipeline -- and renders the
+batch as text, deterministic JSON (sorted keys, exact rational
+spellings), or SARIF through the shared lint renderer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.certify.certificate import Certificate, CertifyConfig
+from repro.certify.derive import certificate_for
+from repro.crn.network import Network
+from repro.crn.rates import RateScheme
+from repro.errors import CertifyError
+from repro.lint.engine import (LintConfig, LintReport, Severity,
+                               lint_circuit, lint_network)
+
+#: The lint rule implementing the REPRO-C namespace.
+CERTIFICATE_RULE = "composition-certificate"
+
+
+@dataclass(frozen=True)
+class CertifyResult:
+    """Certificate pass outcome for one target."""
+
+    target: str
+    certificate: Certificate | None
+    report: LintReport
+    config: CertifyConfig = field(default_factory=CertifyConfig)
+
+    @property
+    def certified(self) -> bool:
+        return self.certificate is not None and self.report.ok
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "certified": self.certified,
+            "certificate": (self.certificate.to_dict(self.config)
+                            if self.certificate is not None else None),
+            "diagnostics": [d.to_dict()
+                            for d in self.report.diagnostics],
+        }
+
+
+def certify_target(display: str, target: object,
+                   circuit: object | None = None,
+                   config: CertifyConfig | None = None,
+                   scheme: RateScheme | None = None) -> CertifyResult:
+    """Certify one network-backed target through the lint pipeline.
+
+    ``target`` is the raw :class:`~repro.crn.network.Network` (linted
+    directly) or a synthesized circuit (pass it as ``circuit`` too so
+    the design path runs).
+    """
+    config = config if config is not None else CertifyConfig()
+    options: dict = {"certify_config": config}
+    if scheme is not None:
+        options["scheme"] = scheme
+    lint_config = LintConfig(select=frozenset({CERTIFICATE_RULE}),
+                             options=options)
+    subject: object
+    if circuit is not None:
+        report = lint_circuit(circuit, lint_config, path=display)
+        subject = circuit
+    else:
+        if not isinstance(target, Network):
+            raise CertifyError(
+                f"target {display!r} is not a reaction network; pass "
+                f"the synthesized circuit via the circuit argument")
+        report = lint_network(target, lint_config, path=display)
+        subject = target
+    try:
+        certificate = certificate_for(subject, scheme, config)
+    except CertifyError:
+        certificate = None
+    return CertifyResult(target=display, certificate=certificate,
+                         report=report, config=config)
+
+
+def render_text(results: list[CertifyResult]) -> str:
+    lines: list[str] = []
+    certified = 0
+    for result in results:
+        status = "CERTIFIED" if result.certified else "REJECTED"
+        certified += result.certified
+        lines.append(f"{result.target}: {status}")
+        if result.certificate is not None:
+            lines.extend("  " + line for line in
+                         result.certificate.render(result.config)
+                         .splitlines())
+        for diag in result.report.diagnostics:
+            lines.append(f"  {diag.format()}")
+    lines.append(f"{len(results)} target(s): {certified} certified, "
+                 f"{len(results) - certified} rejected")
+    return "\n".join(lines)
+
+
+def render_json(results: list[CertifyResult]) -> str:
+    payload = {
+        "version": 1,
+        "targets": [result.to_dict() for result in results],
+        "summary": {
+            "targets": len(results),
+            "certified": sum(r.certified for r in results),
+            "rejected": sum(not r.certified for r in results),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(results: list[CertifyResult]) -> str:
+    from repro.lint.output import render_sarif as lint_sarif
+
+    return lint_sarif([(r.target, r.report) for r in results])
+
+
+def exit_code(results: list[CertifyResult],
+              fail_on: Severity | None = None) -> int:
+    """1 when any target is uncertified or reaches the threshold."""
+    code = 0
+    for result in results:
+        if not result.certified:
+            code = 1
+        code = max(code, result.report.exit_code(fail_on=fail_on))
+    return code

@@ -1,0 +1,91 @@
+"""Named certifiable design targets for the ``certify`` CLI.
+
+A *spec* is a short string naming a design builder, optionally with a
+colon-separated argument: ``ma`` / ``ma:4`` (moving average), ``iir``
+/ ``iir:3/4`` (first-order IIR feedback coefficient), ``biquad``
+(the lint builtin's coefficients), ``amp:K`` (a pure gain stage --
+useful for demonstrating small-gain violations).  Comma-separated
+specs build a cascade with unique intermediate link ports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.apps.filters import biquad, iir_first_order, moving_average
+from repro.core.compose import cascade, rename
+from repro.core.dfg import MatrixDesign
+from repro.errors import CertifyError
+
+
+def _build_ma(arg: str | None) -> MatrixDesign:
+    taps = int(arg) if arg else 2
+    return moving_average(taps).to_matrix()
+
+
+def _build_iir(arg: str | None) -> MatrixDesign:
+    feedback = Fraction(arg) if arg else Fraction(1, 2)
+    return iir_first_order(feedback=feedback).to_matrix()
+
+
+def _build_biquad(arg: str | None) -> MatrixDesign:
+    if arg is not None:
+        raise CertifyError("biquad takes no argument")
+    return biquad(Fraction(1, 4), Fraction(1, 2), Fraction(1, 4),
+                  Fraction(-1, 4), Fraction(1, 8)).to_matrix()
+
+
+def _build_amp(arg: str | None) -> MatrixDesign:
+    gain = Fraction(arg) if arg else Fraction(2)
+    name = f"amp_{gain.numerator}" if gain.denominator == 1 else "amp"
+    return MatrixDesign(
+        name=name, inputs=["x"], outputs=["y"], delays=[],
+        coefficients={("y", "x"): gain}, initial_state={})
+
+
+DESIGN_BUILDERS = {
+    "ma": _build_ma,
+    "iir": _build_iir,
+    "biquad": _build_biquad,
+    "amp": _build_amp,
+}
+
+
+def resolve_design(spec: str) -> MatrixDesign:
+    """Build the design named by one spec string."""
+    key, _, arg = spec.strip().partition(":")
+    try:
+        builder = DESIGN_BUILDERS[key]
+    except KeyError:
+        raise CertifyError(
+            f"unknown design spec {spec!r}; "
+            f"expected one of {sorted(DESIGN_BUILDERS)}") from None
+    try:
+        return builder(arg or None)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise CertifyError(f"bad design spec {spec!r}: {exc}") from exc
+
+
+def build_cascade(specs: list[str], name: str | None = None
+                  ) -> MatrixDesign:
+    """Cascade the designs named by ``specs`` left to right.
+
+    Each seam gets a unique intermediate port name so single-port
+    filters (all exposing ``x``/``y``) chain without collisions.
+    """
+    if not specs:
+        raise CertifyError("cascade needs at least one design spec")
+    stages = [resolve_design(spec) for spec in specs]
+    composite = stages[0]
+    for index, stage in enumerate(stages[1:], start=1):
+        if len(composite.outputs) != 1 or len(stage.inputs) != 1:
+            raise CertifyError(
+                f"cascade specs must be single-input/single-output; "
+                f"{composite.name!r} -> {stage.name!r} is not")
+        seam = f"v{index}"
+        left = rename(composite, outputs={composite.outputs[0]: seam})
+        right = rename(stage, inputs={stage.inputs[0]: seam})
+        composite = cascade(left, right)
+    if name is not None:
+        composite = rename(composite, name=name)
+    return composite

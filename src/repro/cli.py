@@ -390,6 +390,10 @@ def _add_lint(subparsers) -> None:
                              "stdout")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero on warnings, not just errors")
+    parser.add_argument("--fail-on", choices=["error", "warning", "note"],
+                        default=None, dest="fail_on",
+                        help="lowest severity that fails the run "
+                             "(default: error; --strict = warning)")
     parser.add_argument("--disable", action="append", default=[],
                         metavar="RULE", help="disable a rule by name; "
                                              "repeatable")
@@ -404,7 +408,7 @@ def _run_lint(args) -> int:
     from repro.crn.network import Network
     from repro.lint import LintConfig, lint_circuit, lint_network
     from repro.lint.builtins import BUILTIN_CIRCUITS, build_target
-    from repro.lint.engine import RULE_REGISTRY
+    from repro.lint.engine import RULE_REGISTRY, Severity
     from repro.lint.output import render_json, render_sarif, render_text
 
     if args.list_rules:
@@ -450,8 +454,111 @@ def _run_lint(args) -> int:
         print(f"wrote {args.fmt} report to {args.output}")
     else:
         print(rendered)
-    return max(report.exit_code(strict=args.strict)
+    fail_on = (Severity.from_name(args.fail_on)
+               if args.fail_on else None)
+    return max(report.exit_code(strict=args.strict, fail_on=fail_on)
                for _, report in results)
+
+
+def _add_certify(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "certify",
+        help="derive static composition certificates (ISS error "
+             "bounds) for .crn files, built-in circuits or cascades")
+    parser.add_argument("files", nargs="*",
+                        help="paths to .crn network files")
+    parser.add_argument("--circuit", action="append", default=[],
+                        metavar="NAME",
+                        help="certify a built-in target by name "
+                             "('all' for every one); repeatable")
+    parser.add_argument("--cascade", default="", metavar="SPECS",
+                        help="certify a composed cascade of named "
+                             "designs, e.g. 'ma,iir' or 'amp:4,amp:4' "
+                             "(specs: ma[:taps], iir[:feedback], "
+                             "biquad, amp[:gain])")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text", dest="fmt")
+    parser.add_argument("--output", default="",
+                        help="write the report to this path instead of "
+                             "stdout")
+    parser.add_argument("--noise-margin", type=float, default=None,
+                        help="digital noise margin (default 0.5)")
+    parser.add_argument("--signal-scale", type=float, default=None,
+                        help="worst-case input amplitude (default 8)")
+    parser.add_argument("--headroom", type=float, default=None,
+                        help="W803 headroom factor over the certified "
+                             "minimum separation (default 1.1)")
+    parser.add_argument("--fail-on", choices=["error", "warning", "note"],
+                        default=None, dest="fail_on",
+                        help="lowest severity that fails the run "
+                             "(default: error)")
+    parser.set_defaults(run=_run_certify)
+
+
+def _run_certify(args) -> int:
+    from repro.certify.certificate import CertifyConfig
+    from repro.certify.output import (certify_target, exit_code,
+                                      render_json, render_sarif,
+                                      render_text)
+    from repro.certify.targets import build_cascade
+    from repro.core.synthesis import synthesize
+    from repro.crn.network import Network
+    from repro.lint.builtins import BUILTIN_CIRCUITS, build_target
+    from repro.lint.engine import Severity
+
+    overrides = {key: value for key, value in (
+        ("noise_margin", args.noise_margin),
+        ("signal_scale", args.signal_scale),
+        ("headroom", args.headroom)) if value is not None}
+    config = CertifyConfig(**overrides)
+    names = []
+    for name in args.circuit:
+        if name == "all":
+            names.extend(BUILTIN_CIRCUITS)
+        else:
+            names.append(name)
+    if not args.files and not names and not args.cascade:
+        print("error: nothing to certify; pass .crn files, --circuit "
+              "and/or --cascade", file=sys.stderr)
+        return 2
+    results = []
+    for path in args.files:
+        try:
+            network = load_network(path)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        results.append(certify_target(path, network, config=config))
+    for name in names:
+        target = build_target(name)
+        display = f"circuit:{name}"
+        if isinstance(target, Network):
+            results.append(certify_target(display, target,
+                                          config=config))
+        else:
+            results.append(certify_target(display, target.network,
+                                          circuit=target,
+                                          config=config))
+    if args.cascade:
+        specs = [s for s in args.cascade.split(",") if s.strip()]
+        composite = build_cascade(specs)
+        circuit = synthesize(composite)
+        results.append(certify_target(f"cascade:{args.cascade}",
+                                      circuit.network, circuit=circuit,
+                                      config=config))
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.fmt]
+    rendered = renderer(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.fmt} report to {args.output}")
+    else:
+        print(rendered)
+    fail_on = (Severity.from_name(args.fail_on)
+               if args.fail_on else None)
+    return exit_code(results, fail_on=fail_on)
 
 
 def _add_report(subparsers) -> None:
@@ -489,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_conformance(subparsers)
     _add_dsd(subparsers)
     _add_lint(subparsers)
+    _add_certify(subparsers)
     _add_report(subparsers)
     return parser
 

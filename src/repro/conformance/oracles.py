@@ -124,7 +124,7 @@ def check_ssa_vs_ode(target, seed: int,
                                       seeds, t_final, scaled_initial,
                                       n_workers)
         except SimulationError as exc:
-            raise _Skip(f"ensemble over event budget: {exc}")
+            raise _Skip(f"ensemble over event budget: {exc}") from exc
         mean = finals.mean(axis=0) / VOLUME
         sem = finals.std(axis=0, ddof=1) / np.sqrt(n_runs) / VOLUME
         options = SimulationOptions(n_samples=2, rates=rates)
@@ -160,7 +160,7 @@ def check_tau_vs_ssa(target, seed: int,
             tau = _ensemble_finals(network, "tau", rates, 1.0, seeds,
                                    t_final, None, n_workers)
         except SimulationError as exc:
-            raise _Skip(f"ensemble over event budget: {exc}")
+            raise _Skip(f"ensemble over event budget: {exc}") from exc
         mean_ssa = ssa.mean(axis=0)
         mean_tau = tau.mean(axis=0)
         sem = (ssa.std(axis=0, ddof=1)

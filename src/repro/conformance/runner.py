@@ -145,7 +145,7 @@ def run_conformance(budget: str = "small", seed: int = 0, *,
         spec = BUDGETS[budget]
     except KeyError:
         raise ReproError(f"unknown budget {budget!r}; choose from "
-                         f"{sorted(BUDGETS)}")
+                         f"{sorted(BUDGETS)}") from None
     targets = generate_targets(spec, seed)
     results: list[CheckResult] = []
     reproducers: list[str] = []

@@ -76,6 +76,10 @@ def rename(design: MatrixDesign, inputs: dict[str, str] | None = None,
     def map_out(port: str) -> str:
         return outputs.get(port, port)
 
+    _check_distinct([map_in(p) for p in design.inputs]
+                    + [map_out(p) for p in design.outputs]
+                    + list(design.delays),
+                    "rename: port and register names")
     coefficients = {}
     for (sink, source), value in design.coefficients.items():
         sink = map_out(sink) if sink in design.outputs else sink
@@ -91,7 +95,8 @@ def rename(design: MatrixDesign, inputs: dict[str, str] | None = None,
 
 
 def cascade(first: MatrixDesign, second: MatrixDesign,
-            name: str | None = None) -> MatrixDesign:
+            name: str | None = None,
+            certify: bool = False) -> MatrixDesign:
     """Series composition with a one-cycle pipeline register per link.
 
     Every output of ``first`` must match an input of ``second`` by name.
@@ -99,12 +104,19 @@ def cascade(first: MatrixDesign, second: MatrixDesign,
     lands in a delay register that the second stage reads next cycle, so
     the composite's reference semantics are ``second`` applied to
     ``first``'s output delayed by one sample.
+
+    With ``certify=True`` the composite must carry a composition
+    certificate whose error bound stays inside the digital noise
+    margin; an uncertifiable stage raises
+    :class:`~repro.errors.CertifyError` with REPRO-C801 phrasing and a
+    small-gain violation with REPRO-C802 (see ``docs/certify.md``).
     """
     missing = [p for p in first.outputs if p not in second.inputs]
     if missing:
         raise SynthesisError(
-            f"cascade: outputs {missing} have no matching inputs in "
-            f"{second.name!r}")
+            f"cascade: output width mismatch -- outputs {missing} "
+            f"have no matching inputs in {second.name!r} "
+            f"(REPRO-E701); rename the ports before composing")
     a = _prefixed(first, "s1_")
     b = _prefixed(second, "s2_")
 
@@ -137,21 +149,36 @@ def cascade(first: MatrixDesign, second: MatrixDesign,
         coefficients={k: v for k, v in coefficients.items() if v != 0},
         initial_state=initial_state)
     composite.validate()
+    if certify:
+        from repro.certify.compose import certify_composition
+
+        certify_composition(first, second, composite, "cascade")
     return composite
 
 
 def parallel_sum(first: MatrixDesign, second: MatrixDesign,
-                 name: str | None = None) -> MatrixDesign:
+                 name: str | None = None,
+                 certify: bool = False) -> MatrixDesign:
     """Shared-input, summed-output composition.
 
     Both designs must expose identical input and output port names; the
     composite's outputs are the per-port sums (chemically: both
     sub-designs' accumulators land in the same readout).
+
+    ``certify=True`` behaves as in :func:`cascade`.
     """
     if first.inputs != second.inputs:
-        raise SynthesisError("parallel_sum: input ports differ")
+        raise SynthesisError(
+            f"parallel_sum: input arity/name mismatch -- "
+            f"{first.name!r} exposes {first.inputs} but "
+            f"{second.name!r} exposes {second.inputs} (REPRO-E701); "
+            f"rename the ports before composing")
     if first.outputs != second.outputs:
-        raise SynthesisError("parallel_sum: output ports differ")
+        raise SynthesisError(
+            f"parallel_sum: output ports differ -- {first.name!r} "
+            f"exposes {first.outputs} but {second.name!r} exposes "
+            f"{second.outputs} (REPRO-E701); rename the ports before "
+            f"composing")
     a = _prefixed(first, "p1_")
     b = _prefixed(second, "p2_")
     coefficients: dict[tuple[str, str], Fraction] = {}
@@ -167,4 +194,8 @@ def parallel_sum(first: MatrixDesign, second: MatrixDesign,
         coefficients={k: v for k, v in coefficients.items() if v != 0},
         initial_state=initial_state)
     composite.validate()
+    if certify:
+        from repro.certify.compose import certify_composition
+
+        certify_composition(first, second, composite, "parallel")
     return composite

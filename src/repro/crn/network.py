@@ -87,7 +87,7 @@ class Network:
             return self._species[name]
         except KeyError:
             raise NetworkError(f"unknown species {name!r} in network "
-                               f"{self.name!r}")
+                               f"{self.name!r}") from None
 
     def species_index(self, species: SpeciesLike) -> int:
         name = as_species(species).name
@@ -95,7 +95,7 @@ class Network:
             return self._order.index(name)
         except ValueError:
             raise NetworkError(f"unknown species {name!r} in network "
-                               f"{self.name!r}")
+                               f"{self.name!r}") from None
 
     def index_map(self) -> dict[str, int]:
         return {name: i for i, name in enumerate(self._order)}

@@ -55,7 +55,7 @@ def _parse_rate(text: str, line_no: int, line: str) -> float | str:
     try:
         value = float(text)
     except ValueError:
-        raise ParseError(f"cannot parse rate {text!r}", line_no, line)
+        raise ParseError(f"cannot parse rate {text!r}", line_no, line) from None
     if value < 0:
         raise ParseError("rate must be non-negative", line_no, line)
     return value
@@ -105,7 +105,7 @@ def _parse_species_line(network: Network, line: str, line_no: int,
     except Exception as exc:
         # Bad colour/role, invalid name, or a re-declaration that
         # conflicts with an earlier line -- all user errors in the file.
-        raise ParseError(str(exc), line_no, raw)
+        raise ParseError(str(exc), line_no, raw) from exc
     network.provenance[("species", name)] = line_no
 
 
@@ -119,7 +119,7 @@ def _parse_init_line(network: Network, line: str, line_no: int,
         value = float(value_text)
     except ValueError:
         raise ParseError(f"bad init value {value_text.strip()!r}",
-                         line_no, raw)
+                         line_no, raw) from None
     if value < 0:
         raise ParseError("init value must be non-negative", line_no, raw)
     network.set_initial(name.strip(), value)

@@ -107,7 +107,7 @@ class RateScheme:
                 return self.values[rate]
             except KeyError:
                 raise NetworkError(f"unknown rate category {rate!r}; "
-                                   f"scheme defines {sorted(self.values)}")
+                                   f"scheme defines {sorted(self.values)}") from None
         value = float(rate)
         if not np.isfinite(value) or value < 0:
             raise NetworkError(f"invalid numeric rate {rate!r}")

@@ -76,14 +76,14 @@ class Trajectory:
         try:
             return self._index[name]
         except KeyError:
-            raise SimulationError(f"trajectory has no species {name!r}")
+            raise SimulationError(f"trajectory has no species {name!r}") from None
 
     def column(self, name: str) -> np.ndarray:
         """Full time series for one species."""
         try:
             return self.states[:, self._index[name]]
         except KeyError:
-            raise SimulationError(f"trajectory has no species {name!r}")
+            raise SimulationError(f"trajectory has no species {name!r}") from None
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.column(name)

@@ -42,7 +42,7 @@ def next_color(color: str) -> str:
     try:
         index = COLORS.index(color)
     except ValueError:
-        raise NetworkError(f"unknown colour {color!r}; expected one of {COLORS}")
+        raise NetworkError(f"unknown colour {color!r}; expected one of {COLORS}") from None
     return COLORS[(index + 1) % len(COLORS)]
 
 
@@ -51,7 +51,7 @@ def previous_color(color: str) -> str:
     try:
         index = COLORS.index(color)
     except ValueError:
-        raise NetworkError(f"unknown colour {color!r}; expected one of {COLORS}")
+        raise NetworkError(f"unknown colour {color!r}; expected one of {COLORS}") from None
     return COLORS[(index - 1) % len(COLORS)]
 
 

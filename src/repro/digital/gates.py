@@ -41,7 +41,7 @@ def binary_gate(network: Network, kind: str, a: Bit, b: Bit,
         table = _TABLES[kind]
     except KeyError:
         raise NetworkError(f"unknown gate kind {kind!r}; "
-                           f"expected one of {sorted(_TABLES)}")
+                           f"expected one of {sorted(_TABLES)}") from None
     out.declare(network)
     for (va, vb), vo in table.items():
         network.add(

@@ -100,7 +100,7 @@ class Complex:
                 a = self.strands[si].domains[di]
                 b = self.strands[sj].domains[dj]
             except IndexError:
-                raise NetworkError(f"complex {self.name}: bad bond index")
+                raise NetworkError(f"complex {self.name}: bad bond index") from None
             if not a.is_complement_of(b):
                 raise NetworkError(
                     f"complex {self.name}: domains {a} and {b} are not "

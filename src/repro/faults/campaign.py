@@ -64,7 +64,7 @@ def default_suite(circuit: str) -> tuple[FaultModel, ...]:
     except KeyError:
         raise FaultError(f"no default fault suite for circuit "
                          f"{circuit!r}; choose from "
-                         f"{sorted(_DEFAULT_SUITES)}")
+                         f"{sorted(_DEFAULT_SUITES)}") from None
 
 
 @dataclass(frozen=True)

@@ -187,5 +187,5 @@ def make_circuit(name: str, **kwargs):
         factory = CIRCUITS[name]
     except KeyError:
         raise FaultError(f"unknown circuit {name!r}; "
-                         f"choose from {sorted(CIRCUITS)}")
+                         f"choose from {sorted(CIRCUITS)}") from None
     return factory(**kwargs)

@@ -71,5 +71,5 @@ def build_target(name: str):
         from repro.errors import ReproError
         raise ReproError(
             f"unknown built-in circuit {name!r}; choose from "
-            f"{', '.join(sorted(BUILTIN_CIRCUITS))}")
+            f"{', '.join(sorted(BUILTIN_CIRCUITS))}") from None
     return factory()

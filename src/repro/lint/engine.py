@@ -68,7 +68,7 @@ class Severity(enum.IntEnum):
         except KeyError:
             raise LintConfigError(
                 f"unknown severity {name!r}; expected one of "
-                f"{[s.label for s in cls]}")
+                f"{[s.label for s in cls]}") from None
 
 
 @dataclass(frozen=True)
@@ -354,10 +354,19 @@ class LintReport:
     def ok(self) -> bool:
         return not self.errors
 
-    def exit_code(self, strict: bool = False) -> int:
-        if self.errors:
-            return 1
-        if strict and self.warnings:
+    def exit_code(self, strict: bool = False,
+                  fail_on: "Severity | None" = None) -> int:
+        """CI gate: 1 when any diagnostic reaches the threshold.
+
+        ``fail_on`` sets the failing severity explicitly (``--fail-on``
+        on the CLI); the default fails on errors only.  ``strict`` is
+        the legacy spelling of ``fail_on=Severity.WARNING`` and the
+        stricter of the two wins.
+        """
+        threshold = fail_on if fail_on is not None else Severity.ERROR
+        if strict:
+            threshold = min(threshold, Severity.WARNING)
+        if any(d.severity >= threshold for d in self.diagnostics):
             return 1
         return 0
 

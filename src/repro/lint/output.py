@@ -14,8 +14,21 @@ import json
 
 from repro.lint.engine import RULE_REGISTRY, LintReport, Severity
 
-#: Documentation anchor for every diagnostic code.
+#: Documentation home of the REPRO-E/W catalogue.
 DOCS_URL = "docs/lint.md"
+
+#: Documentation home of the REPRO-C certificate namespace (the
+#: composition-certificate rule's warning codes live there too).
+CERTIFY_DOCS_URL = "docs/certify.md"
+
+_CERTIFY_CODES = frozenset({"REPRO-W803", "REPRO-W804"})
+
+
+def help_uri(code: str) -> str:
+    """Per-code documentation anchor (``<a id=...>`` in the docs)."""
+    certify = code.startswith("REPRO-C") or code in _CERTIFY_CODES
+    base = CERTIFY_DOCS_URL if certify else DOCS_URL
+    return f"{base}#{code.lower()}"
 
 
 def render_text(results: list[tuple[str, LintReport]],
@@ -76,7 +89,7 @@ def _sarif_rules() -> list[dict]:
                 "id": code,
                 "name": rule.name,
                 "shortDescription": {"text": rule.description},
-                "helpUri": DOCS_URL,
+                "helpUri": help_uri(code),
                 "defaultConfiguration": {
                     "level": rule.severity_for(code).sarif_level},
             })
@@ -100,7 +113,8 @@ def render_sarif(results: list[tuple[str, LintReport]]) -> str:
             }
             if diag.span is not None:
                 location["physicalLocation"]["region"] = {
-                    "startLine": diag.span}
+                    "startLine": int(diag.span[0]),
+                    "endLine": int(diag.span[1])}
             if diag.subject:
                 location["logicalLocations"] = [{"name": diag.subject}]
             entry["locations"] = [location]

@@ -14,3 +14,4 @@ from repro.lint.rules import indicators as indicators  # noqa: F401
 from repro.lint.rules import conservation as conservation  # noqa: F401
 from repro.lint.rules import reachability as reachability  # noqa: F401
 from repro.lint.rules import composition as composition  # noqa: F401
+from repro.lint.rules import certificates as certificates  # noqa: F401

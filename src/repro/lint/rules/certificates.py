@@ -1,0 +1,105 @@
+"""Composition-certificate rule: the REPRO-C namespace.
+
+Bridges the static certificate pass (:mod:`repro.certify`) into the
+lint pipeline so certification failures surface through the same
+text/JSON/SARIF reporting and CI gate as every other diagnostic:
+
+``REPRO-C801`` (error)
+    the module is *uncertifiable*: its internal feedback never
+    contracts (no finite horizon with ``||A^h|| < 1``), its network
+    amplifies signal mass around a loop, or a rate category cannot be
+    bounded.  No error-propagation guarantee exists.
+
+``REPRO-C802`` (error)
+    *small-gain violation*: the module certifies, but its end-to-end
+    error bound escapes the digital noise margin at the operating
+    separation.  Composed designs with this diagnostic must not ship.
+
+``REPRO-W803`` (warning)
+    certified, but the operating separation is within the configured
+    headroom factor of the certified minimum -- the design computes,
+    with less slack than policy demands.  Suppressed when C802 already
+    fired (no headroom to measure below a failed floor).
+
+``REPRO-W804`` (warning)
+    certified, but one transfer's required settle time exceeds the
+    configured fraction of a slow time unit -- the clock phase budget
+    is too tight for the certified disturbance gain.
+
+Configuration: pass a :class:`~repro.certify.certificate.CertifyConfig`
+as the ``certify_config`` lint option to change margins and headroom.
+"""
+
+from __future__ import annotations
+
+from repro.certify.certificate import CertifyConfig
+from repro.certify.derive import design_certificate, network_certificate
+from repro.errors import CertifyError
+from repro.lint.engine import LintContext, Severity, rule
+
+
+def _certify_config(ctx: LintContext) -> CertifyConfig:
+    configured = ctx.config.option("certify_config", None)
+    return configured if configured is not None else CertifyConfig()
+
+
+@rule("composition-certificate",
+      codes=("REPRO-C801", "REPRO-C802", "REPRO-W803", "REPRO-W804"),
+      description="Every module must carry an ISS composition "
+                  "certificate whose error bound stays inside the "
+                  "digital noise margin.",
+      severities={"REPRO-C801": Severity.ERROR,
+                  "REPRO-C802": Severity.ERROR,
+                  "REPRO-W803": Severity.WARNING,
+                  "REPRO-W804": Severity.WARNING})
+def check_composition_certificate(ctx: LintContext):
+    config = _certify_config(ctx)
+    scheme = ctx.scheme
+    design = getattr(ctx.circuit, "design", None)
+    try:
+        if design is not None:
+            certificate = design_certificate(
+                design, scheme, config, network=ctx.network)
+        else:
+            certificate = network_certificate(ctx.network, scheme,
+                                              config)
+    except CertifyError as exc:
+        yield ctx.diag(
+            "REPRO-C801", str(exc),
+            fix_hint="add damping to the feedback (|coefficients| "
+                     "summing below 1 around every loop) or break the "
+                     "amplifying cycle")
+        return
+
+    separation = certificate.separation
+    violated = not certificate.certified_at(separation, config)
+    if violated:
+        yield ctx.diag(
+            "REPRO-C802",
+            f"module {certificate.module!r}: certified error bound "
+            f"{certificate.error_bound(separation, config):.4g} "
+            f"exceeds the noise margin {config.noise_margin:g} at "
+            f"separation {separation:g} (needs >= "
+            f"{certificate.min_separation(config):.4g})",
+            fix_hint="widen the fast/slow separation or reduce the "
+                     "composition's disturbance gain")
+    elif separation < config.headroom * certificate.min_separation(config):
+        yield ctx.diag(
+            "REPRO-W803",
+            f"module {certificate.module!r}: separation "
+            f"{separation:g} is within {config.headroom:g}x of the "
+            f"certified minimum "
+            f"{certificate.min_separation(config):.4g} -- certified, "
+            f"but below the configured headroom",
+            fix_hint="widen the separation or relax the headroom "
+                     "policy")
+    budget = config.phase_budget / scheme.slow
+    if certificate.required_settle_time(config) > budget:
+        yield ctx.diag(
+            "REPRO-W804",
+            f"module {certificate.module!r}: one transfer needs "
+            f"{certificate.required_settle_time(config):.4g} time "
+            f"units to settle, above the phase budget {budget:.4g} "
+            f"({config.phase_budget:g} of a slow time unit)",
+            fix_hint="speed up the fast band or allow a larger "
+                     "phase budget")

@@ -185,7 +185,7 @@ class MetricsRegistry:
                 handle.write("\n")
         except OSError as exc:
             raise ReproError(f"cannot write metrics file {path}: "
-                             f"{exc.strerror or exc}")
+                             f"{exc.strerror or exc}") from exc
         return path
 
 

@@ -24,7 +24,7 @@ def load_records(path) -> list[dict]:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise ReproError(f"cannot read trace file {path}: "
-                         f"{exc.strerror or exc}")
+                         f"{exc.strerror or exc}") from exc
     records = []
     for line_no, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
@@ -34,7 +34,7 @@ def load_records(path) -> list[dict]:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ReproError(
-                f"{path}:{line_no}: not a JSONL trace record ({exc.msg})")
+                f"{path}:{line_no}: not a JSONL trace record ({exc.msg})") from exc
         if not isinstance(record, dict):
             raise ReproError(f"{path}:{line_no}: trace record is not an "
                              f"object")
@@ -52,7 +52,7 @@ def write_chrome(records: list[dict], path) -> Path:
             json.dump(chrome_events(records), handle, indent=1)
     except OSError as exc:
         raise ReproError(f"cannot write Chrome trace {path}: "
-                         f"{exc.strerror or exc}")
+                         f"{exc.strerror or exc}") from exc
     return path
 
 

@@ -60,11 +60,12 @@ class JsonlSink:
     def __init__(self, path):
         self.path = Path(path)
         try:
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open(  # noqa: SIM115 - long-lived stream handle
+                self.path, "w", encoding="utf-8")
         except OSError as exc:
             raise TraceWriteError(
                 f"cannot write trace file {self.path}: "
-                f"{exc.strerror or exc}")
+                f"{exc.strerror or exc}") from exc
         self.closed = False
 
     def write(self, record) -> None:
@@ -92,7 +93,7 @@ class ChromeTraceSink:
         except OSError as exc:
             raise TraceWriteError(
                 f"cannot write trace file {self.path}: "
-                f"{exc.strerror or exc}")
+                f"{exc.strerror or exc}") from exc
 
     def write(self, record) -> None:
         self._records.append(record.to_dict())

@@ -1,0 +1,128 @@
+"""Exact certificate derivation for the shipped designs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.filters import biquad, iir_first_order, moving_average
+from repro.certify import (Certificate, CertifyConfig, certificate_for,
+                           design_certificate)
+from repro.core.dfg import MatrixDesign, SignalFlowGraph
+from repro.errors import CertifyError
+
+CFG = CertifyConfig()
+
+
+class TestMovingAverage:
+    def test_exact_fields(self):
+        cert = certificate_for(moving_average(2).to_matrix())
+        assert cert.gain == 1
+        assert cert.state_gain == 1
+        assert cert.contraction == 0
+        assert cert.horizon == 1
+        assert cert.disturbance_gain == Fraction(3, 2)
+
+    def test_min_separation(self):
+        cert = certificate_for(moving_average(2).to_matrix())
+        # dist * kappa * scale / margin = 1.5 * 10 * 8 / 0.5
+        assert cert.min_separation(CFG) == pytest.approx(240.0)
+        assert cert.certified_at(240.0, CFG)
+        assert not cert.certified_at(239.0, CFG)
+
+    def test_four_taps(self):
+        cert = certificate_for(moving_average(4).to_matrix())
+        assert cert.gain == 1
+        assert cert.horizon == 3  # nilpotent delay line of length 3
+        assert cert.disturbance_gain == Fraction(13, 4)
+
+
+class TestIir:
+    def test_exact_fields(self):
+        cert = certificate_for(iir_first_order().to_matrix())
+        # D + C*B/(1-A) = 1/2 + (1/4)/(1/2) = 1, exactly.
+        assert cert.gain == 1
+        assert cert.contraction == Fraction(1, 2)
+        assert cert.horizon == 1
+        assert cert.disturbance_gain == 2
+
+    def test_sfg_and_matrix_agree(self):
+        sfg = iir_first_order()
+        assert certificate_for(sfg) == certificate_for(sfg.to_matrix())
+
+
+class TestBiquad:
+    def test_contracts_over_three_cycles(self):
+        design = biquad(Fraction(1, 4), Fraction(1, 2), Fraction(1, 4),
+                        Fraction(-1, 4), Fraction(1, 8)).to_matrix()
+        cert = certificate_for(design)
+        # ||A||=9/8 >= 1: the one-cycle norm is useless, but the
+        # three-cycle power contracts.
+        assert cert.horizon == 3
+        assert cert.contraction == Fraction(17, 32)
+        assert cert.transient == Fraction(9, 8)
+        assert cert.certified_at(1000.0, CFG)
+
+    def test_tail_bound_tightens_with_windows(self):
+        design = biquad(Fraction(1, 4), Fraction(1, 2), Fraction(1, 4),
+                        Fraction(-1, 4), Fraction(1, 8)).to_matrix()
+        loose = design_certificate(
+            design, config=CertifyConfig(tail_windows=1))
+        tight = design_certificate(
+            design, config=CertifyConfig(tail_windows=8))
+        assert tight.disturbance_gain < loose.disturbance_gain
+        assert tight.gain <= loose.gain
+
+
+class TestUncertifiable:
+    def test_undamped_accumulator_is_c801(self):
+        sfg = SignalFlowGraph("accumulator")
+        x = sfg.input("x")
+        state = sfg.delay("s")
+        y = sfg.add(x, state)  # y[n] = x[n] + y[n-1]: pure integrator
+        sfg.output("y", y)
+        sfg.connect(y, state)
+        with pytest.raises(CertifyError, match="REPRO-C801"):
+            certificate_for(sfg.to_matrix())
+
+    def test_certificate_rejects_expansive_contraction(self):
+        with pytest.raises(CertifyError, match="REPRO-C801"):
+            Certificate(module="bad", kind="design", gain=Fraction(1),
+                        state_gain=Fraction(1), contraction=Fraction(1),
+                        horizon=1, transient=Fraction(1),
+                        disturbance_gain=Fraction(1),
+                        settling_rate=1000.0, separation=1000.0)
+
+
+class TestStateless:
+    def test_pure_gain_certificate(self):
+        design = MatrixDesign(
+            name="amp", inputs=["x"], outputs=["y"], delays=[],
+            coefficients={("y", "x"): Fraction(4)}, initial_state={})
+        cert = certificate_for(design)
+        assert cert.gain == 4
+        assert cert.horizon == 0
+        assert cert.disturbance_gain == 1
+        assert cert.state_gain == 0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(CertifyError):
+            CertifyConfig(noise_margin=0.0)
+        with pytest.raises(CertifyError):
+            CertifyConfig(headroom=0.5)
+        with pytest.raises(CertifyError):
+            CertifyConfig(tail_windows=0)
+
+    def test_to_dict_exact_and_deterministic(self):
+        cert = certificate_for(moving_average(2).to_matrix())
+        payload = cert.to_dict(CFG)
+        assert payload["disturbance_gain"] == "3/2"
+        assert payload["gain"] == "1"
+        assert payload["certified"] is True
+        assert payload == cert.to_dict(CFG)
+
+    def test_settle_time_uses_rates(self):
+        cert = certificate_for(moving_average(2).to_matrix())
+        assert cert.settling_rate == pytest.approx(1000.0)
+        assert cert.required_settle_time(CFG) > 0

@@ -1,0 +1,108 @@
+"""Tests for the ``python -m repro certify`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExitCodes:
+    def test_all_builtins_certify(self, capsys):
+        assert main(["certify", "--circuit", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "6 target(s): 6 certified, 0 rejected" in out
+        assert "CERTIFIED" in out
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["certify"]) == 2
+        assert "nothing to certify" in capsys.readouterr().err
+
+    def test_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.crn"
+        assert main(["certify", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_small_gain_violation_rejected(self, capsys):
+        assert main(["certify", "--cascade",
+                     "amp:4,amp:4,amp:4"]) == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert "REPRO-C802" in out
+
+    def test_certifiable_cascade_passes(self, capsys):
+        assert main(["certify", "--cascade", "ma,iir"]) == 0
+        assert "CERTIFIED" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_deterministic_across_runs(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["certify", "--circuit", "all",
+                     "--format", "json",
+                     "--output", str(first)]) == 0
+        assert main(["certify", "--circuit", "all",
+                     "--format", "json",
+                     "--output", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_text() == second.read_text()
+
+    def test_payload_shape(self, capsys):
+        assert main(["certify", "--circuit", "iir",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"targets": 1, "certified": 1,
+                                      "rejected": 0}
+        (target,) = payload["targets"]
+        assert target["certified"] is True
+        assert target["certificate"]["gain"] == "1"
+        assert target["certificate"]["disturbance_gain"] == "2"
+
+
+class TestSarifOutput:
+    def test_rejected_cascade_carries_c_rule(self, capsys):
+        assert main(["certify", "--cascade", "amp:4,amp:4,amp:4",
+                     "--format", "sarif"]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rules = {r["id"]: r for r in
+                 run["tool"]["driver"]["rules"]}
+        assert "REPRO-C802" in rules
+        assert rules["REPRO-C802"]["helpUri"].endswith(
+            "docs/certify.md#repro-c802")
+        codes = {res["ruleId"] for res in run["results"]}
+        assert "REPRO-C802" in codes
+
+
+class TestConfigFlags:
+    def test_headroom_tightening_fires_w803(self, capsys):
+        # Nominal separation is 1000; biquad min_separation ~875, so a
+        # large headroom pushes the required margin past nominal.
+        assert main(["certify", "--circuit", "biquad",
+                     "--headroom", "1.2"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "REPRO-W803" in out
+
+    def test_fail_on_warning_gates_exit(self, capsys):
+        args = ["certify", "--circuit", "biquad", "--headroom", "1.2"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--fail-on", "warning"]) == 1
+
+    def test_noise_margin_override_rejects(self, capsys):
+        # A 100x tighter margin makes even the moving average fail.
+        assert main(["certify", "--circuit", "moving-average",
+                     "--noise-margin", "0.005"]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO-C802" in out
+
+
+@pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+def test_file_targets_certify(tmp_path, capsys, fmt):
+    path = tmp_path / "copy.crn"
+    path.write_text("species X role=signal\nspecies Y role=signal\n"
+                    "init X = 8\nX -> Y @ fast\n")
+    assert main(["certify", str(path), "--format", fmt]) == 0
+    assert capsys.readouterr().out

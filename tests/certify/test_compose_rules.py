@@ -1,0 +1,136 @@
+"""Small-gain composition: algebraic rules vs direct derivation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.filters import iir_first_order, moving_average
+from repro.certify import (CertifyConfig, cascade_certificates,
+                           certificate_for, certify_composition,
+                           compose_certificates, parallel_certificates)
+from repro.certify.targets import build_cascade, resolve_design
+from repro.core.compose import cascade, parallel_sum, rename
+from repro.errors import CertifyError
+
+CFG = CertifyConfig()
+
+
+def _seamed(first, second):
+    """Rename single ports so ``first``'s output feeds ``second``."""
+    left = rename(first, outputs={first.outputs[0]: "mid"})
+    right = rename(second, inputs={second.inputs[0]: "mid"})
+    return left, right
+
+
+class TestCascadeRule:
+    def test_gain_multiplies_disturbance_composes(self):
+        a = certificate_for(resolve_design("amp:4"))
+        b = certificate_for(resolve_design("ma"))
+        composed = cascade_certificates(a, b)
+        assert composed.gain == a.gain * b.gain
+        assert composed.disturbance_gain == \
+            a.disturbance_gain * b.gain + b.disturbance_gain
+        assert composed.kind == "cascade"
+
+    def test_both_bounds_sound_for_unit_gain_cascade(self):
+        """Direct and algebraic bounds both cover the true gain (1)."""
+        first, second = _seamed(moving_average(2).to_matrix(),
+                                iir_first_order().to_matrix())
+        direct = certificate_for(cascade(first, second))
+        algebraic = cascade_certificates(certificate_for(first),
+                                         certificate_for(second))
+        # True DC gain of ma(2) -> iir is exactly 1; both are upper
+        # bounds, the direct one with tail slack from the seam state.
+        assert algebraic.gain == 1
+        assert 1 <= direct.gain < Fraction(3, 2)
+        assert direct.certified_at(1000.0, CFG)
+        assert algebraic.certified_at(1000.0, CFG)
+        # Neither bound uniformly dominates; both stay the same order.
+        assert direct.min_separation(CFG) <= \
+            2 * algebraic.min_separation(CFG)
+
+    def test_unknown_kind_rejected(self):
+        a = certificate_for(resolve_design("ma"))
+        with pytest.raises(CertifyError, match="unknown composition"):
+            compose_certificates("feedback", a, a)
+
+
+class TestParallelRule:
+    def test_gains_add(self):
+        a = certificate_for(moving_average(2).to_matrix())
+        composed = parallel_certificates(a, a)
+        assert composed.gain == 2 * a.gain
+        assert composed.disturbance_gain == 2 * a.disturbance_gain
+
+    def test_parallel_sum_certified(self):
+        design = moving_average(2).to_matrix()
+        out = parallel_sum(design, design, certify=True)
+        assert certificate_for(out).gain == 2
+
+
+class TestSmallGainViolation:
+    def test_certify_composition_raises_c802(self):
+        first, second = _seamed(resolve_design("amp:4"),
+                                resolve_design("amp:4"))
+        mid = cascade(first, second)
+        third = rename(resolve_design("amp:4"), inputs={"x": "mid"},
+                       outputs={"y": "z"})
+        left = rename(mid, outputs={mid.outputs[0]: "mid"})
+        with pytest.raises(CertifyError, match="REPRO-C802"):
+            certify_composition(left, third, cascade(left, third),
+                                "cascade")
+
+    def test_cascade_certify_kwarg_raises(self):
+        first, second = _seamed(resolve_design("amp:4"),
+                                resolve_design("amp:4"))
+        mid = cascade(first, second)
+        left = rename(mid, outputs={mid.outputs[0]: "v"})
+        third = rename(resolve_design("amp:4"), inputs={"x": "v"},
+                       outputs={"y": "z"})
+        with pytest.raises(CertifyError, match="REPRO-C802"):
+            cascade(left, third, certify=True)
+
+    def test_good_cascade_passes(self):
+        first, second = _seamed(moving_average(2).to_matrix(),
+                                iir_first_order().to_matrix())
+        composite = cascade(first, second, certify=True)
+        cert = certificate_for(composite)
+        assert cert.certified_at(1000.0, CFG)
+
+    def test_uncertifiable_stage_raises_c801(self):
+        from repro.core.dfg import SignalFlowGraph
+
+        sfg = SignalFlowGraph("acc")
+        x = sfg.input("x")
+        state = sfg.delay("s")
+        y = sfg.add(x, state)
+        sfg.output("y", y)
+        sfg.connect(y, state)
+        acc = rename(sfg.to_matrix(), inputs={"x": "y"},
+                     outputs={"y": "z"})
+        with pytest.raises(CertifyError, match="REPRO-C801"):
+            cascade(moving_average(2).to_matrix(), acc, certify=True)
+
+
+class TestTargets:
+    def test_build_cascade_specs(self):
+        composite = build_cascade(["ma", "iir"])
+        assert composite.inputs == ["x"]
+        cert = certificate_for(composite)
+        assert 1 <= cert.gain < 2
+        assert cert.certified_at(1000.0, CFG)
+
+    def test_amp_chain_min_separation(self):
+        cert = certificate_for(build_cascade(["amp:4", "amp:4",
+                                              "amp:4"]))
+        assert cert.gain == 64
+        assert cert.disturbance_gain == 21
+        assert cert.min_separation(CFG) == pytest.approx(3360.0)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(CertifyError, match="unknown design spec"):
+            resolve_design("warp")
+
+    def test_iir_feedback_argument(self):
+        design = resolve_design("iir:3/4")
+        assert design.coefficient("s", "s") == Fraction(3, 4)

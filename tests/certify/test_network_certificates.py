@@ -1,0 +1,90 @@
+"""Structural certificates for raw reaction networks."""
+
+import pytest
+
+from repro.certify import certificate_for, network_certificate
+from repro.crn.network import Network
+from repro.errors import CertifyError
+from repro.lint.builtins import build_target
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", ["clock", "counter", "fsm"])
+    def test_hand_built_machines_certify(self, name):
+        network = build_target(name)
+        cert = network_certificate(network)
+        assert cert.kind == "network"
+        assert cert.gain >= 1
+        assert cert.settling_rate > 0
+        assert cert.separation > 1
+
+    @pytest.mark.parametrize("name", ["moving-average", "iir"])
+    def test_synthesized_circuits_take_design_path(self, name):
+        cert = certificate_for(build_target(name))
+        assert cert.kind == "design"
+        assert cert.gain == 1
+
+
+class TestExpansiveLoops:
+    def test_autocatalysis_is_uncertifiable(self):
+        network = Network("autocatalytic")
+        network.add_species("X", initial=1.0)
+        network.add(["X"], ["X", "X"], rate="slow")
+        with pytest.raises(CertifyError, match="REPRO-C801"):
+            network_certificate(network)
+
+    def test_expansive_two_species_cycle(self):
+        network = Network("pingpong")
+        network.add_species("X", initial=1.0)
+        network.add_species("Y")
+        network.add(["X"], ["Y", "Y"], rate="slow")
+        network.add(["Y"], ["X"], rate="slow")
+        with pytest.raises(CertifyError, match="REPRO-C801"):
+            network_certificate(network)
+
+    def test_feed_forward_fanout_is_fine(self):
+        network = Network("fanout")
+        network.add_species("X", initial=1.0)
+        network.add_species("X1")
+        network.add_species("X2")
+        network.add(["X"], ["X1", "X2"], rate="fast")
+        cert = network_certificate(network)
+        assert cert.disturbance_gain == 2
+
+    def test_zeroth_order_source_is_exogenous(self):
+        network = Network("source")
+        network.add_species("P", initial=0.0)
+        network.add([], ["P"], rate="slow")
+        cert = network_certificate(network)
+        assert cert.disturbance_gain == 1
+
+    def test_indicator_mass_does_not_count(self):
+        network = Network("gated")
+        network.add_species("X", initial=1.0)
+        network.add_species("Y")
+        network.add_species("g", role="indicator")
+        # Signal mass is conserved (X -> Y); the regenerated indicator
+        # must not be mistaken for amplification.
+        network.add(["g", "X"], ["g", "g", "Y"], rate="slow")
+        cert = network_certificate(network)
+        assert cert.disturbance_gain == 1
+
+
+class TestRateMargins:
+    def test_unknown_rate_category_is_c801(self):
+        network = Network("mystery")
+        network.add_species("X", initial=1.0)
+        network.add_species("Y")
+        network.add(["X"], ["Y"], rate="medium")
+        with pytest.raises(CertifyError, match="REPRO-C801"):
+            network_certificate(network)
+
+    def test_separation_reflects_reactions(self):
+        network = Network("mixed")
+        network.add_species("X", initial=1.0)
+        network.add_species("Y")
+        network.add_species("Z")
+        network.add(["X"], ["Y"], rate="fast")
+        network.add(["Y"], ["Z"], rate="slow")
+        cert = network_certificate(network)
+        assert cert.separation == pytest.approx(1000.0)

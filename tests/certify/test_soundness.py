@@ -1,0 +1,55 @@
+"""Dynamic soundness of the static certificates.
+
+A certificate claims zero bit errors at any separation at or above its
+``min_separation``.  These campaigns attack that region with compressed
+schemes plus rate-mismatch faults; a single failure disproves it.
+Budgets are kept tiny (2-3 trials, 2-3 probe points) so the suite stays
+tier-1 friendly; CI-scale sweeps live in the robustness campaigns.
+"""
+
+import math
+
+import pytest
+
+from repro.certify import (CertifyConfig, certified_margin_campaign,
+                           circuit_certificate, margin_consistency)
+from repro.errors import CertifyError
+
+CFG = CertifyConfig()
+
+
+@pytest.mark.parametrize("name", ["ma", "iir"])
+def test_certified_region_is_failure_free(name):
+    report = certified_margin_campaign(name, seed=0, trials=2, points=2)
+    assert report.sound, report.to_dict()
+    assert report.trials == 4
+    assert report.min_separation == pytest.approx(
+        float(circuit_certificate(name).min_separation(CFG)))
+    # Every probe sits inside the certified region.
+    for probe in report.probes:
+        assert probe.separation >= report.min_separation - 1e-9
+
+
+@pytest.mark.parametrize("name", ["ma", "iir"])
+def test_static_bound_is_conservative(name):
+    certificate, result = margin_consistency(name, seed=0, trials=2)
+    floor = certificate.min_separation(CFG)
+    # The certificate must never bless a separation observed to fail.
+    if math.isfinite(result.failed_at):
+        assert floor >= result.failed_at
+    # And the measured passing margin must itself be certified-safe
+    # territory or below (the bound is conservative, not vacuous).
+    assert floor <= 10 * result.margin
+
+
+def test_report_to_dict_round_trip():
+    report = certified_margin_campaign("ma", seed=1, trials=1, points=2)
+    payload = report.to_dict()
+    assert payload["circuit"] == "ma"
+    assert payload["sound"] is report.sound
+    assert len(payload["probes"]) == 2
+
+
+def test_unknown_circuit_rejected():
+    with pytest.raises(CertifyError, match="no certifiable design"):
+        circuit_certificate("clockwork")

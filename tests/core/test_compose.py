@@ -125,3 +125,46 @@ class TestNameCollisions:
                         inputs={"x": "y"}, outputs={"y": "z"})
         composite = cascade(first, second)
         assert composite.outputs == ["z"]
+
+
+class TestErrorPaths:
+    """Every composition rejection carries REPRO-E701 phrasing."""
+
+    def test_rename_onto_colliding_port_rejected(self):
+        from repro.core.dfg import MatrixDesign
+
+        design = MatrixDesign(
+            name="two_in", inputs=["x", "u"], outputs=["y"], delays=[],
+            coefficients={("y", "x"): Fraction(1, 2),
+                          ("y", "u"): Fraction(1, 2)})
+        with pytest.raises(SynthesisError, match="REPRO-E701"):
+            rename(design, inputs={"x": "u"})
+
+    def test_rename_onto_register_name_rejected(self):
+        design = moving_average(2).to_matrix()
+        register = design.delays[0]
+        with pytest.raises(SynthesisError, match="REPRO-E701"):
+            rename(design, inputs={"x": register})
+
+    def test_cascade_width_mismatch_rejected(self):
+        first = moving_average(2).to_matrix()
+        second = moving_average(2).to_matrix()  # input "x", not "y"
+        with pytest.raises(SynthesisError,
+                           match="output width mismatch.*REPRO-E701"):
+            cascade(first, second)
+
+    def test_parallel_sum_input_mismatch_rejected(self):
+        left = moving_average(2).to_matrix()
+        right = rename(moving_average(2).to_matrix(),
+                       inputs={"x": "u"})
+        with pytest.raises(SynthesisError,
+                           match="input arity/name mismatch.*REPRO-E701"):
+            parallel_sum(left, right)
+
+    def test_parallel_sum_output_mismatch_rejected(self):
+        left = moving_average(2).to_matrix()
+        right = rename(moving_average(2).to_matrix(),
+                       outputs={"y": "v"})
+        with pytest.raises(SynthesisError,
+                           match="output ports differ.*REPRO-E701"):
+            parallel_sum(left, right)

@@ -43,7 +43,7 @@ class TestRegistry:
 
     def test_every_code_is_namespaced(self):
         for code, registered in all_codes().items():
-            assert code.startswith(("REPRO-E", "REPRO-W")), code
+            assert code.startswith(("REPRO-E", "REPRO-W", "REPRO-C")), code
             assert code in registered.codes
 
     def test_codes_are_unique_across_rules(self):

@@ -1,0 +1,217 @@
+"""Exit-code thresholds (``--fail-on``) and SARIF 2.1.0 conformance."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.crn.parser import parse_network
+from repro.lint import Severity, lint_network
+from repro.lint.output import help_uri, render_sarif
+
+WARNY = ("A + B + C -> D @ fast\ninit A = 1\n"
+         "init B = 1\ninit C = 1\n")
+
+PARKED = "species P color=red\n-> P @ slow\n"
+
+
+class TestExitCodeThresholds:
+    @pytest.fixture
+    def warning_report(self):
+        report = lint_network(parse_network(WARNY))
+        assert report.errors == [] and report.warnings
+        return report
+
+    def test_default_fails_on_errors_only(self, warning_report):
+        assert warning_report.exit_code() == 0
+
+    def test_fail_on_warning(self, warning_report):
+        assert warning_report.exit_code(
+            fail_on=Severity.WARNING) == 1
+
+    def test_fail_on_note_is_strictest(self, warning_report):
+        # A WARNING diagnostic reaches the NOTE threshold too.
+        assert warning_report.exit_code(fail_on=Severity.NOTE) == 1
+
+    def test_fail_on_error_explicit(self, warning_report):
+        assert warning_report.exit_code(
+            fail_on=Severity.ERROR) == 0
+
+    def test_strict_and_fail_on_stricter_wins(self, warning_report):
+        # strict == fail_on=warning; an explicit looser fail_on does
+        # not relax it, an explicit stricter one tightens it.
+        assert warning_report.exit_code(
+            strict=True, fail_on=Severity.ERROR) == 1
+        assert warning_report.exit_code(
+            strict=True, fail_on=Severity.NOTE) == 1
+
+
+class TestCliFailOn:
+    @pytest.fixture
+    def warny_crn(self, tmp_path):
+        path = tmp_path / "tri.crn"
+        path.write_text(WARNY)
+        return str(path)
+
+    def test_thresholds(self, warny_crn, capsys):
+        assert main(["lint", warny_crn]) == 0
+        assert main(["lint", warny_crn, "--fail-on", "error"]) == 0
+        assert main(["lint", warny_crn, "--fail-on", "warning"]) == 1
+        assert main(["lint", warny_crn, "--fail-on", "note"]) == 1
+        capsys.readouterr()
+
+    def test_clean_file_passes_strictest(self, tmp_path, capsys):
+        path = tmp_path / "clean.crn"
+        path.write_text("""
+species X color=red role=signal
+species Y color=green role=signal
+species Z color=blue role=signal
+species r role=indicator
+species g role=indicator
+species b role=indicator
+init X = 50
+b + X -> Y @ slow
+r + Y -> Z @ slow
+g + Z -> X @ slow
+-> r @ slow
+-> g @ slow
+-> b @ slow
+r + X -> X @ fast
+g + Y -> Y @ fast
+b + Z -> Z @ fast
+""")
+        assert main(["lint", str(path), "--fail-on", "note"]) == 0
+        capsys.readouterr()
+
+
+class TestHelpUris:
+    def test_lint_codes_anchor_into_lint_docs(self):
+        assert help_uri("REPRO-E101") == "docs/lint.md#repro-e101"
+        assert help_uri("REPRO-W201") == "docs/lint.md#repro-w201"
+
+    def test_certificate_codes_anchor_into_certify_docs(self):
+        assert help_uri("REPRO-C802") == "docs/certify.md#repro-c802"
+        assert help_uri("REPRO-W803") == "docs/certify.md#repro-w803"
+
+    def test_anchors_exist_in_docs(self):
+        for doc, code in (("docs/lint.md", "REPRO-E101"),
+                          ("docs/lint.md", "REPRO-W501"),
+                          ("docs/certify.md", "REPRO-C801"),
+                          ("docs/certify.md", "REPRO-W804")):
+            anchor = help_uri(code).split("#", 1)[1]
+            with open(doc, encoding="utf-8") as handle:
+                assert f'id="{anchor}"' in handle.read(), (doc, code)
+
+
+#: Structural subset of the SARIF 2.1.0 schema: the properties GitHub
+#: code scanning actually consumes, with the integer/uri constraints
+#: that have bitten this renderer before (regions must be integers,
+#: not spans).  CI validates against the full official schema.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "helpUri": {
+                                                    "type": "string"},
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "level"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer"},
+                                                            "endLine": {
+                                                                "type":
+                                                                "integer"},
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarifConformance:
+    @pytest.fixture
+    def document(self):
+        results = [("parked.crn", lint_network(parse_network(PARKED)))]
+        return json.loads(render_sarif(results))
+
+    def test_validates_against_subset_schema(self, document):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+
+    def test_regions_are_integer_lines(self, document):
+        regions = [
+            loc["physicalLocation"]["region"]
+            for result in document["runs"][0]["results"]
+            for loc in result.get("locations", [])
+            if "region" in loc.get("physicalLocation", {})]
+        assert regions, "expected at least one spanned diagnostic"
+        for region in regions:
+            assert isinstance(region["startLine"], int)
+            assert isinstance(region["endLine"], int)
+            assert region["endLine"] >= region["startLine"] >= 1
+
+    def test_every_rule_has_help_uri(self, document):
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        for rule in rules:
+            assert rule["helpUri"].startswith("docs/")
+            assert "#repro-" in rule["helpUri"]
