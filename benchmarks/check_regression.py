@@ -31,6 +31,7 @@ WATCHED = {
     "E14_stochastic": {"events_per_sec": "higher",
                        "ssa_wall_seconds": "lower"},
     "E15_faults": {"campaign_wall_seconds": "lower"},
+    "E16_waves": {"probe_wall_seconds": "lower"},
 }
 
 

@@ -6,8 +6,10 @@ simulate    integrate a ``.crn`` file and print final quantities / a plot
 clock       run the molecular clock and report period/jitter
 filter      stream samples through a synthesized filter
 counter     run the binary counter
+fsm         drive a built-in molecular FSM over a symbol word
 robustness  run a fault-injection robustness campaign
 conformance cross-check every engine against invariants and each other
+waves       run a logic-analyzer scenario (waveforms + assertions)
 dsd         compile a ``.crn`` file to strand displacement (+ FASTA)
 lint        static analysis of ``.crn`` files and built-in circuits
 report      summarise a recorded JSONL trace
@@ -15,7 +17,10 @@ report      summarise a recorded JSONL trace
 The simulation commands accept ``--trace FILE`` (``.jsonl`` for the
 canonical line format, ``.json`` for a Chrome trace-event file) and
 ``--metrics FILE`` (a schema-versioned metrics snapshot); see
-``docs/observability.md``.
+``docs/observability.md``.  The digital drivers additionally accept
+``--vcd FILE`` (a GTKWave-loadable waveform dump) and
+``--assert-file FILE`` (temporal assertions, REPRO-A901..A905 on
+violation); see ``docs/waves.md``.
 """
 
 from __future__ import annotations
@@ -70,6 +75,62 @@ def _print_diagnostics(diagnostics) -> None:
         print(diagnostic.format(), file=sys.stderr)
 
 
+def _add_waves_options(parser) -> None:
+    parser.add_argument("--vcd", default="", metavar="FILE",
+                        help="dump the digital waveform as a "
+                             "GTKWave-loadable VCD file")
+    parser.add_argument("--assert-file", default="", metavar="FILE",
+                        dest="assert_file",
+                        help="JSON temporal-assertion spec evaluated "
+                             "online (REPRO-A9xx on violation, exit 1)")
+
+
+def _add_monitor_config_option(parser) -> None:
+    parser.add_argument("--monitor-config", default="", metavar="FILE",
+                        dest="monitor_config",
+                        help="JSON file overriding MonitorConfig "
+                             "thresholds (jitter, residual, crispness)")
+
+
+def _load_monitor_config(args):
+    if not getattr(args, "monitor_config", ""):
+        return None
+    from repro.obs.monitors import load_monitor_config
+
+    return load_monitor_config(args.monitor_config)
+
+
+def _make_probe(args):
+    """A live probe when any waves flag was passed, else ``None``."""
+    if not (args.vcd or args.assert_file):
+        return None
+    from repro.waves import WaveformProbe, load_assertions
+
+    engine = load_assertions(args.assert_file) if args.assert_file \
+        else None
+    return WaveformProbe(assertions=engine)
+
+
+def _finish_probe(args, probe) -> int:
+    """Export the VCD, print violations; exit status contribution."""
+    if probe is None:
+        return 0
+    from repro.waves import write_vcd
+    from repro.waves.output import render_violations
+
+    violations = probe.finish()
+    if args.vcd:
+        write_vcd(probe.waveform, args.vcd)
+        print(f"wrote VCD waveform to {args.vcd} "
+              f"({probe.waveform.n_signals} signals, "
+              f"{probe.waveform.n_changes} changes)")
+    if args.assert_file:
+        target = getattr(args, "command", None) or "run"
+        print(render_violations(violations, f"waves:{target}"),
+              file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _add_simulate(subparsers) -> None:
     parser = subparsers.add_parser(
         "simulate", help="integrate a .crn file")
@@ -84,6 +145,7 @@ def _add_simulate(subparsers) -> None:
     parser.add_argument("--fast", type=float, default=1000.0)
     parser.add_argument("--slow", type=float, default=1.0)
     _add_telemetry_options(parser)
+    _add_waves_options(parser)
     parser.set_defaults(run=_run_simulate)
 
 
@@ -104,8 +166,46 @@ def _run_simulate(args) -> int:
     for name, value in trajectory.final_state().items():
         if abs(value) > 1e-9:
             print(f"  {name:20s} {value:12.4f}")
+    status = _check_simulated_waveform(args, trajectory)
     _close_telemetry(args, tracer, metrics)
-    return 0
+    return status
+
+
+def _check_simulated_waveform(args, trajectory) -> int:
+    """Post-hoc ``--vcd``/``--assert-file`` for a raw .crn simulation.
+
+    A plain network has no cycle boundaries, so assertions are judged
+    per sampled row (``invariant`` is the natural type here; the
+    boundary index is the row index and every species is a name in the
+    expression namespace).
+    """
+    if not (args.vcd or args.assert_file):
+        return 0
+    from repro.waves import (load_assertions, waveform_from_trajectory,
+                             write_vcd)
+    from repro.waves.output import render_violations
+    from repro.waves.probe import signal_key
+
+    waveform = waveform_from_trajectory(trajectory)
+    if args.vcd:
+        write_vcd(waveform, args.vcd)
+        print(f"wrote VCD waveform to {args.vcd} "
+              f"({waveform.n_signals} signals, "
+              f"{waveform.n_changes} changes)")
+    if not args.assert_file:
+        return 0
+    engine = load_assertions(args.assert_file)
+    times = trajectory.times
+    for row in range(times.size):
+        values = {signal_key(name): float(value) for name, value
+                  in zip(trajectory.names, trajectory.states[row])}
+        values["t"] = float(times[row])
+        values["cycle"] = row
+        engine.on_boundary(row, float(times[row]), values)
+    violations = engine.finish()
+    print(render_violations(violations, f"waves:{args.file}"),
+          file=sys.stderr)
+    return 1 if violations else 0
 
 
 def _add_clock(subparsers) -> None:
@@ -157,6 +257,7 @@ def _add_filter(subparsers) -> None:
     parser.add_argument("--input", required=True,
                         help="comma-separated samples, e.g. 10,20,40")
     _add_telemetry_options(parser)
+    _add_monitor_config_option(parser)
     parser.set_defaults(run=_run_filter)
 
 
@@ -169,7 +270,8 @@ def _run_filter(args) -> int:
     samples = [float(v) for v in args.input.split(",") if v.strip()]
     design = (moving_average(args.taps) if args.kind == "ma"
               else iir_first_order())
-    machine = SynchronousMachine(design, tracer=tracer, metrics=metrics)
+    machine = SynchronousMachine(design, tracer=tracer, metrics=metrics,
+                                 monitor=_load_monitor_config(args))
     run = machine.run({"x": samples})
     rows = [[i, x, float(m), float(r)]
             for i, (x, m, r) in enumerate(zip(
@@ -190,6 +292,7 @@ def _add_counter(subparsers) -> None:
     parser.add_argument("--pulses", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
     _add_telemetry_options(parser)
+    _add_waves_options(parser)
     parser.set_defaults(run=_run_counter)
 
 
@@ -197,16 +300,51 @@ def _run_counter(args) -> int:
     from repro.digital import BinaryCounter
 
     tracer, metrics = _open_telemetry(args)
+    probe = _make_probe(args)
     counter = BinaryCounter(args.bits)
     run = counter.count(args.pulses, seed=args.seed, tracer=tracer,
-                        metrics=metrics)
+                        metrics=metrics, probe=probe)
     print(counter.network.summary())
     print("sequence:", run.values)
     print("overflow:", run.overflow)
     run.check(2 ** args.bits)
     print("verified against modulo arithmetic")
+    status = _finish_probe(args, probe)
     _close_telemetry(args, tracer, metrics)
-    return 0
+    return status
+
+
+def _add_fsm(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fsm", help="drive a built-in molecular FSM over a symbol word")
+    parser.add_argument("--machine", default="parity",
+                        choices=["parity", "detector"],
+                        help="parity tracker or sequence detector "
+                             "(default parity)")
+    parser.add_argument("--pattern", default="101",
+                        help="binary pattern for the detector "
+                             "(default 101)")
+    parser.add_argument("--word", default="110101",
+                        help="input symbol word (default 110101)")
+    parser.add_argument("--seed", type=int, default=0)
+    _add_waves_options(parser)
+    parser.set_defaults(run=_run_fsm)
+
+
+def _run_fsm(args) -> int:
+    from repro.digital.fsm import parity_machine, sequence_detector
+
+    probe = _make_probe(args)
+    fsm = (parity_machine() if args.machine == "parity"
+           else sequence_detector(args.pattern))
+    run = fsm.run(list(args.word), seed=args.seed, probe=probe)
+    print(fsm.network.summary())
+    print("word: ", " ".join(args.word))
+    print("trace:", " -> ".join(run.trace))
+    for output, counts in run.output_counts.items():
+        print(f"output {output!r}: {counts[-1]} emission(s) "
+              f"(per step: {run.emissions(output)})")
+    return _finish_probe(args, probe)
 
 
 def _add_robustness(subparsers) -> None:
@@ -239,6 +377,7 @@ def _add_robustness(subparsers) -> None:
                              "1 forces serial)")
     parser.add_argument("--json", default="", metavar="FILE",
                         help="write the full campaign report as JSON")
+    _add_monitor_config_option(parser)
     parser.set_defaults(run=_run_robustness)
 
 
@@ -263,11 +402,13 @@ def _run_robustness(args) -> int:
                   f"from {sorted(factories)}", file=sys.stderr)
             return 2
         models = [factories[name]() for name in args.fault]
+    monitor = _load_monitor_config(args)
     campaign = RobustnessCampaign(
         circuit=args.circuit, models=models, trials=args.trials,
         seed=args.seed, separation=args.separation,
         n_workers=args.workers, measure_margin=not args.no_margin,
-        margin_trials=args.margin_trials)
+        margin_trials=args.margin_trials,
+        circuit_kwargs={"monitor": monitor} if monitor else None)
     result = campaign.run()
     print(result.render())
     if args.json:
@@ -276,6 +417,102 @@ def _run_robustness(args) -> int:
             handle.write("\n")
         print(f"wrote campaign report to {args.json}")
     return 0
+
+
+def _add_waves(subparsers) -> None:
+    from repro.waves.runner import SCENARIOS
+
+    parser = subparsers.add_parser(
+        "waves",
+        help="run a logic-analyzer scenario: waveform capture, "
+             "temporal assertions, cycle profile")
+    parser.add_argument("--scenario", default="counter",
+                        choices=list(SCENARIOS),
+                        help="circuit to probe (default counter)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed (default 0)")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="pre-seeded trials to fan out (default 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for multi-trial runs "
+                             "(default: CPU count; 1 forces serial)")
+    parser.add_argument("--trial", type=int, default=0, dest="keep_trial",
+                        help="trial whose waveform --vcd keeps "
+                             "(default 0)")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="write the full trial report as JSON")
+    parser.add_argument("--bits", type=int, default=2,
+                        help="counter width (default 2)")
+    parser.add_argument("--pulses", type=int, default=None,
+                        help="counter pulses (default 2**bits + 2)")
+    parser.add_argument("--machine", default="parity",
+                        choices=["parity", "detector"],
+                        help="FSM for the fsm scenario (default parity)")
+    parser.add_argument("--pattern", default="101",
+                        help="detector pattern (default 101)")
+    parser.add_argument("--word", default="110101",
+                        help="FSM input word (default 110101)")
+    parser.add_argument("--taps", type=int, default=2,
+                        help="moving-average taps (default 2)")
+    parser.add_argument("--input", default="",
+                        help="comma-separated samples for ma/iir "
+                             "(default 8,4,6,2)")
+    _add_waves_options(parser)
+    _add_monitor_config_option(parser)
+    parser.set_defaults(run=_run_waves)
+
+
+def _run_waves(args) -> int:
+    import json
+
+    from repro.obs.monitors import RuntimeDiagnostic
+    from repro.waves import load_assertion_specs, run_trials
+    from repro.waves.output import render_violations
+    from repro.waves.profiler import render_profile
+
+    assert_specs = (load_assertion_specs(args.assert_file)
+                    if args.assert_file else None)
+    samples = ([float(v) for v in args.input.split(",") if v.strip()]
+               if args.input else None)
+    report = run_trials(
+        args.scenario, trials=args.trials, seed=args.seed,
+        n_workers=args.workers, keep_trial=args.keep_trial,
+        assert_specs=assert_specs, monitor=_load_monitor_config(args),
+        bits=args.bits, pulses=args.pulses, machine=args.machine,
+        pattern=args.pattern, word=args.word, taps=args.taps,
+        input_samples=samples)
+    print(f"scenario {args.scenario}: {args.trials} trial(s), "
+          f"root seed {args.seed}")
+    for row in report["results"]:
+        status = "ok" if row["ok"] else \
+            f"{len(row['violations'])} violation(s)"
+        print(f"  trial {row['trial']} (seed {row['seed']}): {status}")
+        for line in row["summary"].get("monitor_diagnostics", []):
+            print(f"    {line}")
+    kept = report["kept"]
+    profile = report["results"][kept["trial"]]["summary"].get("profile")
+    if profile:
+        print()
+        print(render_profile(profile))
+    if args.vcd:
+        with open(args.vcd, "w", encoding="ascii") as handle:
+            handle.write(kept["vcd"])
+        print(f"wrote VCD waveform of trial {kept['trial']} to "
+              f"{args.vcd} ({kept['n_signals']} signals, "
+              f"{kept['n_changes']} changes)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote waves report to {args.json}")
+    if report["violations_total"]:
+        violations = [
+            RuntimeDiagnostic(**{key: value for key, value in v.items()
+                                 if key != "type"})
+            for row in report["results"] for v in row["violations"]]
+        print(render_violations(violations, f"waves:{args.scenario}"),
+              file=sys.stderr)
+    return 1 if report["violations_total"] else 0
 
 
 def _add_conformance(subparsers) -> None:
@@ -592,7 +829,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_clock(subparsers)
     _add_filter(subparsers)
     _add_counter(subparsers)
+    _add_fsm(subparsers)
     _add_robustness(subparsers)
+    _add_waves(subparsers)
     _add_conformance(subparsers)
     _add_dsd(subparsers)
     _add_lint(subparsers)

@@ -39,6 +39,7 @@ from repro.obs.monitors import (MonitorConfig, ProtocolMonitor,
                                 ProtocolView, RuntimeDiagnostic)
 from repro.obs.records import CycleSpan
 from repro.obs.tracer import ensure_tracer
+from repro.waves.probe import ensure_probe, signal_key
 
 #: Colour rotation order: transfers move mass colour -> next colour.
 _ROTATION = ("red", "green"), ("green", "blue"), ("blue", "red")
@@ -120,7 +121,7 @@ class SynchronousMachine:
                  rtol: float = 1e-7, atol: float = 1e-9,
                  tracer=None, metrics=None,
                  monitor: MonitorConfig | None = None,
-                 faults=None):
+                 faults=None, probe=None):
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
@@ -143,12 +144,13 @@ class SynchronousMachine:
             self._network = self.circuit.network
         self.tracer = ensure_tracer(tracer)
         self.metrics = ensure_metrics(metrics)
+        self.probe = ensure_probe(probe)
         self.monitor_config = monitor
         # Telemetry (and the protocol monitor that rides on it) is active
-        # when any of the three hooks was supplied; otherwise every
-        # per-cycle hook below is a single attribute check.
+        # when any of the hooks was supplied; otherwise every per-cycle
+        # hook below is a single attribute check.
         self._telemetry = (self.tracer.enabled or self.metrics.enabled
-                           or monitor is not None)
+                           or self.probe.enabled or monitor is not None)
         self.simulator = OdeSimulator(self.network, self.scheme,
                                       rates=rates, method=method,
                                       rtol=rtol, atol=atol,
@@ -338,11 +340,14 @@ class SynchronousMachine:
         reference = {name: np.array(values) for name, values in
                      self.design.reference_run(
                          {k: list(v) for k, v in streams.items()}).items()}
+        diagnostics = monitor.finish() if monitor else []
+        if self.probe.enabled:
+            diagnostics = diagnostics + self.probe.finish(t)
         return MachineRun(outputs=outputs, reference=reference,
                           cycles=spans,
                           trajectory=trajectory,
                           state_history=state_history,
-                          diagnostics=monitor.finish() if monitor else [])
+                          diagnostics=diagnostics)
 
     def stepper(self) -> "MachineStepper":
         """An incremental driver for closed-loop use.
@@ -385,25 +390,73 @@ class SynchronousMachine:
             metrics.observe("machine.cycle_sim_time", span.duration)
             metrics.observe("machine.cycle_wall_seconds", span.wall)
         tracer = self.tracer
+        probe = self.probe
+        if tracer.enabled or probe.enabled:
+            # The phase/transfer decomposition feeds both the trace and
+            # the waveform probe; compute it once.
+            phases = self._phase_spans(segment, span)
+            transfers = self._transfer_spans(segment, span, phases)
         if tracer.enabled:
             tracer.emit_cycle(span)
-            phases = self._phase_spans(segment, span)
             for color, t0, t1 in phases:
                 tracer.emit_span(f"phase:{color}", "protocol", t0, t1,
                                  {"cycle": span.index, "color": color})
                 if metrics.enabled:
                     metrics.observe(f"machine.phase_sim_time[{color}]",
                                     t1 - t0)
-            for name, t0, t1, args in self._transfer_spans(segment, span,
-                                                           phases):
+            for name, t0, t1, args in transfers:
                 tracer.emit_span(name, "protocol", t0, t1, args)
             tracer.emit_event("boundary", "machine", span.t1,
                               {"cycle": span.index})
+        if probe.enabled:
+            self._probe_cycle(span, segment, state, phases, transfers)
         if monitor is not None:
             # Conservation is judged on the pre-replenishment state: the
             # boundary top-up in _quantize would mask the drift.
             monitor.observe_cycle(span, segment,
                                   clock_total=self._clock_total(state))
+
+    def _probe_cycle(self, span: CycleSpan, segment: Trajectory,
+                     state: np.ndarray, phases, transfers) -> None:
+        """Chart registers and clock mass on the waveform probe and
+        stream the boundary sample (the assertion namespace).
+
+        Runs on the *pre-quantisation* state, before
+        :meth:`_boundary_faults` -- so a clock glitch injected at this
+        boundary is visible in the *next* boundary's ``clock_total``
+        sample, and an assertion fires the cycle after the fault, long
+        before any end-of-run scorer compares outputs.
+        """
+        probe = self.probe
+        probe.observe_cycle(span, phases, transfers)
+        # Adaptive within-cycle sampling: at most ``samples_per_cycle``
+        # rows of the integrated segment; the change-list compresses
+        # plateaus away.
+        times = segment.times
+        if times.size:
+            stride = max(1, times.size // max(probe.samples_per_cycle, 1))
+            for i in range(0, times.size, stride):
+                self._probe_state_sample(float(times[i]),
+                                         segment.states[i])
+        values = {"cycle": span.index, "t": span.t1,
+                  "period": span.duration}
+        values.update(self._probe_state_sample(span.t1, state))
+        probe.boundary(span.index, span.t1, values)
+
+    def _probe_state_sample(self, t: float,
+                            state: np.ndarray) -> dict[str, float]:
+        """Record one waveform row; returns identifier-safe values."""
+        probe = self.probe
+        values: dict[str, float] = {}
+        getter = self._getter(state)
+        for name in self.design.delays:
+            value = self.circuit.state_value(getter, name)
+            probe.record(f"reg_{name}", t, value, kind="real")
+            values[signal_key(f"reg_{name}")] = value
+        clock_total = self._clock_total(state)
+        probe.record("clock_total", t, clock_total, kind="real")
+        values["clock_total"] = clock_total
+        return values
 
     def _phase_spans(self, segment: Trajectory, span: CycleSpan
                      ) -> list[tuple[str, float, float]]:
@@ -624,8 +677,12 @@ class MachineStepper:
 
     def diagnostics(self) -> list[RuntimeDiagnostic]:
         """Protocol-health diagnostics accumulated so far (finalises the
-        monitor, including the run-level jitter check)."""
-        return self.monitor.finish() if self.monitor else []
+        monitor, including the run-level jitter check, plus any
+        waveform-assertion violations)."""
+        found = self.monitor.finish() if self.monitor else []
+        if self.machine.probe.enabled:
+            found = found + self.machine.probe.diagnostics()
+        return found
 
     def step(self, inputs: Mapping[str, float]) -> dict[str, float]:
         """Inject one sample per input, advance one cycle, and return

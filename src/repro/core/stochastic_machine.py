@@ -38,6 +38,7 @@ from repro.core.machine import MachineRun
 from repro.core.synthesis import SynthesizedCircuit, synthesize
 from repro.errors import SimulationError, SynthesisError
 from repro.obs.records import CycleSpan
+from repro.waves.probe import ensure_probe, signal_key
 
 
 class StochasticMachine:
@@ -62,7 +63,7 @@ class StochasticMachine:
                  straggler_tolerance: int = 4,
                  max_cycle_time: float | None = None,
                  tracer=None, metrics=None,
-                 faults=None):
+                 faults=None, probe=None):
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
@@ -92,6 +93,7 @@ class StochasticMachine:
                                              rates=rates,
                                              seed=seed, tracer=tracer,
                                              metrics=metrics)
+        self.probe = ensure_probe(probe)
         self.poll_interval = poll_interval
         self.boundary_fraction = boundary_fraction
         self.blue_tolerance = int(blue_tolerance)
@@ -139,7 +141,10 @@ class StochasticMachine:
                     name: streams[name][cycle] for name in streams})
             t_start = t
             counts, t = self._run_cycle(counts, t)
-            spans.append(CycleSpan(cycle, t_start, t))
+            span = CycleSpan(cycle, t_start, t)
+            spans.append(span)
+            if self.probe.enabled:
+                self._probe_cycle(span, counts)
             if self.faults is not None and self.faults.active:
                 counts = np.maximum(np.rint(self.faults.on_boundary(
                     cycle, counts.astype(float), self.network)),
@@ -153,9 +158,29 @@ class StochasticMachine:
         reference = {name: np.array(values) for name, values in
                      self.design.reference_run(
                          {k: list(v) for k, v in streams.items()}).items()}
+        diagnostics = self.probe.finish(t) if self.probe.enabled else []
         return MachineRun(outputs=outputs, reference=reference,
                           cycles=spans,
-                          trajectory=None, state_history=state_history)
+                          trajectory=None, state_history=state_history,
+                          diagnostics=diagnostics)
+
+    def _probe_cycle(self, span: CycleSpan, counts: np.ndarray) -> None:
+        """One boundary reading on the waveform probe (the SSA driver
+        polls chunks, so within-cycle rows are not recorded -- only the
+        boundary states, which is what the assertions judge)."""
+        probe = self.probe
+        probe.observe_cycle(span, [], [])
+        values = {"cycle": span.index, "t": span.t1,
+                  "period": span.duration}
+        clock_total = 0.0
+        for name in self.circuit.clock.species_names():
+            clock_total += float(counts[self.network.species_index(name)])
+        probe.record("clock_total", span.t1, clock_total, kind="real")
+        values["clock_total"] = clock_total
+        for name, value in self._register_values(counts).items():
+            probe.record(f"reg_{name}", span.t1, value, kind="real")
+            values[signal_key(f"reg_{name}")] = value
+        probe.boundary(span.index, span.t1, values)
 
     def _run_cycle(self, counts: np.ndarray,
                    t: float) -> tuple[np.ndarray, float]:

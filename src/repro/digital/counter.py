@@ -31,6 +31,7 @@ from repro.crn.simulation.ssa import StochasticSimulator
 from repro.crn.species import Species
 from repro.digital.bits import Bit, bits_to_int
 from repro.errors import NetworkError, SimulationError
+from repro.waves.probe import ensure_probe, signal_key
 
 
 class BinaryCounter:
@@ -80,7 +81,8 @@ class BinaryCounter:
               settle_time: float | None = None,
               stochastic: bool = True, seed=None,
               tracer=None, metrics=None,
-              faults=None, strict: bool = True) -> "CounterRun":
+              faults=None, strict: bool = True,
+              probe=None) -> "CounterRun":
         """Apply ``n_pulses`` increments, reading the value after each.
 
         ``faults`` takes a :class:`~repro.faults.models.FaultPlan` whose
@@ -88,7 +90,10 @@ class BinaryCounter:
         switches readings to :meth:`read_soft` -- mushy bits are scored
         (best-guess value, ``settled`` flag) instead of raising -- which
         is how the robustness campaigns keep measuring past the first
-        failure.
+        failure.  ``probe`` takes a
+        :class:`~repro.waves.probe.WaveformProbe` charting the bit
+        rails, counter value and carry residual per reading (unsettled
+        rails chart as ``x``).
         """
         scheme = scheme or RateScheme()
         network = self.network
@@ -106,6 +111,7 @@ class BinaryCounter:
                                      tracer=tracer, metrics=metrics)
         tracer = simulator.tracer
         metrics = simulator.metrics
+        probe = ensure_probe(probe)
         state = network.initial_vector()
         # Fault models never add or remove species, so indices computed
         # against the pristine network remain valid on the faulted one.
@@ -120,10 +126,39 @@ class BinaryCounter:
             value, unsettled = self.read_soft(getter)
             return value, unsettled == 0, residual
 
+        def sample_probe(reading, state, residual):
+            # The counter has no chemistry-detected boundary; the time
+            # axis is the readout schedule (one settle window per pulse).
+            t = reading * settle
+            getter = self._getter(state, network)
+            boundary = {"cycle": reading, "t": t, "residual": residual}
+            unsettled = 0
+            bit_values = []
+            for bit in self.bits:
+                bit_value, bit_settled = bit.read_soft(getter)
+                probe.record(bit.name, t,
+                             int(bit_value) if bit_settled else "x",
+                             kind="bit")
+                boundary[signal_key(bit.name)] = int(bit_value)
+                bit_values.append(bit_value)
+                unsettled += 0 if bit_settled else 1
+            overflow_now = float(state[network.species_index(
+                self.overflow)])
+            boundary["value"] = bits_to_int(bit_values)
+            boundary["unsettled"] = unsettled
+            boundary["overflow"] = int(round(overflow_now))
+            probe.record(f"{self.name}_value", t, boundary["value"],
+                         kind="int", width=self.n_bits)
+            probe.record(f"{self.name}_residual", t, residual,
+                         kind="real")
+            probe.boundary(reading, t, boundary)
+
         value, settled_now, residual = observe(state)
         values = [value]
         settled = [settled_now]
         residuals = [residual]
+        if probe.enabled:
+            sample_probe(0, state, residual)
         for pulse in range(int(n_pulses)):
             state = state.copy()
             state[pulse_index] += 1.0
@@ -134,6 +169,8 @@ class BinaryCounter:
             values.append(value)
             settled.append(settled_now)
             residuals.append(residual)
+            if probe.enabled:
+                sample_probe(pulse + 1, state, residual)
             if tracer.enabled:
                 tracer.emit_span(f"pulse:{pulse}", "machine",
                                  pulse * settle, (pulse + 1) * settle,

@@ -23,6 +23,7 @@ from repro.crn.simulation.ode import OdeSimulator
 from repro.crn.simulation.ssa import StochasticSimulator
 from repro.crn.species import Species
 from repro.errors import NetworkError, SimulationError
+from repro.waves.probe import ensure_probe, signal_key
 
 
 class MolecularFSM:
@@ -104,18 +105,27 @@ class MolecularFSM:
 
     def run(self, word: Iterable[str], scheme: RateScheme | None = None,
             settle_time: float | None = None, stochastic: bool = True,
-            seed: int | None = None) -> "FsmRun":
-        """Feed a symbol sequence; return the state/output trace."""
+            seed: int | None = None, probe=None) -> "FsmRun":
+        """Feed a symbol sequence; return the state/output trace.
+
+        ``probe`` takes a :class:`~repro.waves.probe.WaveformProbe`
+        charting the one-hot state (a symbolic ``state`` lane) and the
+        cumulative output counts, one reading per consumed symbol.
+        """
         scheme = scheme or RateScheme()
         settle = settle_time or 100.0 / scheme.fast
         if stochastic:
             simulator = StochasticSimulator(self.network, scheme, seed=seed)
         else:
             simulator = OdeSimulator(self.network, scheme)
+        probe = ensure_probe(probe)
         state = self.network.initial_vector()
         trace = [self.read_state(state)]
         output_counts = {o: [0] for o in self.outputs}
-        for symbol in word:
+        if probe.enabled:
+            self._sample_probe(probe, 0, trace[0],
+                               {o: 0 for o in self.outputs})
+        for reading, symbol in enumerate(word, start=1):
             if symbol not in self.symbols:
                 raise NetworkError(f"unknown symbol {symbol!r}")
             state = state.copy()
@@ -125,11 +135,31 @@ class MolecularFSM:
                                             n_samples=4)
             state = trajectory.final()
             trace.append(self.read_state(state))
+            counts_now = {}
             for output in self.outputs:
                 count = state[self.network.species_index(
                     self._output_species(output))]
-                output_counts[output].append(int(round(float(count))))
+                counts_now[output] = int(round(float(count)))
+                output_counts[output].append(counts_now[output])
+            if probe.enabled:
+                self._sample_probe(probe, reading, trace[-1], counts_now,
+                                   symbol=symbol, t=reading * settle)
         return FsmRun(trace=trace, output_counts=output_counts)
+
+    def _sample_probe(self, probe, reading: int, state_name: str,
+                      counts: Mapping[str, int],
+                      symbol: str | None = None,
+                      t: float = 0.0) -> None:
+        """One waveform reading: state lane, outputs, boundary sample."""
+        probe.record(f"{self.name}_state", t, state_name, kind="state")
+        boundary = {"cycle": reading, "t": t, "state": state_name}
+        if symbol is not None:
+            boundary["symbol"] = symbol
+        for output, count in counts.items():
+            probe.record(f"{self.name}_O_{output}", t, count,
+                         kind="int", width=8)
+            boundary[signal_key(output)] = count
+        probe.boundary(reading, t, boundary)
 
     def read_state(self, state: np.ndarray) -> str:
         """The (unique) occupied state, or raise if not settled."""

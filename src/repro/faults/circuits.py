@@ -70,9 +70,13 @@ class CounterCircuit:
 
     name = "counter"
 
-    def __init__(self, n_bits: int = 3, n_pulses: int | None = None):
+    def __init__(self, n_bits: int = 3, n_pulses: int | None = None,
+                 monitor: MonitorConfig | None = None):
         self.n_bits = int(n_bits)
         self.n_pulses = int(n_pulses) if n_pulses else 2 ** self.n_bits + 2
+        #: shared threshold config (``--monitor-config``); the counter
+        #: has no protocol monitor, so this tunes classification only.
+        self.monitor = monitor
 
     def nominal_scheme(self) -> RateScheme:
         return RateScheme()
@@ -98,7 +102,7 @@ class CounterCircuit:
         ok = bit_errors == 0 and unsettled == 0
         classification = None if ok else classify_failure(
             bit_error_rate=rate, boundary_residual=residual,
-            unsettled=unsettled)
+            unsettled=unsettled, config=self.monitor)
         return TrialScore(ok=ok, bit_errors=bit_errors,
                           bits_total=bits_total, bit_error_rate=rate,
                           settling_time=settle,
@@ -115,10 +119,12 @@ class MachineCircuit:
     health comes from the machine's own monitor diagnostics.
     """
 
-    def __init__(self, name: str, builder, samples):
+    def __init__(self, name: str, builder, samples,
+                 monitor: MonitorConfig | None = None):
         self.name = name
         self.builder = builder
         self.samples = [float(v) for v in samples]
+        self.monitor = monitor
 
     def nominal_scheme(self) -> RateScheme:
         return RateScheme()
@@ -127,9 +133,10 @@ class MachineCircuit:
                  rng=None) -> TrialScore:
         bits_total = len(self.samples)
         try:
-            machine = SynchronousMachine(self.builder(), scheme=scheme,
-                                         monitor=MonitorConfig(),
-                                         faults=plan)
+            machine = SynchronousMachine(
+                self.builder(), scheme=scheme,
+                monitor=self.monitor or MonitorConfig(),
+                faults=plan)
             run = machine.run({"x": self.samples})
         except SimulationError as exc:
             return TrialScore(
@@ -155,7 +162,8 @@ class MachineCircuit:
         ok = bit_errors == 0
         classification = None if ok else classify_failure(
             run.diagnostics, bit_error_rate=rate,
-            boundary_residual=residual, overlap=overlap)
+            boundary_residual=residual, overlap=overlap,
+            config=self.monitor)
         return TrialScore(ok=ok, bit_errors=bit_errors,
                           bits_total=bits_total, bit_error_rate=rate,
                           settling_time=run.mean_cycle_time,

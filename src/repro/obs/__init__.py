@@ -28,8 +28,8 @@ from repro.obs.metrics import (NULL_METRICS, Counter, Gauge, Histogram,
 from repro.obs.monitors import (MonitorConfig, ProtocolMonitor,
                                 ProtocolView, RuntimeDiagnostic,
                                 check_phase_overlap, clock_diagnostics,
-                                indicator_contrast, phase_overlap,
-                                stage_color_groups)
+                                indicator_contrast, load_monitor_config,
+                                phase_overlap, stage_color_groups)
 from repro.obs.records import (CycleSpan, EventRecord, MetricsRecord,
                                SpanRecord)
 from repro.obs.sinks import (ChromeTraceSink, JsonlSink, MemorySink,
@@ -65,6 +65,7 @@ __all__ = [
     "ensure_metrics",
     "ensure_tracer",
     "indicator_contrast",
+    "load_monitor_config",
     "phase_overlap",
     "stage_color_groups",
 ]

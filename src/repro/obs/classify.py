@@ -17,8 +17,14 @@ from collections.abc import Iterable
 from repro.obs.monitors import MonitorConfig, RuntimeDiagnostic
 
 #: Most-causal-first order used to pick one code from many findings.
+#: Protocol-health monitors (R1xx) outrank temporal assertions (A9xx):
+#: a chemistry-level finding explains the digital symptom an assertion
+#: observed, and the A-code order mirrors the monitors' causality
+#: (broken invariant before phase stability before sequencing).
 PRIORITY = ("REPRO-R104", "REPRO-R101", "REPRO-R103", "REPRO-R105",
-            "REPRO-R102")
+            "REPRO-R102",
+            "REPRO-A901", "REPRO-A902", "REPRO-A903", "REPRO-A904",
+            "REPRO-A905")
 
 
 def classify_failure(diagnostics: Iterable[RuntimeDiagnostic] = (),
@@ -29,8 +35,8 @@ def classify_failure(diagnostics: Iterable[RuntimeDiagnostic] = (),
                      overlap: float | None = None,
                      unsettled: int = 0,
                      config: MonitorConfig | None = None) -> str | None:
-    """One ``REPRO-R***`` code for a failed trial, or ``None`` if the
-    evidence does not indicate a failure.
+    """One runtime code (``REPRO-R***`` / ``REPRO-A9**``) for a failed
+    trial, or ``None`` if the evidence does not indicate a failure.
 
     Parameters beyond ``diagnostics`` are raw measurements for drivers
     that do not run a :class:`~repro.obs.monitors.ProtocolMonitor` (the

@@ -104,6 +104,50 @@ class MonitorConfig:
     min_cycles_for_jitter: int = 3
 
 
+def load_monitor_config(path) -> MonitorConfig:
+    """Load threshold overrides from a ``--monitor-config`` JSON file.
+
+    The file holds a flat object whose keys are
+    :class:`MonitorConfig` field names (any subset)::
+
+        {"clock_jitter_warn": 0.05, "boundary_residual_warn": 0.02}
+
+    Unknown keys raise, so a typo cannot silently leave a threshold at
+    its default.  One file tunes every consumer -- fault campaigns,
+    the waves scenarios, and the filter CLI all accept the flag.
+    """
+    import json
+    from dataclasses import fields
+    from pathlib import Path
+
+    from repro.errors import ReproError
+
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReproError(f"cannot read monitor config {path}: "
+                         f"{exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON ({exc.msg})") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: monitor config must be a JSON object")
+    known = {f.name: f.type for f in fields(MonitorConfig)}
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise ReproError(
+            f"{path}: unknown monitor threshold(s) {unknown}; expected "
+            f"a subset of {sorted(known)}")
+    values = {}
+    for key, value in payload.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ReproError(f"{path}: threshold {key!r} must be a "
+                             f"number; got {value!r}")
+        values[key] = (int(value) if key == "min_cycles_for_jitter"
+                       else float(value))
+    return MonitorConfig(**values)
+
+
 # -- pure trajectory statistics ----------------------------------------------
 
 

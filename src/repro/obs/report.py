@@ -9,6 +9,7 @@ diagnostics -- and optionally exports the Chrome trace-event view.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -16,23 +17,40 @@ import numpy as np
 from repro.errors import ReproError
 from repro.obs.sinks import chrome_events
 
+#: Record kinds the summariser understands; anything else is counted
+#: and skipped with a warning (forward compatibility with newer traces).
+KNOWN_KINDS = ("span", "event", "diag", "metrics", "wave")
+
 
 def load_records(path) -> list[dict]:
-    """Parse one record dict per non-empty JSONL line."""
+    """Parse one record dict per non-empty JSONL line.
+
+    A malformed *final* line is tolerated with a warning: a process
+    crash (or a still-running writer) leaves the trace truncated
+    mid-record, and the intact prefix is exactly what a post-mortem
+    needs to summarise.  Malformed lines anywhere else still raise --
+    they mean corruption, not truncation.
+    """
     path = Path(path)
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise ReproError(f"cannot read trace file {path}: "
                          f"{exc.strerror or exc}") from exc
+    numbered = [(line_no, line.strip()) for line_no, line
+                in enumerate(text.splitlines(), start=1)
+                if line.strip()]
     records = []
-    for line_no, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
+    for position, (line_no, line) in enumerate(numbered):
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if position == len(numbered) - 1:
+                warnings.warn(
+                    f"{path}:{line_no}: dropping truncated trailing "
+                    f"record ({exc.msg}); the trace was cut off "
+                    f"mid-write", RuntimeWarning, stacklevel=2)
+                break
             raise ReproError(
                 f"{path}:{line_no}: not a JSONL trace record ({exc.msg})") from exc
         if not isinstance(record, dict):
@@ -82,8 +100,12 @@ def summarize(records: list[dict]) -> str:
     lines: list[str] = []
 
     counts: dict[str, int] = {}
+    unknown: dict[str, int] = {}
     for record in records:
         kind = record.get("type", "?")
+        if kind not in KNOWN_KINDS:
+            unknown[kind] = unknown.get(kind, 0) + 1
+            continue
         key = record.get("name", record.get("code", "?")) \
             if kind in ("span", "event") else kind
         label = f"{kind}:{key}" if kind in ("span", "event") else kind
@@ -91,13 +113,50 @@ def summarize(records: list[dict]) -> str:
     lines.append("records")
     for label in sorted(counts):
         lines.append(f"  {label:32s} {counts[label]}")
+    if unknown:
+        total = sum(unknown.values())
+        kinds = ", ".join(f"{kind}={n}" for kind, n
+                          in sorted(unknown.items()))
+        lines.append(f"  warning: skipped {total} record(s) of unknown "
+                     f"kind ({kinds})")
 
     lines.extend(_cycle_section(records))
     lines.extend(_phase_section(records))
+    lines.extend(_wave_section(records))
     lines.extend(_monitor_section(records))
     lines.extend(_solver_section(records))
     lines.extend(_diagnostics_section(records))
     return "\n".join(lines)
+
+
+def _wave_section(records) -> list[str]:
+    """Waveform summary: per-signal change counts plus assertion tally."""
+    waves = [record for record in records
+             if record.get("type") == "wave"]
+    assertion_diags = [record for record in records
+                       if record.get("type") == "diag"
+                       and str(record.get("code", "")).startswith(
+                           "REPRO-A")]
+    if not waves and not assertion_diags:
+        return []
+    lines = ["", "waveform"]
+    if waves:
+        per_signal: dict[str, int] = {}
+        t_final = 0.0
+        for record in waves:
+            name = record.get("signal", "?")
+            per_signal[name] = per_signal.get(name, 0) + 1
+            t_final = max(t_final, float(record.get("t", 0.0)))
+        lines.append(f"  {len(per_signal)} signal(s), {len(waves)} "
+                     f"change(s), horizon {t_final:.4g} time units")
+        for name in sorted(per_signal):
+            lines.append(f"    {name:30s} {per_signal[name]} change(s)")
+    if assertion_diags:
+        lines.append(f"  temporal assertions: "
+                     f"{len(assertion_diags)} violation(s)")
+    else:
+        lines.append("  temporal assertions: no violations recorded")
+    return lines
 
 
 def _cycle_section(records) -> list[str]:

@@ -1,0 +1,64 @@
+"""The digital logic-analyzer layer: waveforms, VCD, assertions, profiling.
+
+This package gives the digital domain of the synchronous protocol a
+first-class observability surface (the chemistry already has one in
+:mod:`repro.obs`):
+
+- :mod:`repro.waves.waveform` -- change-list signal tracks (bit / int /
+  real / state) and the JSONL ``wave`` record,
+- :mod:`repro.waves.vcd` -- deterministic, GTKWave-loadable VCD export,
+- :mod:`repro.waves.probe` -- the :class:`WaveformProbe` drivers accept
+  (``probe=``), with a zero-overhead :data:`NULL_PROBE` disabled path,
+- :mod:`repro.waves.assertions` -- SVA-lite temporal assertions
+  (REPRO-A901..A905) evaluated online over the waveform stream,
+- :mod:`repro.waves.profiler` -- per-phase settling/dead-time
+  attribution and critical-transfer naming,
+- :mod:`repro.waves.output` -- violation rendering through the shared
+  lint text/JSON/SARIF renderers,
+- :mod:`repro.waves.runner` -- canned scenarios behind
+  ``python -m repro waves``.
+
+See ``docs/waves.md`` for the assertion catalogue and a VCD walkthrough.
+"""
+
+from repro.waves.assertions import (ASSERTION_CODES, AssertionEngine,
+                                    AssertionSpecError, build_assertion,
+                                    build_engine, load_assertion_specs,
+                                    load_assertions)
+from repro.waves.probe import (NULL_PROBE, NullWaveformProbe,
+                               WaveformProbe, ensure_probe, signal_key)
+from repro.waves.profiler import (CycleProfileReport, profile_cycles,
+                                  render_profile)
+from repro.waves.runner import SCENARIOS, run_scenario, run_trials
+from repro.waves.vcd import render_vcd, write_vcd
+from repro.waves.waveform import (WaveChange, WaveError, Waveform,
+                                  waveform_from_trajectory,
+                                  write_waveform_jsonl)
+
+__all__ = [
+    "ASSERTION_CODES",
+    "AssertionEngine",
+    "AssertionSpecError",
+    "build_assertion",
+    "build_engine",
+    "load_assertion_specs",
+    "load_assertions",
+    "NULL_PROBE",
+    "NullWaveformProbe",
+    "WaveformProbe",
+    "ensure_probe",
+    "signal_key",
+    "CycleProfileReport",
+    "profile_cycles",
+    "render_profile",
+    "SCENARIOS",
+    "run_scenario",
+    "run_trials",
+    "render_vcd",
+    "write_vcd",
+    "WaveChange",
+    "WaveError",
+    "Waveform",
+    "waveform_from_trajectory",
+    "write_waveform_jsonl",
+]

@@ -1,0 +1,398 @@
+"""SVA-lite temporal assertions evaluated online over a waveform stream.
+
+The engine is the runtime counterpart of the static ISS certificates:
+where ``repro certify`` bounds what a composition *can* do before any
+simulation, a temporal assertion states what a run *must* do and turns
+the first divergence into a hard ``REPRO-A9xx`` diagnostic -- at the
+cycle it happens, not after the digital-domain scorer compares final
+outputs.
+
+Catalogue (see ``docs/waves.md``)
+---------------------------------
+========== ================================================================
+REPRO-A901 ``invariant``: a boolean expression over the sampled signal
+           values must hold at every cycle boundary
+REPRO-A902 ``stable_during``: a signal must not change while the phase
+           channel holds a given value (e.g. a register is frozen
+           outside its transfer phase)
+REPRO-A903 ``implies_next_cycle``: if the antecedent holds at boundary
+           ``n``, the consequent must hold at boundary ``n + 1``
+REPRO-A904 ``eventually_within``: once armed, a condition must become
+           true within ``k`` cycle boundaries
+REPRO-A905 ``sequence``: a bounded sequence of conditions must hold on
+           consecutive boundaries once its first step matches
+========== ================================================================
+
+Conditions are Python expressions evaluated against the boundary sample
+(signal name -> value) with no builtins beyond ``abs``/``min``/``max``/
+``round`` -- the same dict the probe hands to
+:meth:`AssertionEngine.on_boundary`.
+
+Violations are :class:`~repro.obs.monitors.RuntimeDiagnostic` records
+(severity ``error``), so they flow through the tracer, the trace
+summariser, :func:`repro.obs.classify.classify_failure`, and the shared
+lint-style renderers in :mod:`repro.waves.output`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.monitors import RuntimeDiagnostic
+
+#: Code per assertion type (the REPRO-A9xx runtime namespace).
+ASSERTION_CODES = {
+    "invariant": "REPRO-A901",
+    "stable_during": "REPRO-A902",
+    "implies_next_cycle": "REPRO-A903",
+    "eventually_within": "REPRO-A904",
+    "sequence": "REPRO-A905",
+}
+
+#: Violations reported per assertion before it mutes itself (a broken
+#: invariant would otherwise fire on every remaining boundary).
+MAX_VIOLATIONS_PER_ASSERTION = 8
+
+_EVAL_GLOBALS = {"__builtins__": {}, "abs": abs, "min": min, "max": max,
+                 "round": round}
+
+
+class AssertionSpecError(ReproError):
+    """Raised for malformed assertion specs or expressions."""
+
+
+def evaluate(expr: str, code, values: dict) -> bool:
+    """Evaluate a compiled condition against one boundary sample."""
+    try:
+        return bool(eval(code, _EVAL_GLOBALS, dict(values)))  # noqa: S307
+    except NameError as exc:
+        raise AssertionSpecError(
+            f"assertion condition {expr!r} references an unknown "
+            f"signal ({exc}); sampled signals: "
+            f"{sorted(values)}") from exc
+    except Exception as exc:
+        raise AssertionSpecError(
+            f"assertion condition {expr!r} failed to evaluate: "
+            f"{exc}") from exc
+
+
+def _compile(expr: str):
+    if not isinstance(expr, str) or not expr.strip():
+        raise AssertionSpecError(f"condition must be a non-empty "
+                                 f"string; got {expr!r}")
+    try:
+        return compile(expr, "<assertion>", "eval")
+    except SyntaxError as exc:
+        raise AssertionSpecError(
+            f"condition {expr!r} is not a valid expression: "
+            f"{exc.msg}") from exc
+
+
+class TemporalAssertion:
+    """Base class: collects violations, mutes after a cap."""
+
+    kind = "base"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.violations: list[RuntimeDiagnostic] = []
+
+    @property
+    def code(self) -> str:
+        return ASSERTION_CODES[self.kind]
+
+    # -- stream hooks (override as needed) -----------------------------------
+
+    def on_change(self, t: float, signal: str, value) -> None:
+        pass
+
+    def on_boundary(self, cycle: int, t: float, values: dict) -> None:
+        pass
+
+    def finish(self, t: float) -> None:
+        pass
+
+    # -- violation bookkeeping ------------------------------------------------
+
+    def _violate(self, message: str, t: float,
+                 cycle: int | None = None) -> None:
+        if len(self.violations) >= MAX_VIOLATIONS_PER_ASSERTION:
+            return
+        self.violations.append(RuntimeDiagnostic(
+            code=self.code, severity="error",
+            message=f"assertion {self.name!r}: {message}",
+            t=t, cycle=cycle, subject=self.name))
+
+
+class Invariant(TemporalAssertion):
+    """REPRO-A901: ``expr`` holds at every cycle boundary."""
+
+    kind = "invariant"
+
+    def __init__(self, expr: str, name: str | None = None):
+        super().__init__(name or f"invariant({expr})")
+        self.expr = expr
+        self._code = _compile(expr)
+
+    def on_boundary(self, cycle, t, values):
+        if not evaluate(self.expr, self._code, values):
+            self._violate(f"invariant {self.expr!r} is false", t, cycle)
+
+
+class StableDuring(TemporalAssertion):
+    """REPRO-A902: ``signal`` holds its value while the phase channel
+    equals ``phase``."""
+
+    kind = "stable_during"
+
+    def __init__(self, signal: str, phase: str,
+                 phase_signal: str = "phase", name: str | None = None):
+        super().__init__(name or f"stable_during({signal}, {phase})")
+        self.signal = signal
+        self.phase = phase
+        self.phase_signal = phase_signal
+        self._in_phase = False
+        self._seen_value = False
+
+    def on_change(self, t, signal, value):
+        if signal == self.phase_signal:
+            self._in_phase = value == self.phase
+            self._seen_value = False
+            return
+        if signal != self.signal or not self._in_phase:
+            return
+        if self._seen_value:
+            self._violate(
+                f"signal {self.signal!r} changed during phase "
+                f"{self.phase!r} (new value {value!r})", t)
+        # The first change after entering the phase establishes the
+        # value the signal must then hold for the rest of the window.
+        self._seen_value = True
+
+
+class ImpliesNextCycle(TemporalAssertion):
+    """REPRO-A903: antecedent at boundary ``n`` forces the consequent
+    at boundary ``n + 1``."""
+
+    kind = "implies_next_cycle"
+
+    def __init__(self, antecedent: str, consequent: str,
+                 name: str | None = None):
+        super().__init__(
+            name or f"implies_next_cycle({antecedent} -> {consequent})")
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self._ante = _compile(antecedent)
+        self._cons = _compile(consequent)
+        self._pending: int | None = None
+
+    def on_boundary(self, cycle, t, values):
+        if self._pending is not None \
+                and not evaluate(self.consequent, self._cons, values):
+            self._violate(
+                f"{self.antecedent!r} held at cycle {self._pending} but "
+                f"{self.consequent!r} is false one cycle later", t, cycle)
+        self._pending = cycle \
+            if evaluate(self.antecedent, self._ante, values) else None
+
+
+class EventuallyWithin(TemporalAssertion):
+    """REPRO-A904: once ``when`` holds, ``holds`` must become true
+    within ``cycles`` boundaries."""
+
+    kind = "eventually_within"
+
+    def __init__(self, when: str, holds: str, cycles: int,
+                 name: str | None = None):
+        super().__init__(
+            name or f"eventually_within({when} -> {holds}, {cycles})")
+        if cycles < 1:
+            raise AssertionSpecError("eventually_within needs cycles >= 1")
+        self.when = when
+        self.holds = holds
+        self.cycles = int(cycles)
+        self._when = _compile(when)
+        self._holds = _compile(holds)
+        self._armed_at: int | None = None
+        self._deadline_missed = False
+
+    def on_boundary(self, cycle, t, values):
+        if self._armed_at is not None:
+            if evaluate(self.holds, self._holds, values):
+                self._armed_at = None
+            elif cycle - self._armed_at >= self.cycles:
+                self._violate(
+                    f"{self.holds!r} did not hold within {self.cycles} "
+                    f"cycles of {self.when!r} (armed at cycle "
+                    f"{self._armed_at})", t, cycle)
+                self._armed_at = None
+                self._deadline_missed = True
+        if self._armed_at is None and not self._deadline_missed \
+                and evaluate(self.when, self._when, values) \
+                and not evaluate(self.holds, self._holds, values):
+            # Arm only when the obligation is not already discharged at
+            # the triggering boundary itself.
+            self._armed_at = cycle
+        self._deadline_missed = False
+
+    def finish(self, t):
+        if self._armed_at is not None:
+            self._violate(
+                f"run ended with {self.holds!r} still pending (armed at "
+                f"cycle {self._armed_at}, bound {self.cycles} cycles)", t)
+            self._armed_at = None
+
+
+class Sequence(TemporalAssertion):
+    """REPRO-A905: once ``steps[0]`` matches at a boundary, every
+    ``steps[i]`` must hold ``i`` boundaries later."""
+
+    kind = "sequence"
+
+    def __init__(self, steps: list[str], name: str | None = None):
+        if len(steps) < 2:
+            raise AssertionSpecError("sequence needs at least two steps")
+        super().__init__(name or f"sequence({' ; '.join(steps)})")
+        self.steps = list(steps)
+        self._codes = [_compile(step) for step in steps]
+        #: active matches: next step index each must satisfy.
+        self._active: list[tuple[int, int]] = []  # (started_at, step)
+
+    def on_boundary(self, cycle, t, values):
+        survivors: list[tuple[int, int]] = []
+        for started_at, step in self._active:
+            if evaluate(self.steps[step], self._codes[step], values):
+                if step + 1 < len(self.steps):
+                    survivors.append((started_at, step + 1))
+            else:
+                self._violate(
+                    f"step {step} ({self.steps[step]!r}) of the "
+                    f"sequence started at cycle {started_at} is false",
+                    t, cycle)
+        self._active = survivors
+        if evaluate(self.steps[0], self._codes[0], values):
+            self._active.append((cycle, 1))
+
+    def finish(self, t):
+        for started_at, step in self._active:
+            self._violate(
+                f"run ended mid-sequence (started at cycle "
+                f"{started_at}, next step {step} of "
+                f"{len(self.steps)})", t)
+        self._active = []
+
+
+_BUILDERS = {
+    "invariant": lambda spec: Invariant(
+        _require(spec, "expr"), name=spec.get("name")),
+    "stable_during": lambda spec: StableDuring(
+        _require(spec, "signal"), _require(spec, "phase"),
+        phase_signal=spec.get("phase_signal", "phase"),
+        name=spec.get("name")),
+    "implies_next_cycle": lambda spec: ImpliesNextCycle(
+        _require(spec, "if"), _require(spec, "then"),
+        name=spec.get("name")),
+    "eventually_within": lambda spec: EventuallyWithin(
+        _require(spec, "when"), _require(spec, "holds"),
+        spec.get("cycles", 1), name=spec.get("name")),
+    "sequence": lambda spec: Sequence(
+        _require(spec, "steps"), name=spec.get("name")),
+}
+
+
+def _require(spec: dict, key: str):
+    try:
+        return spec[key]
+    except KeyError:
+        raise AssertionSpecError(
+            f"assertion spec {spec.get('type', '?')!r} is missing the "
+            f"{key!r} field") from None
+
+
+def build_assertion(spec: dict) -> TemporalAssertion:
+    """One assertion from its JSON spec object."""
+    if not isinstance(spec, dict):
+        raise AssertionSpecError(f"assertion spec must be an object; "
+                                 f"got {spec!r}")
+    kind = spec.get("type")
+    builder = _BUILDERS.get(kind)
+    if builder is None:
+        raise AssertionSpecError(
+            f"unknown assertion type {kind!r}; expected one of "
+            f"{sorted(_BUILDERS)}")
+    return builder(spec)
+
+
+def build_engine(specs: list[dict]) -> "AssertionEngine":
+    """An engine from a list of spec objects."""
+    return AssertionEngine([build_assertion(spec) for spec in specs])
+
+
+def load_assertion_specs(path) -> list[dict]:
+    """Raw spec dicts from an ``--assert-file`` (picklable form).
+
+    Multi-trial fan-out ships these to workers and compiles per trial;
+    compiled expression code objects do not pickle.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AssertionSpecError(f"cannot read assertion file {path}: "
+                                 f"{exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AssertionSpecError(f"{path}: not valid JSON "
+                                 f"({exc.msg})") from exc
+    if isinstance(payload, dict):
+        specs = payload.get("assertions")
+    else:
+        specs = payload
+    if not isinstance(specs, list) or not specs:
+        raise AssertionSpecError(
+            f"{path}: expected {{\"assertions\": [...]}} with at least "
+            f"one spec")
+    for spec in specs:  # fail fast on malformed specs
+        build_assertion(spec)
+    return specs
+
+
+def load_assertions(path) -> "AssertionEngine":
+    """Load an ``--assert-file``: JSON ``{"assertions": [...]}``."""
+    return build_engine(load_assertion_specs(path))
+
+
+class AssertionEngine:
+    """Feeds a waveform stream through a set of temporal assertions."""
+
+    def __init__(self, assertions: list[TemporalAssertion]):
+        self.assertions = list(assertions)
+        self._finished = False
+        self._last_t = 0.0
+
+    def __len__(self) -> int:
+        return len(self.assertions)
+
+    def on_change(self, t: float, signal: str, value) -> None:
+        self._last_t = max(self._last_t, float(t))
+        for assertion in self.assertions:
+            assertion.on_change(t, signal, value)
+
+    def on_boundary(self, cycle: int, t: float, values: dict) -> None:
+        self._last_t = max(self._last_t, float(t))
+        for assertion in self.assertions:
+            assertion.on_boundary(cycle, t, values)
+
+    def finish(self, t: float | None = None) -> list[RuntimeDiagnostic]:
+        """Run end-of-stream obligations; idempotent."""
+        if not self._finished:
+            self._finished = True
+            for assertion in self.assertions:
+                assertion.finish(self._last_t if t is None else t)
+        return self.violations
+
+    @property
+    def violations(self) -> list[RuntimeDiagnostic]:
+        return [v for assertion in self.assertions
+                for v in assertion.violations]

@@ -1,0 +1,61 @@
+"""Render assertion violations through the shared lint renderers.
+
+Temporal-assertion violations are
+:class:`~repro.obs.monitors.RuntimeDiagnostic` records (so they stream
+through the tracer and ``repro report``), but for human and CI
+consumption they reuse the PR 1 lint presentation layer: converting
+each into a static :class:`~repro.lint.engine.Diagnostic` lets the
+existing ``render_text`` / ``render_json`` / ``render_sarif``
+functions emit REPRO-A9xx findings in the exact shapes the lint and
+certify CLIs already produce (SARIF results may reference rule ids not
+listed under ``rules`` -- valid per the 2.1.0 schema).
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Diagnostic, LintReport, Severity
+from repro.lint.output import render_json, render_sarif, render_text
+
+#: The pseudo-rule name assertion findings carry in lint renderings.
+RULE_NAME = "temporal-assertions"
+
+#: Documentation home of the REPRO-A9xx catalogue.
+WAVES_DOCS_URL = "docs/waves.md"
+
+
+def violation_to_diagnostic(violation) -> Diagnostic:
+    """Map one RuntimeDiagnostic onto the static lint Diagnostic shape."""
+    message = violation.message
+    where = []
+    if violation.cycle is not None:
+        where.append(f"cycle {violation.cycle}")
+    where.append(f"t={violation.t:g}")
+    message += f" [{', '.join(where)}]"
+    return Diagnostic(
+        code=violation.code,
+        rule=RULE_NAME,
+        severity=Severity.from_name(violation.severity),
+        message=message,
+        subject=violation.subject,
+    )
+
+
+def violations_report(violations, target: str) -> list[tuple]:
+    """The ``[(target, LintReport)]`` aggregate the renderers take."""
+    report = LintReport(
+        diagnostics=[violation_to_diagnostic(v) for v in violations],
+        checked=[RULE_NAME],
+        target=target,
+    )
+    return [(target, report)]
+
+
+def render_violations(violations, target: str,
+                      fmt: str = "text") -> str:
+    """Render violations as ``text``, ``json`` or ``sarif``."""
+    results = violations_report(violations, target)
+    if fmt == "json":
+        return render_json(results)
+    if fmt == "sarif":
+        return render_sarif(results)
+    return render_text(results, verbose=True)

@@ -1,0 +1,201 @@
+"""Cycle profiler: settling vs dead time per phase, critical transfers.
+
+The synchronous protocol advances a cycle in three colour phases; each
+phase lasts as long as the clock chemistry takes, but the *useful* work
+inside it -- the computational transfers the phase gates -- finishes
+earlier.  The gap is dead time: simulated time the machine spends
+waiting on a conservatively long phase.  Measuring it per phase is the
+input ROADMAP item 3 (adaptive clocking) needs: a phase whose transfers
+consistently settle at 40% of its window can be advanced early.
+
+The profiler consumes the ``(span, phases, transfers)`` records a
+:class:`~repro.waves.probe.WaveformProbe` accumulates -- the same
+phase/transfer decomposition the tracer emits as spans, so the
+profile and the trace can never disagree.
+
+Definitions (per cycle, per phase)
+----------------------------------
+settling time
+    from phase start to the end of the last transfer that *starts* in
+    the phase (0 when the phase hosts no transfer).
+dead time
+    phase duration minus settling time, clamped at 0.
+critical transfer
+    the transfer with the latest end time in the cycle -- the one that
+    sets the cycle's computational length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class PhaseProfile:
+    """Aggregate settling statistics for one colour phase."""
+
+    color: str
+    n_cycles: int = 0
+    total_duration: float = 0.0
+    total_settling: float = 0.0
+    total_dead: float = 0.0
+    n_transfers: int = 0
+
+    @property
+    def mean_duration(self) -> float:
+        return self.total_duration / self.n_cycles if self.n_cycles else 0.0
+
+    @property
+    def mean_settling(self) -> float:
+        return self.total_settling / self.n_cycles if self.n_cycles else 0.0
+
+    @property
+    def dead_fraction(self) -> float:
+        return (self.total_dead / self.total_duration
+                if self.total_duration > 0 else 0.0)
+
+    def to_dict(self) -> dict:
+        return {"color": self.color, "n_cycles": self.n_cycles,
+                "mean_duration": self.mean_duration,
+                "mean_settling": self.mean_settling,
+                "dead_fraction": self.dead_fraction,
+                "n_transfers": self.n_transfers}
+
+
+@dataclass(slots=True)
+class CycleProfile:
+    """One cycle's attribution: where the time went."""
+
+    cycle: int
+    t0: float
+    t1: float
+    #: per-phase (color, duration, settling, dead) tuples in order.
+    phases: list = field(default_factory=list)
+    #: name of the transfer ending last in the cycle ("" if none).
+    critical_transfer: str = ""
+    #: end time of that transfer relative to cycle start.
+    critical_t: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def dead_time(self) -> float:
+        return sum(dead for _c, _d, _s, dead in self.phases)
+
+    def to_dict(self) -> dict:
+        return {"cycle": self.cycle, "t0": self.t0, "t1": self.t1,
+                "critical_transfer": self.critical_transfer,
+                "critical_t": self.critical_t,
+                "dead_time": self.dead_time,
+                "phases": [{"color": c, "duration": d, "settling": s,
+                            "dead": dead}
+                           for c, d, s, dead in self.phases]}
+
+
+@dataclass(slots=True)
+class CycleProfileReport:
+    """The full profile: per-cycle rows plus per-phase aggregates."""
+
+    cycles: list
+    phases: dict
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def total_time(self) -> float:
+        return sum(row.duration for row in self.cycles)
+
+    @property
+    def dead_time_fraction(self) -> float:
+        """Fraction of total simulated time the machine spent waiting."""
+        total = self.total_time
+        if total <= 0:
+            return 0.0
+        return sum(row.dead_time for row in self.cycles) / total
+
+    def critical_transfer_counts(self) -> dict:
+        """How often each transfer set a cycle's length."""
+        counts: dict[str, int] = {}
+        for row in self.cycles:
+            if row.critical_transfer:
+                counts[row.critical_transfer] = \
+                    counts.get(row.critical_transfer, 0) + 1
+        return dict(sorted(counts.items(),
+                           key=lambda kv: (-kv[1], kv[0])))
+
+    def to_dict(self) -> dict:
+        return {"n_cycles": self.n_cycles,
+                "total_time": self.total_time,
+                "dead_time_fraction": self.dead_time_fraction,
+                "critical_transfers": self.critical_transfer_counts(),
+                "phases": {color: profile.to_dict()
+                           for color, profile in self.phases.items()},
+                "cycles": [row.to_dict() for row in self.cycles]}
+
+    def render(self) -> str:
+        """Human-readable summary (deterministic)."""
+        return render_profile(self.to_dict())
+
+
+def render_profile(profile: dict) -> str:
+    """Render a serialized profile (``CycleProfileReport.to_dict``).
+
+    Operating on the dict lets the multi-trial runner render worker
+    results without reconstructing report objects.
+    """
+    lines = [f"cycle profile: {profile['n_cycles']} cycles, "
+             f"{profile['total_time']:.4g} time units, "
+             f"dead-time fraction {profile['dead_time_fraction']:.3f}"]
+    for color, agg in profile["phases"].items():
+        lines.append(
+            f"  phase {color:<6} mean duration "
+            f"{agg['mean_duration']:.4g}, mean settling "
+            f"{agg['mean_settling']:.4g}, dead fraction "
+            f"{agg['dead_fraction']:.3f}")
+    counts = profile["critical_transfers"]
+    if counts:
+        lines.append("  critical transfers:")
+        for name, count in counts.items():
+            lines.append(f"    {name}: {count}/"
+                         f"{profile['n_cycles']} cycles")
+    return "\n".join(lines)
+
+
+def profile_cycles(cycle_records) -> CycleProfileReport:
+    """Profile a probe's ``cycle_records``.
+
+    ``cycle_records`` is a list of ``(span, phases, transfers)`` where
+    ``span`` is a :class:`~repro.obs.records.CycleSpan`, ``phases`` a
+    list of ``(color, t0, t1)`` and ``transfers`` a list of
+    ``(name, t0, t1, args)``.
+    """
+    rows = []
+    aggregates: dict[str, PhaseProfile] = {}
+    for span, phases, transfers in cycle_records:
+        row = CycleProfile(cycle=span.index, t0=span.t0, t1=span.t1)
+        for color, p0, p1 in phases:
+            duration = p1 - p0
+            hosted = [tr for tr in transfers if p0 <= tr[1] < p1]
+            settling = max((tr[2] for tr in hosted), default=p0) - p0
+            settling = min(max(settling, 0.0), duration)
+            dead = duration - settling
+            row.phases.append((color, duration, settling, dead))
+            agg = aggregates.get(color)
+            if agg is None:
+                agg = aggregates[color] = PhaseProfile(color)
+            agg.n_cycles += 1
+            agg.total_duration += duration
+            agg.total_settling += settling
+            agg.total_dead += dead
+            agg.n_transfers += len(hosted)
+        if transfers:
+            name, _t0, t1, _args = max(
+                transfers, key=lambda tr: (tr[2], tr[0]))
+            row.critical_transfer = name
+            row.critical_t = t1 - span.t0
+        rows.append(row)
+    return CycleProfileReport(cycles=rows, phases=aggregates)

@@ -1,0 +1,137 @@
+"""Deterministic VCD (value change dump) export, GTKWave-loadable.
+
+The exporter is a pure function of the :class:`~repro.waves.waveform.
+Waveform`: no dates, no hostnames, no wall-clock anywhere -- the same
+probe data produces the same bytes on every run, which is what lets CI
+diff a freshly recorded dump against a committed golden file.
+
+Mapping
+-------
+- One simulated time unit is :data:`TICKS_PER_UNIT` VCD ticks at a
+  ``1 us`` timescale, so sub-cycle structure stays visible at integer
+  resolution.
+- ``bit`` signals become 1-bit wires (``0``/``1``/``x``), ``int``
+  signals ``width``-bit vectors (``b101 <id>``), ``real`` signals VCD
+  reals (``r0.5 <id>``), ``state`` signals string changes
+  (``sred <id>`` -- a GTKWave-supported extension for symbolic lanes).
+- Identifier codes are assigned in declaration order from the printable
+  ASCII range VCD mandates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.waves.waveform import Waveform, WaveError
+
+#: VCD ticks per simulated time unit (timescale 1 us => 1 unit = 1 s).
+TICKS_PER_UNIT = 1_000_000
+
+#: Printable identifier alphabet mandated by the VCD grammar.
+_ID_FIRST, _ID_LAST = 33, 126  # '!' .. '~'
+_ID_BASE = _ID_LAST - _ID_FIRST + 1
+
+
+def identifier(index: int) -> str:
+    """The ``index``-th VCD identifier code (base-94, '!' onwards)."""
+    if index < 0:
+        raise WaveError("identifier index must be >= 0")
+    chars = []
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, _ID_BASE)
+        chars.append(chr(_ID_FIRST + digit))
+    return "".join(reversed(chars))
+
+
+def _ticks(t: float) -> int:
+    return round(t * TICKS_PER_UNIT)
+
+
+def _format_value(track, value, code: str) -> str:
+    if track.kind == "bit":
+        return f"{value}{code}"
+    if track.kind == "int":
+        if value < 0:
+            raise WaveError(f"signal {track.name!r}: VCD int vectors "
+                            f"are unsigned; got {value}")
+        return f"b{value:b} {code}"
+    if track.kind == "real":
+        return f"r{value!r} {code}"
+    # state: one token, whitespace would break the VCD grammar.
+    text = "".join("_" if c.isspace() else c for c in str(value))
+    return f"s{text or '?'} {code}"
+
+
+def _initial_value(track, code: str) -> str:
+    """The ``$dumpvars`` entry for a track with no change at tick 0."""
+    if track.kind == "bit":
+        return f"x{code}"
+    if track.kind == "int":
+        return f"bx {code}"
+    if track.kind == "real":
+        return f"r0.0 {code}"
+    return f"s? {code}"
+
+
+def render_vcd(waveform: Waveform, module: str = "repro") -> str:
+    """Render a waveform as a VCD document (returned as a string)."""
+    lines = [
+        "$comment repro logic-analyzer waveform (deterministic) $end",
+        "$timescale 1 us $end",
+        f"$scope module {module} $end",
+    ]
+    codes: dict[str, str] = {}
+    for index, track in enumerate(waveform.signals.values()):
+        code = identifier(index)
+        codes[track.name] = code
+        if track.kind == "bit":
+            var = f"wire 1 {code} {track.name}"
+        elif track.kind == "int":
+            var = f"wire {track.width} {code} {track.name}"
+        elif track.kind == "real":
+            var = f"real 64 {code} {track.name}"
+        else:
+            var = f"string 1 {code} {track.name}"
+        lines.append(f"$var {var} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Group changes by tick; last write per (tick, signal) wins.
+    by_tick: dict[int, dict[str, str]] = {}
+    for change in waveform.changes():
+        track = waveform[change.signal]
+        tick = _ticks(change.t)
+        by_tick.setdefault(tick, {})[change.signal] = _format_value(
+            track, change.value, codes[change.signal])
+
+    first = by_tick.get(0, {})
+    lines.append("$dumpvars")
+    for track in waveform.signals.values():
+        lines.append(first.get(track.name)
+                     or _initial_value(track, codes[track.name]))
+    lines.append("$end")
+    order = {name: i for i, name in enumerate(waveform.signals)}
+    for tick in sorted(by_tick):
+        if tick == 0:
+            continue  # folded into $dumpvars above
+        lines.append(f"#{tick}")
+        group = by_tick[tick]
+        for name in sorted(group, key=order.__getitem__):
+            lines.append(group[name])
+    final_tick = _ticks(waveform.t_final)
+    if final_tick not in by_tick or final_tick == 0:
+        lines.append(f"#{max(final_tick, 1)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(waveform: Waveform, path, module: str = "repro") -> Path:
+    """Write the VCD document to ``path``."""
+    path = Path(path)
+    try:
+        path.write_text(render_vcd(waveform, module=module),
+                        encoding="ascii")
+    except OSError as exc:
+        raise WaveError(f"cannot write VCD file {path}: "
+                        f"{exc.strerror or exc}") from exc
+    return path

@@ -51,8 +51,11 @@ class TestLoadRecords:
             load_records(tmp_path / "absent.jsonl")
 
     def test_bad_line_reports_position(self, tmp_path):
+        # Mid-file corruption raises; only a *final* bad line is
+        # tolerated as truncation (see TestTruncatedTail).
         path = tmp_path / "trace.jsonl"
-        path.write_text('{"type": "span"}\nnot json\n')
+        path.write_text('{"type": "span"}\nnot json\n'
+                        '{"type": "event"}\n')
         with pytest.raises(ReproError, match="trace.jsonl:2"):
             load_records(path)
 
@@ -93,3 +96,78 @@ class TestWriteChrome:
     def test_unwritable(self, tmp_path):
         with pytest.raises(ReproError, match="cannot write"):
             write_chrome(TRACE, tmp_path / "missing" / "chrome.json")
+
+
+class TestTruncatedTail:
+    def test_truncated_final_line_warns_and_keeps_prefix(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "name": "cycle", "cat": "m", '
+                        '"t0": 0.0, "t1": 1.0}\n'
+                        '{"type": "event", "na')
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            records = load_records(path)
+        assert len(records) == 1
+        assert records[0]["type"] == "span"
+
+    def test_warning_names_file_and_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span"}\n{"broken')
+        with pytest.warns(RuntimeWarning, match=r"trace\.jsonl:2"):
+            load_records(path)
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n{"type": "event"}\n')
+        with pytest.raises(ReproError, match="trace.jsonl:2"):
+            load_records(path)
+
+    def test_only_line_truncated_is_empty_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "sp')
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(ReproError, match="empty"):
+                load_records(path)
+
+
+class TestSummarizeEdgeCases:
+    def test_metrics_only_trace(self):
+        text = summarize([{"type": "metrics",
+                           "values": {"counters": {"ode.nfev": 12.0}}}])
+        assert "solver effort" in text
+        assert "ode.nfev" in text
+        assert "cycles" not in text
+
+    def test_unknown_kinds_counted_with_warning(self):
+        text = summarize([
+            {"type": "span", "name": "cycle", "cat": "m",
+             "t0": 0.0, "t1": 1.0},
+            {"type": "hologram", "name": "?"},
+            {"type": "hologram", "name": "?"},
+            {"type": "frob"},
+        ])
+        assert ("warning: skipped 3 record(s) of unknown kind "
+                "(frob=1, hologram=2)") in text
+
+    def test_wave_records_summarised(self):
+        text = summarize([
+            {"type": "wave", "signal": "ctr_b0", "kind": "bit",
+             "t": 0.0, "value": 0},
+            {"type": "wave", "signal": "ctr_b0", "kind": "bit",
+             "t": 0.3, "value": 1},
+            {"type": "wave", "signal": "phase", "kind": "state",
+             "t": 0.1, "value": "red"},
+        ])
+        assert "waveform" in text
+        assert "2 signal(s), 3 change(s), horizon 0.3 time units" in text
+        assert "ctr_b0" in text and "2 change(s)" in text
+        assert "temporal assertions: no violations recorded" in text
+
+    def test_assertion_violations_tallied(self):
+        text = summarize([
+            {"type": "wave", "signal": "b", "kind": "bit",
+             "t": 0.0, "value": 0},
+            {"type": "diag", "code": "REPRO-A901", "severity": "error",
+             "message": "invariant broke", "t": 1.0, "cycle": 1},
+        ])
+        assert "temporal assertions: 1 violation(s)" in text
+        assert "REPRO-A901" in text

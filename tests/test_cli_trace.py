@@ -90,7 +90,16 @@ class TestReportErrors:
         assert "cannot read" in capsys.readouterr().err
 
     def test_corrupt_trace(self, tmp_path, capsys):
+        # The bad line sits mid-file: only a corrupt *final* line is
+        # tolerated as a truncated tail (see test_report.py).
         path = tmp_path / "bad.jsonl"
-        path.write_text("{}\nnot json\n")
+        path.write_text("{}\nnot json\n{\"type\": \"event\"}\n")
         assert main(["report", str(path)]) == 1
         assert "not a JSONL trace record" in capsys.readouterr().err
+
+    def test_truncated_tail_is_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        path.write_text("{\"type\": \"event\", \"name\": \"a\"}\n"
+                        "{\"type\": \"ev")
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            assert main(["report", str(path)]) == 0

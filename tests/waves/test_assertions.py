@@ -1,0 +1,214 @@
+"""Tests for the SVA-lite temporal assertion engine."""
+
+import json
+
+import pytest
+
+from repro.waves import (AssertionSpecError, build_assertion, build_engine,
+                         load_assertion_specs, load_assertions)
+from repro.waves.assertions import MAX_VIOLATIONS_PER_ASSERTION
+
+
+def _boundaries(engine, samples):
+    for cycle, values in enumerate(samples):
+        engine.on_boundary(cycle, float(cycle), values)
+    return engine.finish()
+
+
+class TestInvariant:
+    def test_clean_run(self):
+        engine = build_engine([{"type": "invariant", "expr": "x >= 0"}])
+        assert _boundaries(engine, [{"x": 0}, {"x": 3}]) == []
+
+    def test_violation_carries_code_and_cycle(self):
+        engine = build_engine([{"type": "invariant", "expr": "x < 2",
+                                "name": "small"}])
+        [violation] = _boundaries(engine, [{"x": 1}, {"x": 5}])
+        assert violation.code == "REPRO-A901"
+        assert violation.severity == "error"
+        assert violation.cycle == 1
+        assert "small" in violation.message
+
+    def test_mutes_after_cap(self):
+        engine = build_engine([{"type": "invariant", "expr": "False"}])
+        violations = _boundaries(
+            engine, [{}] * (MAX_VIOLATIONS_PER_ASSERTION + 5))
+        assert len(violations) == MAX_VIOLATIONS_PER_ASSERTION
+
+    def test_unknown_signal_names_the_namespace(self):
+        engine = build_engine([{"type": "invariant", "expr": "ghost > 0"}])
+        with pytest.raises(AssertionSpecError, match="sampled signals"):
+            engine.on_boundary(0, 0.0, {"x": 1})
+
+    def test_builtin_helpers_available(self):
+        engine = build_engine(
+            [{"type": "invariant", "expr": "abs(x - 2) <= max(1, 0)"}])
+        assert _boundaries(engine, [{"x": 1.5}]) == []
+
+
+class TestStableDuring:
+    def test_change_inside_phase_fires(self):
+        engine = build_engine([{"type": "stable_during", "signal": "reg",
+                                "phase": "green"}])
+        engine.on_change(0.0, "phase", "red")
+        engine.on_change(0.1, "reg", 1.0)
+        engine.on_change(0.3, "phase", "green")
+        engine.on_change(0.4, "reg", 2.0)  # establishes the value
+        engine.on_change(0.5, "reg", 3.0)  # violation
+        [violation] = engine.finish()
+        assert violation.code == "REPRO-A902"
+        assert "'reg'" in violation.message
+
+    def test_changes_outside_phase_are_fine(self):
+        engine = build_engine([{"type": "stable_during", "signal": "reg",
+                                "phase": "green"}])
+        engine.on_change(0.0, "phase", "red")
+        engine.on_change(0.1, "reg", 1.0)
+        engine.on_change(0.2, "reg", 2.0)
+        assert engine.finish() == []
+
+
+class TestImpliesNextCycle:
+    def test_consequent_checked_one_cycle_later(self):
+        engine = build_engine([{"type": "implies_next_cycle",
+                                "if": "x == 1", "then": "x == 2"}])
+        [violation] = _boundaries(
+            engine, [{"x": 1}, {"x": 7}, {"x": 1}])
+        assert violation.code == "REPRO-A903"
+        assert violation.cycle == 1
+
+    def test_satisfied_implication(self):
+        engine = build_engine([{"type": "implies_next_cycle",
+                                "if": "x == 1", "then": "x == 2"}])
+        assert _boundaries(engine, [{"x": 1}, {"x": 2}, {"x": 9}]) == []
+
+
+class TestEventuallyWithin:
+    def test_fires_when_deadline_passes(self):
+        engine = build_engine([{"type": "eventually_within",
+                                "when": "go == 1", "holds": "done == 1",
+                                "cycles": 2}])
+        [violation] = _boundaries(engine, [
+            {"go": 1, "done": 0}, {"go": 0, "done": 0},
+            {"go": 0, "done": 0}, {"go": 0, "done": 0}])
+        assert violation.code == "REPRO-A904"
+        assert "armed at cycle 0" in violation.message
+
+    def test_discharged_in_time(self):
+        engine = build_engine([{"type": "eventually_within",
+                                "when": "go == 1", "holds": "done == 1",
+                                "cycles": 2}])
+        assert _boundaries(engine, [
+            {"go": 1, "done": 0}, {"go": 0, "done": 1}]) == []
+
+    def test_already_true_does_not_arm(self):
+        engine = build_engine([{"type": "eventually_within",
+                                "when": "go == 1", "holds": "done == 1",
+                                "cycles": 1}])
+        assert _boundaries(engine, [{"go": 1, "done": 1}]) == []
+
+    def test_run_end_with_pending_obligation(self):
+        engine = build_engine([{"type": "eventually_within",
+                                "when": "go == 1", "holds": "done == 1",
+                                "cycles": 10}])
+        [violation] = _boundaries(engine, [{"go": 1, "done": 0}])
+        assert "still pending" in violation.message
+
+    def test_needs_positive_bound(self):
+        with pytest.raises(AssertionSpecError, match="cycles >= 1"):
+            build_assertion({"type": "eventually_within", "when": "x",
+                             "holds": "x", "cycles": 0})
+
+
+class TestSequence:
+    def test_broken_sequence_fires(self):
+        engine = build_engine([{"type": "sequence",
+                                "steps": ["x == 1", "x == 2",
+                                          "x == 3"]}])
+        [violation] = _boundaries(
+            engine, [{"x": 1}, {"x": 2}, {"x": 9}])
+        assert violation.code == "REPRO-A905"
+        assert "step 2" in violation.message
+
+    def test_complete_sequence_is_clean(self):
+        engine = build_engine([{"type": "sequence",
+                                "steps": ["x == 1", "x == 2"]}])
+        assert _boundaries(engine, [{"x": 1}, {"x": 2}]) == []
+
+    def test_run_end_mid_sequence(self):
+        engine = build_engine([{"type": "sequence",
+                                "steps": ["x == 1", "x == 2"]}])
+        [violation] = _boundaries(engine, [{"x": 1}])
+        assert "mid-sequence" in violation.message
+
+    def test_needs_two_steps(self):
+        with pytest.raises(AssertionSpecError, match="two steps"):
+            build_assertion({"type": "sequence", "steps": ["x"]})
+
+
+class TestSpecs:
+    def test_unknown_type(self):
+        with pytest.raises(AssertionSpecError, match="unknown assertion"):
+            build_assertion({"type": "never_fails"})
+
+    def test_missing_field_named(self):
+        with pytest.raises(AssertionSpecError, match="'expr'"):
+            build_assertion({"type": "invariant"})
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(AssertionSpecError, match="not a valid"):
+            build_assertion({"type": "invariant", "expr": "x ==="})
+
+    def test_non_dict_spec(self):
+        with pytest.raises(AssertionSpecError, match="must be an object"):
+            build_assertion("invariant")
+
+
+class TestLoaders:
+    def test_load_specs_and_engine(self, tmp_path):
+        path = tmp_path / "asserts.json"
+        path.write_text(json.dumps({"assertions": [
+            {"type": "invariant", "expr": "x >= 0"}]}))
+        specs = load_assertion_specs(path)
+        assert specs == [{"type": "invariant", "expr": "x >= 0"}]
+        engine = load_assertions(path)
+        assert len(engine) == 1
+
+    def test_bare_list_accepted(self, tmp_path):
+        path = tmp_path / "asserts.json"
+        path.write_text(json.dumps(
+            [{"type": "invariant", "expr": "x >= 0"}]))
+        assert len(load_assertions(path)) == 1
+
+    def test_empty_list_rejected(self, tmp_path):
+        path = tmp_path / "asserts.json"
+        path.write_text('{"assertions": []}')
+        with pytest.raises(AssertionSpecError, match="at least"):
+            load_assertions(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "asserts.json"
+        path.write_text("{nope")
+        with pytest.raises(AssertionSpecError, match="not valid JSON"):
+            load_assertions(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AssertionSpecError, match="cannot read"):
+            load_assertions(tmp_path / "absent.json")
+
+    def test_malformed_spec_fails_at_load(self, tmp_path):
+        path = tmp_path / "asserts.json"
+        path.write_text(json.dumps({"assertions": [
+            {"type": "invariant"}]}))
+        with pytest.raises(AssertionSpecError, match="'expr'"):
+            load_assertion_specs(path)
+
+
+class TestEngine:
+    def test_finish_is_idempotent(self):
+        engine = build_engine([{"type": "sequence",
+                                "steps": ["x == 1", "x == 2"]}])
+        engine.on_boundary(0, 0.0, {"x": 1})
+        first = engine.finish()
+        assert engine.finish() == first
+        assert len(first) == 1

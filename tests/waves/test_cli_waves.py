@@ -1,0 +1,131 @@
+"""CLI tests for the waves layer: determinism, golden VCD, assertions.
+
+The golden file ``tests/waves/golden/counter.vcd`` is also diffed by
+the CI waves-smoke job; regenerate it with::
+
+    python -m repro counter --bits 2 --pulses 6 --seed 0 \
+        --vcd tests/waves/golden/counter.vcd
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden" / "counter.vcd"
+ASSERTS = (Path(__file__).parents[2] / "examples" / "waves"
+           / "counter_asserts.json")
+
+
+@pytest.fixture
+def failing_asserts(tmp_path):
+    path = tmp_path / "failing.json"
+    path.write_text(json.dumps({"assertions": [
+        {"type": "invariant", "name": "impossible",
+         "expr": "value < 2"}]}))
+    return str(path)
+
+
+class TestCounterVcd:
+    def test_matches_committed_golden(self, tmp_path):
+        vcd = tmp_path / "counter.vcd"
+        assert main(["counter", "--bits", "2", "--pulses", "6",
+                     "--seed", "0", "--vcd", str(vcd)]) == 0
+        assert vcd.read_bytes() == GOLDEN.read_bytes()
+
+    def test_byte_identical_across_runs(self, tmp_path):
+        first, second = tmp_path / "a.vcd", tmp_path / "b.vcd"
+        for path in (first, second):
+            assert main(["counter", "--bits", "2", "--pulses", "6",
+                         "--seed", "0", "--vcd", str(path)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_example_assertions_pass(self, tmp_path, capsys):
+        assert main(["counter", "--bits", "2", "--pulses", "6",
+                     "--seed", "0", "--assert-file",
+                     str(ASSERTS)]) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_violation_exits_nonzero(self, failing_asserts, capsys):
+        code = main(["counter", "--bits", "2", "--pulses", "6",
+                     "--seed", "0", "--assert-file", failing_asserts])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "REPRO-A901" in err and "impossible" in err
+
+
+class TestFsmCommand:
+    def test_runs_and_dumps(self, tmp_path, capsys):
+        vcd = tmp_path / "fsm.vcd"
+        assert main(["fsm", "--machine", "detector", "--pattern",
+                     "101", "--word", "1101011",
+                     "--vcd", str(vcd)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "p2" in out
+        assert "output 'hit': 2 emission(s)" in out
+        text = vcd.read_text()
+        assert "$var string 1 ! detector_state $end" in text
+
+
+class TestWavesCommand:
+    def test_report_identical_across_worker_counts(self, tmp_path):
+        """The multi-trial report (and kept VCD) is a pure function of
+        the root seed -- the property the CI smoke job pins."""
+        reports = []
+        for workers, name in ((1, "w1"), (2, "w2")):
+            path = tmp_path / f"{name}.json"
+            assert main(["waves", "--scenario", "counter",
+                         "--trials", "3", "--seed", "7",
+                         "--workers", str(workers),
+                         "--json", str(path)]) == 0
+            reports.append(path.read_bytes())
+        assert reports[0] == reports[1]
+
+    def test_ma_scenario_emits_profile(self, tmp_path, capsys):
+        vcd = tmp_path / "ma.vcd"
+        assert main(["waves", "--scenario", "ma",
+                     "--input", "8,4,6,2", "--vcd", str(vcd)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle profile:" in out
+        assert "dead-time fraction" in out
+        assert "critical transfers:" in out
+        assert vcd.exists()
+
+    def test_assertion_failure_exits_nonzero(self, failing_asserts,
+                                             capsys):
+        code = main(["waves", "--scenario", "counter", "--bits", "2",
+                     "--assert-file", failing_asserts])
+        assert code == 1
+        assert "REPRO-A901" in capsys.readouterr().err
+
+    def test_monitor_config_threads_through(self, tmp_path, capsys):
+        config = tmp_path / "monitor.json"
+        config.write_text('{"boundary_residual_warn": 1e-9}')
+        assert main(["waves", "--scenario", "ma", "--input", "8,4",
+                     "--monitor-config", str(config)]) == 0
+        # The tightened threshold must reach the machine's monitor.
+        assert "REPRO-R104" in capsys.readouterr().out
+
+    def test_unknown_monitor_key_is_an_error(self, tmp_path, capsys):
+        config = tmp_path / "monitor.json"
+        config.write_text('{"no_such_threshold": 1.0}')
+        assert main(["waves", "--scenario", "ma",
+                     "--monitor-config", str(config)]) == 1
+        assert "no_such_threshold" in capsys.readouterr().err
+
+
+class TestSimulateVcd:
+    def test_posthoc_waveform_and_assertions(self, tmp_path, capsys):
+        crn = tmp_path / "demo.crn"
+        crn.write_text("X -> Y @ fast\ninit X = 10\n")
+        asserts = tmp_path / "asserts.json"
+        asserts.write_text(json.dumps({"assertions": [
+            {"type": "invariant", "expr": "X + Y >= 9.9"}]}))
+        vcd = tmp_path / "sim.vcd"
+        assert main(["simulate", str(crn), "--t", "2",
+                     "--vcd", str(vcd), "--assert-file",
+                     str(asserts)]) == 0
+        assert "$var real 64" in vcd.read_text()
+        assert "clean" in capsys.readouterr().err

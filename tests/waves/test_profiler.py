@@ -1,0 +1,77 @@
+"""Tests for the cycle profiler (settling / dead time attribution)."""
+
+import pytest
+
+from repro.obs.records import CycleSpan
+from repro.waves import profile_cycles, render_profile
+
+
+def _record(cycle=0, t0=0.0, t1=3.0):
+    """One synthetic cycle: red hosts a transfer that settles at 40%,
+    green hosts the critical transfer, blue hosts nothing (all dead)."""
+    phases = [("red", t0, t0 + 1.0), ("green", t0 + 1.0, t0 + 2.0),
+              ("blue", t0 + 2.0, t1)]
+    transfers = [
+        ("transfer:red->green", t0 + 0.1, t0 + 0.4, {}),
+        ("transfer:green->blue", t0 + 1.0, t0 + 1.9, {}),
+    ]
+    return (CycleSpan(cycle, t0, t1), phases, transfers)
+
+
+class TestProfile:
+    def test_settling_and_dead_time(self):
+        report = profile_cycles([_record()])
+        [row] = report.cycles
+        phases = {color: (duration, settling, dead)
+                  for color, duration, settling, dead in row.phases}
+        # Red's transfer ends at 0.4 => 0.4 settling, 0.6 dead.
+        assert phases["red"] == pytest.approx((1.0, 0.4, 0.6))
+        # Green's ends at 1.9 => 0.9 settling, 0.1 dead.
+        assert phases["green"] == pytest.approx((1.0, 0.9, 0.1))
+        # Blue hosts nothing: entirely dead.
+        assert phases["blue"] == pytest.approx((1.0, 0.0, 1.0))
+        assert row.dead_time == pytest.approx(1.7)
+
+    def test_critical_transfer_is_latest_ending(self):
+        report = profile_cycles([_record()])
+        [row] = report.cycles
+        assert row.critical_transfer == "transfer:green->blue"
+        assert row.critical_t == pytest.approx(1.9)
+
+    def test_dead_time_fraction(self):
+        report = profile_cycles([_record(0, 0.0, 3.0),
+                                 _record(1, 3.0, 6.0)])
+        assert report.n_cycles == 2
+        assert report.total_time == pytest.approx(6.0)
+        assert report.dead_time_fraction == pytest.approx(3.4 / 6.0)
+
+    def test_critical_counts_sorted(self):
+        records = [_record(0, 0.0, 3.0), _record(1, 3.0, 6.0)]
+        counts = profile_cycles(records).critical_transfer_counts()
+        assert counts == {"transfer:green->blue": 2}
+
+    def test_empty_records(self):
+        report = profile_cycles([])
+        assert report.n_cycles == 0
+        assert report.dead_time_fraction == 0.0
+        assert report.to_dict()["cycles"] == []
+
+
+class TestRender:
+    def test_render_matches_dict_renderer(self):
+        report = profile_cycles([_record()])
+        assert report.render() == render_profile(report.to_dict())
+
+    def test_render_contents(self):
+        text = profile_cycles([_record()]).render()
+        assert "dead-time fraction" in text
+        assert "phase red" in text
+        assert "transfer:green->blue: 1/1 cycles" in text
+
+    def test_to_dict_shape(self):
+        payload = profile_cycles([_record()]).to_dict()
+        assert payload["n_cycles"] == 1
+        assert set(payload["phases"]) == {"red", "green", "blue"}
+        assert payload["critical_transfers"] == \
+            {"transfer:green->blue": 1}
+        assert payload["cycles"][0]["phases"][0]["color"] == "red"

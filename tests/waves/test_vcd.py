@@ -1,0 +1,103 @@
+"""Tests for the deterministic VCD exporter."""
+
+import pytest
+
+from repro.waves import Waveform, render_vcd, write_vcd
+from repro.waves.vcd import TICKS_PER_UNIT, identifier
+from repro.waves.waveform import WaveError
+
+
+def _demo_waveform() -> Waveform:
+    wave = Waveform()
+    wave.record("b0", 0.0, 0, kind="bit")
+    wave.record("value", 0.0, 0, kind="int", width=3)
+    wave.record("level", 0.0, 2.5, kind="real")
+    wave.record("phase", 0.0, "red", kind="state")
+    wave.record("b0", 0.1, 1)
+    wave.record("value", 0.1, 5)
+    wave.record("phase", 0.1, "green", kind="state")
+    wave.record("level", 0.2, 1.25)
+    return wave
+
+
+class TestIdentifier:
+    def test_base94_sequence(self):
+        assert identifier(0) == "!"
+        assert identifier(1) == '"'
+        assert identifier(93) == "~"
+        assert identifier(94) == "!!"
+
+    def test_negative_rejected(self):
+        with pytest.raises(WaveError):
+            identifier(-1)
+
+
+class TestRender:
+    def test_header_and_declarations(self):
+        text = render_vcd(_demo_waveform())
+        assert text.startswith(
+            "$comment repro logic-analyzer waveform (deterministic) "
+            "$end\n$timescale 1 us $end\n")
+        assert "$scope module repro $end" in text
+        assert "$var wire 1 ! b0 $end" in text
+        assert '$var wire 3 " value $end' in text
+        assert "$var real 64 # level $end" in text
+        assert "$var string 1 $ phase $end" in text
+        # No dates or hostnames anywhere (determinism).
+        assert "$date" not in text
+
+    def test_tick0_changes_fold_into_dumpvars(self):
+        text = render_vcd(_demo_waveform())
+        dumpvars = text.split("$dumpvars\n")[1].split("$end")[0]
+        assert dumpvars.splitlines() == ["0!", 'b0 "', "r2.5 #",
+                                         "sred $"]
+
+    def test_change_blocks(self):
+        text = render_vcd(_demo_waveform())
+        tick = round(0.1 * TICKS_PER_UNIT)
+        block = text.split(f"#{tick}\n")[1]
+        assert block.splitlines()[:3] == ["1!", 'b101 "', "sgreen $"]
+        assert f"#{round(0.2 * TICKS_PER_UNIT)}\nr1.25 #" in text
+
+    def test_undumped_signals_start_unknown(self):
+        wave = Waveform()
+        wave.declare("b", "bit")
+        wave.declare("n", "int", width=4)
+        wave.declare("r", "real")
+        wave.declare("s", "state")
+        wave.record("b", 1.0, 1)
+        text = render_vcd(wave)
+        dumpvars = text.split("$dumpvars\n")[1].split("$end")[0]
+        assert dumpvars.splitlines() == ["x!", 'bx "', "r0.0 #",
+                                         "s? $"]
+
+    def test_state_whitespace_sanitised(self):
+        wave = Waveform()
+        wave.record("s", 0.0, "two words", kind="state")
+        assert "stwo_words !" in render_vcd(wave)
+
+    def test_negative_int_rejected(self):
+        wave = Waveform()
+        wave.record("n", 0.0, -1, kind="int")
+        with pytest.raises(WaveError, match="unsigned"):
+            render_vcd(wave)
+
+    def test_byte_identical_across_renders(self):
+        assert render_vcd(_demo_waveform()) == \
+            render_vcd(_demo_waveform())
+
+    def test_empty_waveform_still_valid(self):
+        text = render_vcd(Waveform())
+        assert "$enddefinitions $end" in text
+        assert text.rstrip().endswith("#1")
+
+
+class TestWrite:
+    def test_writes_ascii_file(self, tmp_path):
+        path = write_vcd(_demo_waveform(), tmp_path / "w.vcd")
+        assert path.read_text(encoding="ascii") == \
+            render_vcd(_demo_waveform())
+
+    def test_unwritable_path(self, tmp_path):
+        with pytest.raises(WaveError, match="cannot write"):
+            write_vcd(Waveform(), tmp_path / "no-dir" / "w.vcd")
