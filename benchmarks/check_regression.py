@@ -30,6 +30,7 @@ WATCHED = {
     "E3_moving_average": {"ode_wall_seconds": "lower"},
     "E14_stochastic": {"events_per_sec": "higher",
                        "ssa_wall_seconds": "lower"},
+    "E17_batch": {"events_per_second": "higher"},
     "E15_faults": {"campaign_wall_seconds": "lower"},
     "E16_waves": {"probe_wall_seconds": "lower"},
 }

@@ -140,6 +140,14 @@ def _add_simulate(subparsers) -> None:
     parser.add_argument("--method", default="LSODA",
                         help="ODE method (LSODA/BDF/Radau/RK45/"
                              "internal-rk45)")
+    parser.add_argument("--engine", default="ode",
+                        choices=["ode", "ssa", "tau"],
+                        help="simulation engine (default ode)")
+    parser.add_argument("--backend", default="reference",
+                        help="execution backend for stochastic engines "
+                             "(reference/batch; default reference)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="RNG seed for stochastic engines")
     parser.add_argument("--plot", default="",
                         help="comma-separated species to plot as ASCII")
     parser.add_argument("--fast", type=float, default=1000.0)
@@ -153,9 +161,16 @@ def _run_simulate(args) -> int:
     tracer, metrics = _open_telemetry(args)
     network = load_network(args.file)
     scheme = RateScheme({"fast": args.fast, "slow": args.slow})
+    seed = None
+    if args.engine != "ode":
+        import numpy as np
+
+        seed = np.random.default_rng(args.seed)
     options = SimulationOptions(solver=args.method, n_samples=400,
+                                seed=seed, backend=args.backend,
                                 tracer=tracer, metrics=metrics)
-    trajectory = simulate(network, args.t, scheme=scheme, options=options)
+    trajectory = simulate(network, args.t, args.engine, scheme=scheme,
+                          options=options)
     print(network.summary())
     if args.plot:
         from repro.reporting import plot_trajectory

@@ -20,6 +20,12 @@ numerical agreement:
     Tau-leaping is an approximation of exact SSA: ensemble mean final
     states on matched seed lists must agree within the combined CLT
     bands plus a leaping-bias allowance.
+``diff.batch-vs-reference``
+    The structure-of-arrays SSA backend is not an approximation at all:
+    on matched per-trial seeds every sampled trajectory (and event
+    count) must equal the reference engine's **bitwise** -- the
+    strongest oracle in the battery, and the contract that keeps seeded
+    corpora and cached baselines valid across backends.
 
 Every ensemble member's seed is spawned from one root
 :class:`numpy.random.SeedSequence` and reductions are payload-ordered,
@@ -75,6 +81,51 @@ def _ensemble_finals(network, method: str, rates: np.ndarray,
                 for seed in seeds]
     runner = ParallelSweepRunner(n_workers)
     return np.vstack(runner.map(_final_state_worker, payloads))
+
+
+def check_batch_vs_reference(target, seed: int,
+                             n_workers: int | None = None,
+                             n_runs: int = 8) -> CheckResult:
+    """Batch-backend realisations must match the reference bitwise."""
+    def body():
+        if not target.stochastic:
+            raise _Skip("stochastic engines disabled for this target")
+        from repro.crn.simulation import BatchStochasticSimulator
+
+        network = target.network
+        t_final = min(target.t_final, 1.0)
+        rates = network.rate_vector(target.scheme)
+        seeds = np.random.SeedSequence(seed).spawn(n_runs)
+        try:
+            reference = []
+            for member in seeds:
+                options = SimulationOptions(
+                    seed=np.random.default_rng(member), rates=rates,
+                    n_samples=17, max_events=MAX_EVENTS)
+                reference.append(simulate(network, t_final, "ssa",
+                                          scheme=None, options=options))
+            ensemble = BatchStochasticSimulator(
+                network, rates=rates).simulate_ensemble(
+                    t_final, seeds=list(seeds), n_samples=17,
+                    max_events=MAX_EVENTS)
+        except SimulationError as exc:
+            raise _Skip(f"ensemble over event budget: {exc}") from exc
+        for i, run in enumerate(reference):
+            batch_run = ensemble.trial(i)
+            if not np.array_equal(run.states, batch_run.states):
+                row = int(np.argmax(np.any(
+                    run.states != batch_run.states, axis=1)))
+                return (f"trial {i}: batch states diverge from the "
+                        f"reference engine at sample {row} "
+                        f"(t={run.times[row]:g}); seeded realisations "
+                        f"must match bitwise")
+            if run.meta["events"] != batch_run.meta["events"]:
+                return (f"trial {i}: batch fired "
+                        f"{batch_run.meta['events']} events vs "
+                        f"reference {run.meta['events']}")
+        return None
+    return _guarded("diff.batch-vs-reference", target.name, "ssa-batch",
+                    body)
 
 
 def check_ode_solvers(target, seed: int,
@@ -182,6 +233,7 @@ def check_tau_vs_ssa(target, seed: int,
 #: The differential battery, in report order.
 DIFFERENTIAL_CHECKS = (
     check_ode_solvers,
+    check_batch_vs_reference,
     check_ssa_vs_ode,
     check_tau_vs_ssa,
 )

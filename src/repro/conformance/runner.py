@@ -25,7 +25,8 @@ from repro.conformance.metamorphic import (ENGINE_SPECS,
                                            CheckResult,
                                            check_duplicate_merge,
                                            check_sampling_guard)
-from repro.conformance.oracles import (check_ode_solvers,
+from repro.conformance.oracles import (check_batch_vs_reference,
+                                       check_ode_solvers,
                                        check_ssa_vs_ode,
                                        check_tau_vs_ssa)
 from repro.conformance.shrink import shrink_network, write_reproducer
@@ -104,7 +105,8 @@ def _cells_for(target: Target, target_index: int, seed: int,
     """
     engines = [ENGINE_SPECS["ode"]]
     if target.stochastic:
-        engines += [ENGINE_SPECS["ssa"], ENGINE_SPECS["tau"]]
+        engines += [ENGINE_SPECS["ssa"], ENGINE_SPECS["tau"],
+                    ENGINE_SPECS["ssa-batch"]]
     cells = []
     cell_index = 0
 
@@ -127,6 +129,8 @@ def _cells_for(target: Target, target_index: int, seed: int,
     add(check_duplicate_merge, ENGINE_SPECS["ode"])
     add(check_sampling_guard, ENGINE_SPECS["ssa"])
     add(check_ode_solvers, n_workers=n_workers)
+    add(check_batch_vs_reference, n_workers=n_workers,
+        n_runs=budget.n_runs)
     add(check_ssa_vs_ode, n_workers=n_workers, n_runs=budget.n_runs)
     add(check_tau_vs_ssa, n_workers=n_workers, n_runs=budget.n_runs)
     return cells
@@ -180,13 +184,16 @@ def replay_network(network, *, name: str = "corpus",
 
     Used by ``tests/conformance/test_corpus_replay.py`` and the CLI's
     ``--replay`` mode: every metamorphic invariant on every applicable
-    engine, plus the cross-solver oracle -- cheap enough to run on
-    every shrunk reproducer in tier-1, forever.
+    engine, plus the cross-solver and bitwise batch-vs-reference
+    oracles -- cheap enough to run on every shrunk reproducer in
+    tier-1, forever.
     """
     target = Target(name, network, CONFORMANCE_SCHEME,
                     t_final=t_final, stochastic=stochastic)
     budget = BUDGETS["tiny"]
     cells = _cells_for(target, 0, seed, budget, n_workers=1)
-    # Drop the two ensemble oracles (the last two cells): statistically
-    # meaningless on minimal reproducers and by far the slowest cells.
+    # Drop the two *statistical* ensemble oracles (ssa-vs-ode and
+    # tau-vs-ssa, the last two cells): statistically meaningless on
+    # minimal reproducers and by far the slowest cells.  The bitwise
+    # batch-vs-reference oracle stays -- it is cheap and exact.
     return [cell() for cell in cells[:-2]]

@@ -23,6 +23,14 @@ from typing import Any
 #: Engine names accepted by the :func:`repro.simulate` facade.
 ENGINES = ("ode", "ssa", "tau")
 
+#: Execution backends accepted by :attr:`SimulationOptions.backend`.
+#: ``reference`` is the per-trial scalar engines; ``batch`` routes
+#: exact SSA through the structure-of-arrays ensemble engine
+#: (:mod:`repro.crn.simulation.batch`), which is seeded-bitwise
+#: identical to the reference.  Engines the batch backend does not
+#: vectorise (ODE, tau-leaping) fall back to the reference path.
+BACKENDS = ("reference", "batch")
+
 
 def warn_renamed(old: str, new: str, *, stacklevel: int = 3) -> None:
     """Emit the standard deprecation warning for a renamed kwarg.
@@ -76,6 +84,12 @@ class SimulationOptions:
         tau-leaping step-selection parameters.
     tracer / metrics:
         optional telemetry hooks (see :mod:`repro.obs`).
+    backend:
+        execution backend (one of :data:`BACKENDS`).  ``"batch"``
+        routes exact SSA through the structure-of-arrays ensemble
+        engine -- bitwise identical trajectories on matched seeds,
+        much faster for ensembles; engines it does not vectorise fall
+        back to the reference implementation.
     """
 
     # -- shared ----------------------------------------------------------
@@ -86,6 +100,7 @@ class SimulationOptions:
     seed: Any | None = None
     tracer: Any = None
     metrics: Any = None
+    backend: str = "reference"
     # -- deterministic (ODE) --------------------------------------------
     solver: str = "LSODA"
     rtol: float = 1e-7

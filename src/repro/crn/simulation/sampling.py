@@ -40,12 +40,20 @@ def select_reaction(propensities: np.ndarray, u: float, *,
     ``total > 0`` before drawing, so reaching this is a caller bug).
 
     ``cumulative`` (and optionally ``total``) can be supplied by callers
-    that already computed the cumulative sums for this event.
+    that already computed the cumulative sums for this event.  The
+    supplied ``total`` is validated against ``cumulative[-1]`` and
+    refreshed on disagreement: a stale incremental total (larger than
+    the true sum) would let ``u * total`` overshoot the final bin and
+    silently bias the draw toward the last positive reaction, while a
+    smaller one would make the last bin unreachable.  The draw must
+    always partition ``[0, cumulative[-1])`` proportionally to the
+    *current* propensities, so the cumulative sums are authoritative.
     """
     if cumulative is None:
         cumulative = propensities.cumsum()
-    if total is None:
-        total = cumulative[-1]
+    actual = float(cumulative[-1])
+    if total is None or total != actual:
+        total = actual
     j = int(cumulative.searchsorted(u * total, side="right"))
     if j >= propensities.shape[0]:
         positive = np.nonzero(propensities > 0.0)[0]

@@ -35,6 +35,13 @@ from repro.obs.tracer import ensure_tracer
 #: ensemble means are bitwise identical for the same seed.
 ENSEMBLE_CHUNK_RUNS = 8
 
+#: Events between exact full-propensity rebuilds in
+#: :class:`IncrementalPropensities`.  The order<=2 incremental updates
+#: are exact in floating point (the gather-buffer values are exact
+#: half-integers), so the periodic rebuild is belt-and-braces hardening
+#: against drift, not a behaviour change -- it recomputes the same bits.
+PROPENSITY_REBUILD_INTERVAL = 4096
+
 
 class IncrementalPropensities:
     """Dependency-graph propensity state for one kinetics + constants.
@@ -46,9 +53,18 @@ class IncrementalPropensities:
     accumulates drift).  No running total is maintained: the simulators
     read it off the cumulative sum they compute for the selection draw
     anyway, so incremental total bookkeeping would be pure overhead.
+
+    Two layers of hardening keep the vector sound even if a future
+    kinetics change makes the incremental update inexact: updates are
+    clamped at zero (a tiny negative propensity would poison the
+    cumulative-sum selection draw), and every ``rebuild_interval``
+    events :meth:`rebuild` recomputes the full vector exactly from the
+    current counts, in place -- the simulators alias ``self.a``, so the
+    rebuild must never rebind it.
     """
 
-    def __init__(self, kinetics: MassActionKinetics, constants: np.ndarray):
+    def __init__(self, kinetics: MassActionKinetics, constants: np.ndarray,
+                 rebuild_interval: int = PROPENSITY_REBUILD_INTERVAL):
         self.kinetics = kinetics
         self.constants = np.asarray(constants, dtype=float)
         n_s = kinetics.n_species
@@ -87,13 +103,28 @@ class IncrementalPropensities:
         self.counts = np.zeros(n_s, dtype=np.int64)
         self._cb = np.ones(2 * (n_s + 1))
         self.a = np.zeros(kinetics.n_reactions)
+        self.rebuild_interval = int(rebuild_interval)
+        if self.rebuild_interval < 1:
+            raise SimulationError("rebuild_interval must be >= 1")
+        self._events_since_rebuild = 0
 
     def reset(self, counts: np.ndarray) -> float:
         """Adopt a full state vector and recompute every propensity."""
         self.counts = np.array(counts, dtype=np.int64)
         self.a = self.kinetics.propensities(self.counts, self.constants)
         self._cb[:] = self.kinetics._cbuf
+        self._events_since_rebuild = 0
         return float(self.a.sum())
+
+    def rebuild(self) -> None:
+        """Recompute every propensity exactly from the current counts.
+
+        In place: the simulators hold an alias of ``self.a`` across the
+        whole event loop, so the array object must survive the rebuild.
+        """
+        self.a[:] = self.kinetics.propensities(self.counts, self.constants)
+        self._cb[:] = self.kinetics._cbuf
+        self._events_since_rebuild = 0
 
     def fire(self, j: int) -> None:
         """Apply reaction ``j`` and update the dependent propensities."""
@@ -102,10 +133,18 @@ class IncrementalPropensities:
         self.counts[species] += delta
         cb = self._cb
         cb[slots] += slot_delta
+        self._events_since_rebuild += 1
+        if self._events_since_rebuild >= self.rebuild_interval:
+            self.rebuild()
+            return
         if dep.size == 0:
             return
         fresh = dep_c * cb[dep_a]
         fresh *= cb[dep_b]
+        # Clamp at zero: a rounding-induced tiny negative entry would
+        # bias the cumulative-sum draw.  (Exact updates only ever
+        # produce -0.0 here, which the clamp normalises to +0.0.)
+        np.maximum(fresh, 0.0, out=fresh)
         if generic:
             for pos, i in generic:
                 fresh[pos] = self.kinetics.propensity_of(
@@ -122,6 +161,11 @@ class StochasticSimulator:
     """
 
     _batch_kind = "ssa"
+
+    #: Whether the structure-of-arrays ensemble engine can run this
+    #: simulator's ensembles (exact SSA only; tau-leaping's adaptive
+    #: control flow cannot be vectorised while preserving draw order).
+    _supports_batch_ensembles = True
 
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  rates: np.ndarray | None = None, volume: float = 1.0,
@@ -283,6 +327,7 @@ class StochasticSimulator:
     def mean_trajectory(self, t_final: float, n_runs: int,
                         n_samples: int = 100, *,
                         n_workers: int | None = None,
+                        backend: str = "reference",
                         **kwargs) -> Trajectory:
         """Sample mean over ``n_runs`` independent realisations.
 
@@ -291,26 +336,64 @@ class StochasticSimulator:
         identical whether the ensemble executes serially (``n_workers``
         ``None``/1) or through a
         :class:`~repro.crn.simulation.sweep.ParallelSweepRunner` pool.
+
+        ``backend="batch"`` computes each chunk through the
+        structure-of-arrays ensemble engine (one batched call for all
+        seeds when running serially); per-trial realisations and the
+        chunk-ordered reduction are bitwise identical to the reference
+        path, so this changes wall time only.  Simulators the batch
+        engine cannot vectorise (tau-leaping) fall back to reference.
         """
-        from repro.crn.simulation.sweep import (ParallelSweepRunner,
+        from repro.crn.simulation.sweep import (ENSEMBLE_BACKENDS,
+                                                ParallelSweepRunner,
                                                 simulate_mean_chunk)
 
         if n_runs < 1:
             raise SimulationError("n_runs must be >= 1")
+        if backend not in ENSEMBLE_BACKENDS:
+            raise SimulationError(
+                f"unknown ensemble backend {backend!r}; expected one of "
+                f"{ENSEMBLE_BACKENDS}")
         telemetry = self.tracer.enabled or self.metrics.enabled
         wall_start = perf_counter() if telemetry else 0.0
         seeds = self._spawn_run_seeds(n_runs)
+        runner = ParallelSweepRunner(n_workers)
+        use_batch = backend == "batch" and self._supports_batch_ensembles
+        if use_batch and (runner.n_workers <= 1 or n_runs
+                          <= ENSEMBLE_CHUNK_RUNS):
+            # Serial: one structure-of-arrays call over every seed
+            # (EnsembleResult.mean applies the same chunked reduction).
+            from repro.crn.simulation.batch import BatchStochasticSimulator
+
+            batch = BatchStochasticSimulator(
+                self.network, rates=np.asarray(self.kinetics.rates),
+                volume=self.volume)
+            mean = batch.simulate_ensemble(
+                t_final, seeds=seeds, n_samples=n_samples,
+                **kwargs).mean()
+            if telemetry:
+                self._record_batch(
+                    self._batch_kind, t_final, int(mean.meta["events"]),
+                    perf_counter() - wall_start,
+                    extra={"ensemble_runs": n_runs})
+            return mean
         spec = self._clone_spec()
+        spec["backend"] = backend
         payloads = [
             (spec, seeds[i:i + ENSEMBLE_CHUNK_RUNS], t_final, n_samples,
              kwargs)
             for i in range(0, n_runs, ENSEMBLE_CHUNK_RUNS)
         ]
-        runner = ParallelSweepRunner(n_workers)
         partials = runner.map(simulate_mean_chunk, payloads)
         times, accumulator, events = partials[0]
         accumulator = accumulator.copy()
-        for _, states, chunk_events in partials[1:]:
+        for index, (chunk_times, states, chunk_events) in \
+                enumerate(partials[1:], start=1):
+            if not np.array_equal(chunk_times, times):
+                raise SimulationError(
+                    f"ensemble chunk {index} returned a misaligned "
+                    f"sample grid (size {chunk_times.size} vs "
+                    f"{times.size}); refusing to sum mismatched states")
             accumulator += states
             events += chunk_events
         if telemetry:

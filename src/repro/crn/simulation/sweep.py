@@ -24,6 +24,15 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro.errors import SimulationError
+
+#: Ensemble execution backends understood by ``simulate_mean_chunk``.
+#: ``reference`` runs one scalar simulator per seed; ``batch`` runs the
+#: whole chunk through the structure-of-arrays engine
+#: (:mod:`repro.crn.simulation.batch`) when the spec's simulator class
+#: supports it -- bitwise-identical states either way.
+ENSEMBLE_BACKENDS = ("reference", "batch")
+
 
 class ParallelSweepRunner:
     """Map a worker over payloads, serially or on a process pool.
@@ -63,12 +72,38 @@ def simulate_mean_chunk(payload: tuple) -> tuple[np.ndarray, np.ndarray,
     ``spec`` is a simulator constructor spec and ``seeds`` a sequence of
     per-run :class:`~numpy.random.SeedSequence`.  Returns the shared
     sample times, the per-chunk state sum, and the total event count.
+
+    ``spec["backend"]`` (default ``"reference"``) selects how the chunk
+    executes: ``"batch"`` runs every seed through one
+    structure-of-arrays ensemble call when the simulator class supports
+    it, producing the bitwise-identical chunk sum.  Runs within a chunk
+    must agree on the sample grid; a run that comes back misaligned
+    raises :class:`~repro.errors.SimulationError` naming the offending
+    chunk run instead of silently summing mismatched states.
     """
     spec, seeds, t_final, n_samples, kwargs = payload
+    backend = spec.get("backend", "reference")
+    if backend not in ENSEMBLE_BACKENDS:
+        raise SimulationError(
+            f"unknown ensemble backend {backend!r}; expected one of "
+            f"{ENSEMBLE_BACKENDS}")
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("empty seed chunk")
+    if backend == "batch" and getattr(spec["cls"],
+                                      "_supports_batch_ensembles", False):
+        from repro.crn.simulation.batch import BatchStochasticSimulator
+
+        simulator = BatchStochasticSimulator(
+            spec["network"], rates=spec["rates"], volume=spec["volume"])
+        result = simulator.simulate_ensemble(
+            t_final, seeds=seeds, n_samples=n_samples, **kwargs)
+        return result.times, result.summed_states(), \
+            int(result.events.sum())
     times: np.ndarray | None = None
     acc: np.ndarray | None = None
     events = 0
-    for seed in seeds:
+    for index, seed in enumerate(seeds):
         simulator = spec["cls"](
             spec["network"], rates=spec["rates"], volume=spec["volume"],
             seed=np.random.default_rng(seed), **spec["extra"])
@@ -76,11 +111,14 @@ def simulate_mean_chunk(payload: tuple) -> tuple[np.ndarray, np.ndarray,
         if acc is None:
             times = run.times
             acc = run.states.copy()
+        elif not np.array_equal(run.times, times):
+            raise SimulationError(
+                f"ensemble chunk run {index} returned a misaligned "
+                f"sample grid (size {run.times.size} vs {times.size}); "
+                f"refusing to sum mismatched states")
         else:
             acc += run.states
         events += int(run.meta.get("events", run.meta.get("steps", 0)))
-    if acc is None:
-        raise ValueError("empty seed chunk")
     return times, acc, events
 
 

@@ -42,3 +42,42 @@ class TestSelectReaction:
         cumulative = cumulative_propensities(propensities)
         assert select_reaction(propensities, 0.75, cumulative=cumulative,
                                total=float(cumulative[-1])) == 1
+
+    def test_stale_oversized_total_is_refreshed(self):
+        """A stale ``total`` larger than ``cumulative[-1]`` must not
+        bias the draw toward later reactions.
+
+        With the total inflated to 3.0, ``u=0.4`` maps to ``1.2``,
+        which lands in bin 1 instead of bin 0 where the true draw
+        ``0.4 * 2.0 = 0.8`` belongs.  The refreshed total keeps the
+        draw proportional to the *current* propensities."""
+        propensities = np.array([1.0, 1.0])
+        cumulative = cumulative_propensities(propensities)
+        assert select_reaction(propensities, 0.4, cumulative=cumulative,
+                               total=3.0) == 0
+
+    def test_stale_undersized_total_is_refreshed(self):
+        """A stale ``total`` smaller than the true sum would make the
+        last bin unreachable; the refresh restores it."""
+        propensities = np.array([1.0, 3.0])
+        cumulative = cumulative_propensities(propensities)
+        assert select_reaction(propensities, 0.9, cumulative=cumulative,
+                               total=1.0) == 1
+
+    def test_stale_total_overflow_rounding_path(self):
+        """Directly exercise the post-refresh overflow fallback.
+
+        Even with the refreshed (exact) total, ``u == 1.0`` makes
+        ``u * total == cumulative[-1]``, the ``side='right'`` search
+        returns an index past the final bin, and the last *positive*
+        reaction fires -- never the trailing zero-propensity one."""
+        propensities = np.array([2.0, 1.0, 0.0])
+        cumulative = cumulative_propensities(propensities)
+        assert select_reaction(propensities, 1.0, cumulative=cumulative,
+                               total=5.0) == 1
+
+    def test_stale_total_all_zero_still_raises(self):
+        cumulative = cumulative_propensities(np.zeros(3))
+        with pytest.raises(SimulationError, match="absorbing"):
+            select_reaction(np.zeros(3), 0.5, cumulative=cumulative,
+                            total=1.0)

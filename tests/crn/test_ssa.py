@@ -128,3 +128,98 @@ class TestTauLeaping:
         # values, monotonically.
         assert len(np.unique(a)) > 10
         assert np.all(np.diff(a) <= 0)
+
+
+class TestIncrementalPropensityHardening:
+    """PR 8 hardening: clamped updates + periodic exact rebuilds."""
+
+    def _two_channel_state(self):
+        network = Network()
+        network.add({"A": 2}, "B", 1.0)
+        network.add("C", "D", 2.0)
+        network.set_initial("A", 10)
+        network.set_initial("C", 10)
+        simulator = StochasticSimulator(network, seed=0)
+        state = simulator.propensity_state
+        state.reset(simulator._initial_counts(None))
+        return network, simulator, state
+
+    def test_update_clamped_at_zero(self):
+        """A corrupted gather buffer yielding a negative product must
+        be clamped: a negative propensity would poison the
+        cumulative-sum selection draw."""
+        network, simulator, state = self._two_channel_state()
+        a_idx = network.species_names.index("A")
+        n_s = len(network.species_names)
+        # Pre-set the two gather slots of A so that after fire(0)'s
+        # in-place update (raw -= 2, half-pair -= 1) the product of the
+        # dependent recompute is negative.
+        state._cb[a_idx] = 1.0              # raw slot -> -1.0 after fire
+        state._cb[a_idx + n_s + 1] = 2.0    # half slot -> 1.0 after fire
+        state.fire(0)
+        assert state.a[0] == 0.0
+
+    def test_clamp_normalises_negative_zero(self):
+        """fresh = c * (-1.0) * 0.0 is -0.0; the clamp must store +0.0
+        so downstream sign tests and Poisson draws see a clean zero."""
+        network, simulator, state = self._two_channel_state()
+        a_idx = network.species_names.index("A")
+        n_s = len(network.species_names)
+        state._cb[a_idx] = 1.0              # raw slot -> -1.0 after fire
+        state._cb[a_idx + n_s + 1] = 1.0    # half slot -> 0.0 after fire
+        state.fire(0)
+        assert state.a[0] == 0.0
+        assert not np.signbit(state.a[0])
+
+    def test_drift_heals_at_rebuild_interval(self):
+        """Injected drift in the propensity vector survives incremental
+        updates of *other* channels but is healed exactly by the
+        periodic full rebuild."""
+        network, simulator, state = self._two_channel_state()
+        state.rebuild_interval = 3
+        exact = state.kinetics.propensities(state.counts.copy(),
+                                            state.constants)
+        # Corrupt the A-channel entry; firing C -> D (reaction 1) only
+        # re-evaluates channels that depend on C/D, so the drift sticks.
+        state.a[0] = 123.456
+        state.fire(1)
+        assert state.a[0] == 123.456
+        state.fire(1)
+        assert state.a[0] == 123.456
+        # Third fire reaches the interval: full in-place exact rebuild.
+        state.fire(1)
+        fresh = state.kinetics.propensities(state.counts.copy(),
+                                            state.constants)
+        assert state.a[0] == exact[0]
+        assert np.array_equal(state.a, fresh)
+
+    def test_rebuild_is_in_place(self):
+        """Simulators alias ``state.a`` across the event loop, so the
+        rebuild must mutate, never rebind."""
+        _, _, state = self._two_channel_state()
+        alias = state.a
+        state.fire(0)
+        state.rebuild()
+        assert state.a is alias
+
+    def test_rebuild_interval_is_bitwise_neutral(self):
+        """The rebuild recomputes the same bits the incremental updates
+        maintain, so any interval yields the identical realisation."""
+        network = Network()
+        network.add({"A": 2}, "B", 1.0)
+        network.add("B", {"A": 2}, 0.5)
+        network.set_initial("A", 60)
+        baseline = StochasticSimulator(network, seed=11).simulate(4.0)
+        frequent = StochasticSimulator(network, seed=11)
+        frequent.propensity_state.rebuild_interval = 3
+        rebuilt = frequent.simulate(4.0)
+        assert np.array_equal(baseline.states, rebuilt.states)
+        assert baseline.meta == rebuilt.meta
+
+    def test_rebuild_interval_validated(self):
+        _, simulator, _ = self._two_channel_state()
+        from repro.crn.simulation.ssa import IncrementalPropensities
+        with pytest.raises(SimulationError, match="rebuild_interval"):
+            IncrementalPropensities(simulator.kinetics,
+                                    simulator.constants,
+                                    rebuild_interval=0)
