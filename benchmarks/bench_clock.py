@@ -10,9 +10,9 @@ high = logical 1.
 import numpy as np
 
 from repro import simulate
-from repro.core.clock import build_clock
 from repro.obs import MetricsRegistry
 from repro.reporting import markdown_table, plot_trajectory
+from repro.scenarios import get_scenario
 
 from common import run_once, save_json, save_metrics, save_report
 
@@ -21,7 +21,7 @@ T_FINAL = 40.0
 
 
 def _run(metrics=None):
-    network, clock, _ = build_clock(mass=MASS)
+    network, clock, _ = get_scenario("clock").driver(mass=MASS)
     trajectory = simulate(network, T_FINAL, metrics=metrics,
                           n_samples=2000)
     return clock, trajectory

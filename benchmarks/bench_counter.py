@@ -6,8 +6,8 @@ accumulator.  Run under the exact stochastic semantics (single-molecule
 digital logic).
 """
 
-from repro.digital import BinaryCounter
 from repro.reporting import markdown_table, plot_samples
+from repro.scenarios import get_scenario
 
 from common import run_once, save_report
 
@@ -15,7 +15,7 @@ N_PULSES = 20
 
 
 def _run():
-    counter = BinaryCounter(3)
+    counter = get_scenario("counter").driver(bits=3)
     return counter.count(N_PULSES, seed=0)
 
 

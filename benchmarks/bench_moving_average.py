@@ -8,16 +8,16 @@ the exact discrete-time reference.
 
 import numpy as np
 
-from repro.apps import moving_average, tone
-from repro.core.machine import SynchronousMachine
+from repro.apps import tone
 from repro.obs import MetricsRegistry
 from repro.reporting import markdown_table, plot_samples
+from repro.scenarios import get_scenario
 
 from common import run_once, save_json, save_metrics, save_report
 
 
 def _run(metrics=None):
-    machine = SynchronousMachine(moving_average(2), metrics=metrics)
+    machine = get_scenario("ma").driver(taps=2, metrics=metrics)
     step = [0.0, 0.0, 20.0, 20.0, 20.0, 20.0]
     step_run = machine.run({"x": step})
     wave = [round(v, 1) for v in tone(10, period=5, amplitude=8.0)]

@@ -33,6 +33,7 @@ WATCHED = {
     "E17_batch": {"events_per_second": "higher"},
     "E15_faults": {"campaign_wall_seconds": "lower"},
     "E16_waves": {"probe_wall_seconds": "lower"},
+    "E18_serve": {"jobs_per_second": "higher"},
 }
 
 

@@ -13,6 +13,7 @@ waves       run a logic-analyzer scenario (waveforms + assertions)
 dsd         compile a ``.crn`` file to strand displacement (+ FASTA)
 lint        static analysis of ``.crn`` files and built-in circuits
 report      summarise a recorded JSONL trace
+serve       run job batches through the async simulation service
 
 The simulation commands accept ``--trace FILE`` (``.jsonl`` for the
 canonical line format, ``.json`` for a Chrome trace-event file) and
@@ -363,11 +364,13 @@ def _run_fsm(args) -> int:
 
 
 def _add_robustness(subparsers) -> None:
+    from repro.scenarios import scenario_names
+
     parser = subparsers.add_parser(
         "robustness",
         help="run a fault-injection robustness campaign")
     parser.add_argument("--circuit", default="counter",
-                        choices=["counter", "ma", "iir"],
+                        choices=list(scenario_names(tag="faults")),
                         help="circuit under test (default counter)")
     parser.add_argument("--trials", type=int, default=20,
                         help="trials per fault model (default 20)")
@@ -834,6 +837,108 @@ def _run_report(args) -> int:
     return 0
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run a batch of jobs through the async simulation "
+             "service with content-addressed result caching")
+    parser.add_argument("--jobs", default="", metavar="FILE",
+                        help="JSON file holding a list of job specs "
+                             "(see docs/serving.md for the schema)")
+    parser.add_argument("--demo", action="store_true",
+                        help="run a built-in duplicate-job batch and "
+                             "verify the cache serves byte-identical "
+                             "responses (exit 1 on any mismatch)")
+    parser.add_argument("--cache-dir", default="", metavar="DIR",
+                        help="persist results to an on-disk store "
+                             "(default: in-memory LRU)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for sharded ensemble "
+                             "jobs (default: CPU count)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for the --demo job mix "
+                             "(default 0)")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="write a machine-readable run summary "
+                             "(cache keys + result digests, no "
+                             "timings)")
+    parser.set_defaults(run=_run_serve)
+
+
+def _run_serve(args) -> int:
+    import asyncio
+    import hashlib
+    import json
+
+    from repro.serve import (DiskResultStore, JobSpec,
+                             SimulationService, build_job_mix,
+                             canonical_result_bytes)
+
+    if bool(args.jobs) == bool(args.demo):
+        print("error: serve takes exactly one of --jobs FILE or "
+              "--demo", file=sys.stderr)
+        return 2
+    if args.jobs:
+        with open(args.jobs, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list):
+            print(f"error: {args.jobs} must hold a JSON list of job "
+                  f"specs", file=sys.stderr)
+            return 2
+        specs = [JobSpec.from_dict(entry) for entry in payload]
+    else:
+        # Two distinct specs, each submitted twice: the second pass
+        # must be served from the store, byte-for-byte.
+        mix = build_job_mix(2, seed=args.seed, sweep_runs=4)
+        specs = mix + mix
+    store = DiskResultStore(args.cache_dir) if args.cache_dir else None
+
+    async def drive():
+        rows = []
+        async with SimulationService(store,
+                                     n_workers=args.workers) \
+                as service:
+            for spec in specs:
+                handle = await service.submit(spec)
+                result = await handle.result()
+                digest = hashlib.sha256(
+                    canonical_result_bytes(result)).hexdigest()
+                rows.append({"kind": spec.kind,
+                             "key": handle.cache_key,
+                             "cached": handle.cached,
+                             "sha256": digest})
+            return rows, dict(service.stats)
+
+    rows, stats = asyncio.run(drive())
+    for row in rows:
+        state = "hit " if row["cached"] else "cold"
+        print(f"{state} {row['kind']:<12s} key={row['key'][:12]} "
+              f"sha256={row['sha256'][:12]}")
+    print(f"jobs={stats['submitted']} hits={stats['cache_hits']} "
+          f"failed={stats['failed']}")
+    if args.json:
+        document = {"schema": "repro.serve-run/1", "results": rows,
+                    "stats": stats}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote run summary to {args.json}")
+    if args.demo:
+        digests: dict[str, set[str]] = {}
+        for row in rows:
+            digests.setdefault(row["key"], set()).add(row["sha256"])
+        repeats_hit = all(row["cached"] for row in rows[len(specs) // 2:])
+        identical = all(len(values) == 1 for values in digests.values())
+        if repeats_hit and identical:
+            print("demo: duplicate jobs hit the cache with "
+                  "byte-identical responses")
+            return 0
+        print("demo: FAILED -- duplicate jobs were not served "
+              "byte-identically from the cache", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -852,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lint(subparsers)
     _add_certify(subparsers)
     _add_report(subparsers)
+    _add_serve(subparsers)
     return parser
 
 

@@ -167,21 +167,25 @@ def _circuit_targets(t_final: float) -> list[Target]:
     These are the networks the paper's claims actually ride on; the
     random networks cover the mass-action fragment broadly, the circuits
     cover the protocol machinery (clock rotation, dual-rail carry
-    chain, a synthesized machine network).
+    chain, a synthesized machine network).  The menu comes from the
+    shared scenario registry: every scenario tagged
+    ``conformance-circuit`` contributes one target, built from its
+    ``conformance`` recipe, in registration order.
     """
-    from repro.core.clock import build_clock
-    from repro.digital.counter import BinaryCounter
+    from repro.scenarios import get_scenario, scenario_names
 
-    clock_network, _, _ = build_clock(mass=20.0)
-    counter = BinaryCounter(2)
-    counter_network = counter.network.copy()
-    counter_network.set_initial(counter.input_pulse, 1.0)
-    return [
-        Target("circuit:clock", clock_network, RateScheme(),
-               t_final=min(t_final, 2.0), stochastic=False, stiff=True),
-        Target("circuit:counter2", counter_network, RateScheme(),
-               t_final=min(t_final, 1.0), stochastic=True, stiff=True),
-    ]
+    targets = []
+    for name in scenario_names(tag="conformance-circuit"):
+        scenario = get_scenario(name)
+        recipe = scenario.conformance
+        targets.append(Target(
+            recipe["target"],
+            scenario.network(**recipe.get("params", {})),
+            RateScheme(),
+            t_final=min(t_final, recipe["t_final_cap"]),
+            stochastic=recipe["stochastic"],
+            stiff=recipe["stiff"]))
+    return targets
 
 
 def generate_targets(budget: GeneratorBudget,

@@ -407,8 +407,58 @@ def check_sampling_guard(target, engine: EngineSpec,
     return _guarded("sampling.guard", target.name, engine.name, body)
 
 
+def check_canonical_form(target, engine: EngineSpec,
+                         seed: int) -> CheckResult:
+    """The canonical serialisation honours its cache-key contract.
+
+    Engine-independent (static) check: permuting species registration
+    *and* reaction declaration order must not move
+    :meth:`~repro.crn.network.Network.canonical_hash` (same chemistry,
+    same key); appending an exact duplicate reaction *must* move it
+    (doubled propensity is different chemistry); and the canonical
+    dict must round-trip through ``from_canonical_dict`` unchanged --
+    the three properties the serving layer's content-addressed cache
+    rides on.
+    """
+    def body():
+        network = target.network
+        rng = np.random.default_rng(seed)
+        shuffled = permute_species(
+            network, rng.permutation(network.n_species))
+        reordered = Network(network.name)
+        for species in shuffled.species:
+            reordered.add_species(species)
+        for index in rng.permutation(network.n_reactions):
+            reordered.add_reaction(network.reactions[int(index)])
+        for name, value in network.initial.items():
+            reordered.set_initial(name, value)
+        base = network.canonical_hash()
+        if reordered.canonical_hash() != base:
+            return ("species/reaction permutation moved the canonical "
+                    "hash: permutation-equivalent networks would miss "
+                    "the result cache")
+        doubled = duplicate_reaction(
+            network, int(rng.integers(network.n_reactions)))
+        if doubled.canonical_hash() == base:
+            return ("appending an exact duplicate reaction did not "
+                    "move the canonical hash: kinetically different "
+                    "networks would share a cache entry")
+        payload = network.to_canonical_dict()
+        rebuilt = Network.from_canonical_dict(payload)
+        if rebuilt.to_canonical_dict() != payload:
+            return "canonical dict does not round-trip to itself"
+        if rebuilt.canonical_hash() != base:
+            return "round-trip through the canonical dict moved the hash"
+        return None
+    return _guarded("meta.canonical-form", target.name, engine.name,
+                    body)
+
+
 #: The metamorphic battery, in report order.  Each entry runs once per
-#: (target, engine) pair the runner deems applicable.
+#: (target, engine) pair the runner deems applicable;
+#: ``check_duplicate_merge``, ``check_sampling_guard`` and
+#: ``check_canonical_form`` are engine-independent and run once per
+#: target (see the runner's special-casing).
 METAMORPHIC_CHECKS = (
     check_permutation,
     check_rate_rescale,
@@ -419,4 +469,5 @@ METAMORPHIC_CHECKS = (
     check_traj_horizon,
     check_traj_window,
     check_sampling_guard,
+    check_canonical_form,
 )

@@ -23,6 +23,7 @@ from repro.conformance.generator import (BUDGETS, CONFORMANCE_SCHEME,
 from repro.conformance.metamorphic import (ENGINE_SPECS,
                                            METAMORPHIC_CHECKS,
                                            CheckResult,
+                                           check_canonical_form,
                                            check_duplicate_merge,
                                            check_sampling_guard)
 from repro.conformance.oracles import (check_batch_vs_reference,
@@ -121,13 +122,18 @@ def _cells_for(target: Target, target_index: int, seed: int,
             return fn(subject, *args, seed=cell_seed, **kwargs)
         cells.append(run)
 
+    static_checks = (check_duplicate_merge, check_sampling_guard,
+                     check_canonical_form)
     for check in METAMORPHIC_CHECKS:
-        if check is check_duplicate_merge or check is check_sampling_guard:
+        if check in static_checks:
             continue
         for engine in engines:
             add(check, engine)
     add(check_duplicate_merge, ENGINE_SPECS["ode"])
     add(check_sampling_guard, ENGINE_SPECS["ssa"])
+    # Engine-independent: the canonical-serialisation contract the
+    # serving cache keys on (reported under the ode engine column).
+    add(check_canonical_form, ENGINE_SPECS["ode"])
     add(check_ode_solvers, n_workers=n_workers)
     add(check_batch_vs_reference, n_workers=n_workers,
         n_runs=budget.n_runs)

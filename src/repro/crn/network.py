@@ -9,6 +9,8 @@ printed and parsed with the same machinery.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections.abc import Iterable, Mapping
 
 import numpy as np
@@ -16,6 +18,11 @@ import numpy as np
 from repro.crn.reaction import Reaction, SpeciesLike
 from repro.crn.species import Species, as_species
 from repro.errors import NetworkError
+
+#: Version tag of the canonical network serialisation (see
+#: :meth:`Network.to_canonical_dict`).  Bump only with a migration path:
+#: content-addressed caches key on the canonical form.
+CANONICAL_SCHEMA = "repro.network/1"
 
 
 class Network:
@@ -246,6 +253,133 @@ class Network:
         """One-line size summary used in reports."""
         return (f"{self.name}: {self.n_species} species, "
                 f"{self.n_reactions} reactions")
+
+    # -- canonical serialisation ----------------------------------------------
+
+    def to_canonical_dict(self) -> dict:
+        """The blessed, permutation-stable serialisation of this network.
+
+        The canonical form is independent of species registration order
+        and reaction declaration order: species are sorted by name,
+        reactions are sorted by content, and *exact* duplicate reactions
+        (identical reactants, products and rate) merge into one entry
+        with an integer ``count``.  Exact-duplicate merging is the only
+        kinetic identification applied -- summing equal propensities is
+        an exact power-of-two scaling in floating point, so it is
+        invisible to every engine, bitwise.
+
+        Labels, provenance and species docstrings are presentation
+        metadata and do not appear.  The result round-trips through
+        :meth:`from_canonical_dict` and is plain-JSON serialisable;
+        :meth:`canonical_hash` content-addresses it.
+        """
+        species = []
+        for sp in sorted(self.species, key=lambda s: s.name):
+            entry: dict = {"name": sp.name}
+            if sp.color is not None:
+                entry["color"] = sp.color
+            if sp.role != "signal":
+                entry["role"] = sp.role
+            species.append(entry)
+        merged: dict[str, dict] = {}
+        order: list[str] = []
+        for reaction in self.reactions:
+            entry = {
+                "reactants": sorted(
+                    [s.name, int(c)]
+                    for s, c in reaction.reactants.items()),
+                "products": sorted(
+                    [s.name, int(c)]
+                    for s, c in reaction.products.items()),
+                "rate": reaction.rate,
+            }
+            key = json.dumps(entry, sort_keys=True)
+            if key in merged:
+                merged[key]["count"] += 1
+            else:
+                entry["count"] = 1
+                merged[key] = entry
+                order.append(key)
+        return {
+            "schema": CANONICAL_SCHEMA,
+            "name": self.name,
+            "species": species,
+            "initial": {name: float(value)
+                        for name, value in sorted(self._initial.items())
+                        if value},
+            "reactions": [merged[key] for key in sorted(order)],
+        }
+
+    def canonical_hash(self) -> str:
+        """SHA-256 of the canonical form, excluding the display name.
+
+        Stable under species and reaction permutation (verified by the
+        conformance ``meta.canonical-form`` check); two networks with
+        equal hashes are the same chemistry, so content-addressed caches
+        may serve one's results for the other -- provided both were
+        simulated *in canonical form* (see :meth:`canonical_form`).
+        """
+        payload = dict(self.to_canonical_dict())
+        del payload["name"]
+        text = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+    @classmethod
+    def from_canonical_dict(cls, payload: Mapping) -> "Network":
+        """Rebuild a network from :meth:`to_canonical_dict` output.
+
+        The rebuilt network registers species in canonical (sorted)
+        order and reactions in canonical order, so
+        ``from_canonical_dict(n.to_canonical_dict())`` is *the*
+        canonical representative of ``n``'s permutation class: every
+        permutation-equivalent input reconstructs the identical network,
+        state-vector layout and all.
+        """
+        if not isinstance(payload, Mapping):
+            raise NetworkError(
+                f"canonical network payload must be a mapping, got "
+                f"{type(payload).__name__}")
+        extra = set(payload) - {"schema", "name", "species", "initial",
+                                "reactions"}
+        if extra:
+            raise NetworkError(
+                f"unknown canonical network field(s) {sorted(extra)}")
+        schema = payload.get("schema")
+        if schema != CANONICAL_SCHEMA:
+            raise NetworkError(
+                f"unsupported canonical network schema {schema!r}; "
+                f"expected {CANONICAL_SCHEMA!r}")
+        network = cls(str(payload.get("name", "crn")))
+        for entry in payload.get("species", []):
+            network.add_species(Species(
+                entry["name"], color=entry.get("color"),
+                role=entry.get("role", "signal")))
+        for entry in payload.get("reactions", []):
+            rate = entry["rate"]
+            if not isinstance(rate, str):
+                rate = float(rate)
+            reaction = Reaction(
+                {name: coeff for name, coeff in entry["reactants"]},
+                {name: coeff for name, coeff in entry["products"]},
+                rate)
+            for _ in range(int(entry.get("count", 1))):
+                network.add_reaction(reaction)
+        for name, value in payload.get("initial", {}).items():
+            network.set_initial(name, float(value))
+        return network
+
+    def canonical_form(self) -> "Network":
+        """This network rebuilt in canonical order.
+
+        Simulating the canonical form (rather than the raw network)
+        makes results a pure function of the chemistry: stochastic
+        engines' draw sequences depend on reaction order, so two
+        permutation-equivalent networks only produce byte-identical
+        realisations when both are first canonicalised.  The serving
+        layer relies on this.
+        """
+        return type(self).from_canonical_dict(self.to_canonical_dict())
 
     # -- rendering -----------------------------------------------------------
 

@@ -26,7 +26,6 @@ combination is valid.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable
 
 from repro.crn.simulation.batch import (BatchStochasticSimulator,
@@ -50,22 +49,20 @@ from repro.errors import SimulationError
 def _resolve_engine(method: str) -> tuple[str, str | None]:
     """``(engine, ode_solver_override)`` for a facade ``method`` value.
 
-    ODE solver names (``"LSODA"``, ``"BDF"``, ...) are accepted for
-    backward compatibility with the old one-shot helper but are
-    deprecated: the engine is ``"ode"`` and the solver belongs in
-    :attr:`SimulationOptions.solver`.
+    ``method`` names an *engine* (one of :data:`ENGINES`); the ODE
+    solver belongs in :attr:`SimulationOptions.solver`.  Passing a
+    solver name here (the pre-facade spelling, removed after two
+    releases of deprecation warnings) gets a targeted migration hint.
     """
     if method in ENGINES:
         return method, None
     if method in METHODS:
-        warnings.warn(
-            f"simulate(method={method!r}) is deprecated; use "
-            f"method='ode' with SimulationOptions(solver={method!r})",
-            DeprecationWarning, stacklevel=3)
-        return "ode", method
+        raise SimulationError(
+            f"simulate(method={method!r}) was removed; use "
+            f"method='ode' with SimulationOptions(solver={method!r})")
     raise SimulationError(
         f"unknown simulation method {method!r}; expected one of "
-        f"{ENGINES} (or a deprecated ODE solver name from {METHODS})")
+        f"{ENGINES}")
 
 
 def _reference_dispatch(engine: str, network, t_final: float, scheme,

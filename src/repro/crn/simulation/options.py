@@ -15,13 +15,20 @@ being silently dropped.
 from __future__ import annotations
 
 import dataclasses
-import warnings
+import difflib
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.errors import SimulationError
+
 #: Engine names accepted by the :func:`repro.simulate` facade.
 ENGINES = ("ode", "ssa", "tau")
+
+#: Version tag of the canonical options serialisation (see
+#: :meth:`SimulationOptions.canonical_dict`).  Bump only with a
+#: migration path: content-addressed caches key on the canonical form.
+OPTIONS_SCHEMA = "repro.options/1"
 
 #: Execution backends accepted by :attr:`SimulationOptions.backend`.
 #: ``reference`` is the per-trial scalar engines; ``batch`` routes
@@ -30,17 +37,6 @@ ENGINES = ("ode", "ssa", "tau")
 #: identical to the reference.  Engines the batch backend does not
 #: vectorise (ODE, tau-leaping) fall back to the reference path.
 BACKENDS = ("reference", "batch")
-
-
-def warn_renamed(old: str, new: str, *, stacklevel: int = 3) -> None:
-    """Emit the standard deprecation warning for a renamed kwarg.
-
-    ``stacklevel`` defaults to 3 so the warning points at the *caller*
-    of the shim-bearing method, not at the shim itself.
-    """
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning, stacklevel=stacklevel)
 
 
 @dataclass(frozen=True)
@@ -118,13 +114,70 @@ class SimulationOptions:
     def replace(self, **changes) -> "SimulationOptions":
         """A copy with the given fields changed.
 
-        Unknown field names raise :class:`TypeError` -- misspelled
-        options must never be silently ignored.
+        Unknown field names raise :class:`TypeError` naming the nearest
+        valid field -- misspelled options must never be silently
+        ignored, and the error should hand back the fix.
         """
-        unknown = set(changes) - {f.name for f in dataclasses.fields(self)}
+        valid = sorted(f.name for f in dataclasses.fields(self))
+        unknown = sorted(set(changes) - set(valid))
         if unknown:
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, valid, n=1)
+                hints.append(f"{name!r} (did you mean {close[0]!r}?)"
+                             if close else repr(name))
             raise TypeError(
-                f"unknown simulation option(s): {sorted(unknown)}; "
-                f"valid options are "
-                f"{sorted(f.name for f in dataclasses.fields(self))}")
+                f"unknown simulation option(s): {', '.join(hints)}; "
+                f"valid options are {valid}")
         return dataclasses.replace(self, **changes)
+
+    def canonical_dict(self) -> dict:
+        """The cache-keyable serialisation of these options.
+
+        Only fields that differ from the defaults appear, so adding a
+        new defaulted option later does not invalidate every existing
+        content-addressed cache entry.  Fields that cannot soundly take
+        part in a cache key raise
+        :class:`~repro.errors.SimulationError`:
+
+        * ``tracer`` / ``metrics`` / ``events`` hold live objects with
+          no stable serialisation;
+        * ``seed`` is keyed separately by the serving layer (one job
+          may fan out over many seeds);
+        * ``rates`` vectors and array-shaped ``initial`` are positional
+          -- they index the *declaration* order of reactions/species,
+          which the canonical network form deliberately forgets.
+          Mapping-shaped ``initial`` overrides (name -> value) are
+          order-free and serialise fine.
+        """
+        for name in ("tracer", "metrics", "events", "seed", "rates"):
+            if getattr(self, name) is not None:
+                raise SimulationError(
+                    f"SimulationOptions.{name} cannot take part in a "
+                    f"canonical options dict; clear it and pass the "
+                    f"value through the serving job spec instead")
+        payload: dict = {"schema": OPTIONS_SCHEMA}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name == "initial":
+                if value is None:
+                    continue
+                if not isinstance(value, Mapping):
+                    raise SimulationError(
+                        "SimulationOptions.initial must be a name -> "
+                        "value mapping to take part in a canonical "
+                        "options dict; positional vectors depend on "
+                        "species declaration order")
+                payload["initial"] = {
+                    str(name): float(amount)
+                    for name, amount in sorted(value.items())}
+                continue
+            if value == field.default:
+                continue
+            if not isinstance(value, (bool, int, float, str)):
+                raise SimulationError(
+                    f"SimulationOptions.{field.name}={value!r} is not "
+                    f"canonically serialisable (expected a plain "
+                    f"bool/int/float/str)")
+            payload[field.name] = value
+        return payload

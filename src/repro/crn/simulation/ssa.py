@@ -23,7 +23,6 @@ import numpy as np
 from repro.crn.kinetics import MassActionKinetics, build_kinetics
 from repro.crn.network import Network
 from repro.crn.rates import RateScheme
-from repro.crn.simulation.options import warn_renamed
 from repro.crn.simulation.result import Trajectory
 from repro.crn.simulation.sampling import select_reaction
 from repro.errors import SimulationError
@@ -170,14 +169,7 @@ class StochasticSimulator:
     def __init__(self, network: Network, scheme: RateScheme | None = None,
                  rates: np.ndarray | None = None, volume: float = 1.0,
                  seed: int | np.random.Generator | None = None,
-                 tracer=None, metrics=None, rng=None):
-        if rng is not None:
-            warn_renamed("StochasticSimulator(rng=...)",
-                         "StochasticSimulator(seed=...)")
-            if seed is not None:
-                raise SimulationError(
-                    "pass either seed or the deprecated rng, not both")
-            seed = rng
+                 tracer=None, metrics=None):
         network.validate()
         self.network = network
         self.scheme = scheme or RateScheme()

@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.crn.network import Network
 from repro.crn.rates import RateScheme
-from repro.crn.simulation.options import warn_renamed
 from repro.crn.simulation.result import Trajectory
 from repro.crn.simulation.sampling import select_reaction
 from repro.crn.simulation.ssa import IncrementalPropensities, \
@@ -62,18 +61,13 @@ class TauLeapingSimulator(StochasticSimulator):
     def simulate(self, t_final: float, *, t_start: float = 0.0,
                  initial: Mapping[str, float] | np.ndarray | None = None,
                  n_samples: int = 200,
-                 max_events: int = 5_000_000,
-                 max_steps: int | None = None) -> Trajectory:
+                 max_events: int = 5_000_000) -> Trajectory:
         """Run one tau-leaping realisation on a uniform grid.
 
         ``max_events`` bounds the number of solver steps (leaps plus
         exact-SSA fallback bursts), mirroring the SSA engine's event
-        budget; the old ``max_steps`` spelling is a deprecated alias.
+        budget.
         """
-        if max_steps is not None:
-            warn_renamed("simulate(max_steps=...)",
-                         "simulate(max_events=...)")
-            max_events = max_steps
         if t_final <= t_start:
             raise SimulationError("t_final must exceed t_start")
         state: IncrementalPropensities = self.propensity_state

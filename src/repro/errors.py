@@ -43,6 +43,16 @@ class FaultError(ReproError):
     fault-model contract (e.g. a model adds or removes species)."""
 
 
+class ScenarioError(ReproError):
+    """Raised for unknown scenario names or unsupported scenario
+    capabilities (see :mod:`repro.scenarios`)."""
+
+
+class ServeError(ReproError):
+    """Raised for malformed job specs or serving-layer failures
+    (see :mod:`repro.serve`)."""
+
+
 class SchedulingError(SynthesisError):
     """Raised when phase/colour assignment of a design fails."""
 

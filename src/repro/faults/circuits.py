@@ -182,6 +182,8 @@ def _make_iir(**kwargs) -> MachineCircuit:
                           [8.0, 8.0, 8.0, 8.0, 4.0, 4.0], **kwargs)
 
 
+#: Kept as public API for existing callers; the authoritative registry
+#: is :mod:`repro.scenarios` (these same factories, tagged ``faults``).
 CIRCUITS = {
     "counter": CounterCircuit,
     "ma": _make_ma,
@@ -190,10 +192,19 @@ CIRCUITS = {
 
 
 def make_circuit(name: str, **kwargs):
-    """Instantiate a registered circuit adapter by name."""
+    """Instantiate a circuit adapter by scenario name.
+
+    Resolution goes through the shared scenario registry
+    (:mod:`repro.scenarios`); only scenarios tagged ``faults`` (i.e.
+    carrying a campaign adapter) are eligible.
+    """
+    from repro.errors import ScenarioError
+    from repro.scenarios import get_scenario, scenario_names
+
     try:
-        factory = CIRCUITS[name]
-    except KeyError:
-        raise FaultError(f"unknown circuit {name!r}; "
-                         f"choose from {sorted(CIRCUITS)}") from None
-    return factory(**kwargs)
+        scenario = get_scenario(name)
+        return scenario.circuit(**kwargs)
+    except ScenarioError:
+        raise FaultError(
+            f"unknown circuit {name!r}; choose from "
+            f"{sorted(scenario_names(tag='faults'))}") from None

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: async jobs + content-addressed caching.
+
+Public surface:
+
+- :class:`~repro.serve.jobs.JobSpec` -- the one typed request shape
+  (simulate / sweep / robustness / conformance);
+- :class:`~repro.serve.service.SimulationService` -- asyncio job
+  layer: ``submit() -> JobHandle``, ``await handle.result()``,
+  ``async for record in handle.progress()``;
+- :class:`~repro.serve.cache.MemoryResultStore` /
+  :class:`~repro.serve.cache.DiskResultStore` -- pluggable
+  content-addressed result stores;
+- :func:`~repro.serve.loadgen.generate_load` -- the deterministic
+  load generator behind the E18 benchmark.
+
+See ``docs/serving.md`` for the determinism contract the cache relies
+on.
+"""
+
+from repro.serve.cache import (DiskResultStore, MemoryResultStore,
+                               canonical_result_bytes)
+from repro.serve.jobs import JOB_KINDS, KEY_SCHEMA, JobSpec
+from repro.serve.loadgen import LoadReport, build_job_mix, generate_load
+from repro.serve.service import JobHandle, SimulationService
+
+__all__ = [
+    "JOB_KINDS",
+    "KEY_SCHEMA",
+    "JobSpec",
+    "JobHandle",
+    "SimulationService",
+    "MemoryResultStore",
+    "DiskResultStore",
+    "canonical_result_bytes",
+    "LoadReport",
+    "build_job_mix",
+    "generate_load",
+]

@@ -22,14 +22,16 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.obs.monitors import MonitorConfig
+from repro.scenarios import get_scenario, scenario_names
 from repro.waves.assertions import build_engine
 from repro.waves.probe import WaveformProbe
 from repro.waves.profiler import CycleProfileReport, profile_cycles
 from repro.waves.vcd import render_vcd
 from repro.waves.waveform import Waveform
 
-#: Scenario registry: what ``--scenario`` accepts.
-SCENARIOS = ("counter", "fsm", "ma", "iir")
+#: What ``--scenario`` accepts: every registered scenario with a probed
+#: runner (see :mod:`repro.scenarios.builtin`), in registration order.
+SCENARIOS = scenario_names(tag="waves")
 
 
 @dataclass
@@ -67,13 +69,10 @@ def run_scenario(scenario: str, seed: int = 0,
         raise ReproError(f"unknown waves scenario {scenario!r}; expected "
                          f"one of {SCENARIOS}")
     probe = _make_probe(assert_specs, samples_per_cycle)
-    if scenario == "counter":
-        summary = _run_counter(probe, seed, bits, pulses)
-    elif scenario == "fsm":
-        summary = _run_fsm(probe, seed, machine, pattern, word)
-    else:
-        summary = _run_machine(probe, scenario, monitor, taps,
-                               input_samples)
+    summary = get_scenario(scenario).run_probed(
+        probe, seed=seed, monitor=monitor, bits=bits, pulses=pulses,
+        machine=machine, pattern=pattern, word=word, taps=taps,
+        input_samples=input_samples)
     violations = probe.finish()
     profile = profile_cycles(probe.cycle_records)
     if profile.n_cycles:
@@ -82,50 +81,6 @@ def run_scenario(scenario: str, seed: int = 0,
                           waveform=probe.waveform,
                           violations=violations, profile=profile,
                           summary=summary)
-
-
-def _run_counter(probe, seed, bits, pulses) -> dict:
-    from repro.digital import BinaryCounter
-
-    counter = BinaryCounter(bits)
-    n_pulses = pulses if pulses is not None else 2 ** bits + 2
-    run = counter.count(n_pulses, seed=seed, probe=probe)
-    return {"values": list(run.values), "overflow": run.overflow,
-            "settled": all(run.settled)}
-
-
-def _run_fsm(probe, seed, machine, pattern, word) -> dict:
-    from repro.digital.fsm import parity_machine, sequence_detector
-
-    if machine == "parity":
-        fsm = parity_machine()
-    elif machine == "detector":
-        fsm = sequence_detector(pattern)
-    else:
-        raise ReproError(f"unknown FSM {machine!r}; expected 'parity' "
-                         f"or 'detector'")
-    run = fsm.run(list(word), seed=seed, probe=probe)
-    return {"trace": list(run.trace),
-            "outputs": {name: counts[-1] for name, counts
-                        in run.output_counts.items()}}
-
-
-def _run_machine(probe, scenario, monitor, taps, input_samples) -> dict:
-    from repro.apps import iir_first_order, moving_average
-    from repro.core.machine import SynchronousMachine
-
-    design = (moving_average(taps) if scenario == "ma"
-              else iir_first_order())
-    samples = list(input_samples) if input_samples is not None \
-        else [8.0, 4.0, 6.0, 2.0]
-    machine = SynchronousMachine(design, monitor=monitor, probe=probe)
-    run = machine.run({"x": samples})
-    return {"outputs": [float(v) for v in run.outputs["y"]],
-            "reference": [float(v) for v in run.reference["y"]],
-            "max_error": run.max_error(),
-            "n_cycles": run.n_cycles,
-            "monitor_diagnostics": [d.format() for d in run.diagnostics
-                                    if not d.code.startswith("REPRO-A")]}
 
 
 # -- multi-trial fan-out ------------------------------------------------------

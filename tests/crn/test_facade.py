@@ -94,30 +94,33 @@ class TestTStart:
             simulate(network, 1.0, method=method, t_start=2.0)
 
 
-class TestDeprecationShims:
-    def test_ssa_rng_kwarg_warns_and_seeds(self, network):
-        with pytest.warns(DeprecationWarning, match="rng"):
-            shimmed = StochasticSimulator(network, rng=5)
-        reference = StochasticSimulator(network, seed=5)
-        np.testing.assert_array_equal(
-            shimmed.simulate(4.0, n_samples=20).states,
-            reference.simulate(4.0, n_samples=20).states)
+class TestRemovedShims:
+    """The PR 4 renamed-kwarg shims are gone after two releases.
 
-    def test_ssa_rng_and_seed_together_is_an_error(self, network):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(SimulationError, match="not both"):
-                StochasticSimulator(network, seed=1, rng=2)
+    The removed spellings must fail loudly -- ``rng=`` / ``max_steps=``
+    as plain unexpected-keyword TypeErrors, solver-name methods with a
+    targeted migration hint (see docs/serving.md, "Migration notes").
+    """
 
-    def test_tau_max_steps_warns_and_caps(self, network):
+    def test_ssa_rng_kwarg_removed(self, network):
+        with pytest.raises(TypeError, match="rng"):
+            StochasticSimulator(network, rng=5)
+
+    def test_tau_max_steps_kwarg_removed(self, network):
         simulator = TauLeapingSimulator(network, seed=1)
-        with pytest.warns(DeprecationWarning, match="max_steps"):
-            with pytest.raises(SimulationError, match="exceeded"):
-                simulator.simulate(4.0, max_steps=1)
+        with pytest.raises(TypeError, match="max_steps"):
+            simulator.simulate(4.0, max_steps=1)
 
-    def test_facade_solver_name_as_method_warns(self, network):
-        with pytest.warns(DeprecationWarning, match="BDF"):
-            trajectory = simulate(network, 4.0, method="BDF",
-                                  n_samples=20)
+    def test_facade_solver_name_as_method_removed(self, network):
+        with pytest.raises(SimulationError,
+                           match="SimulationOptions\\(solver='BDF'\\)"):
+            simulate(network, 4.0, method="BDF", n_samples=20)
+
+    def test_ode_engine_with_solver_option_is_the_replacement(
+            self, network):
+        trajectory = simulate(
+            network, 4.0, method="ode",
+            options=SimulationOptions(solver="BDF", n_samples=20))
         direct = OdeSimulator(network, method="BDF").simulate(
             4.0, n_samples=20)
         np.testing.assert_allclose(trajectory.states, direct.states)
