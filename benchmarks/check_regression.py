@@ -34,6 +34,7 @@ WATCHED = {
     "E15_faults": {"campaign_wall_seconds": "lower"},
     "E16_waves": {"probe_wall_seconds": "lower"},
     "E18_serve": {"jobs_per_second": "higher"},
+    "E19_clocking": {"cycles_per_second": "higher"},
 }
 
 

@@ -225,10 +225,13 @@ def _check_simulated_waveform(args, trajectory) -> int:
 
 
 def _add_clock(subparsers) -> None:
-    parser = subparsers.add_parser("clock", help="run the molecular "
-                                                 "clock")
+    parser = subparsers.add_parser("clock", help="run a clock "
+                                                 "oscillator")
     parser.add_argument("--mass", type=float, default=20.0)
     parser.add_argument("--t", type=float, default=40.0)
+    parser.add_argument("--oscillator", default="molecular",
+                        help="registered clock chemistry "
+                             "(molecular, relaxation, ...)")
     _add_telemetry_options(parser)
     parser.set_defaults(run=_run_clock)
 
@@ -239,12 +242,13 @@ def _run_clock(args) -> int:
     from repro.reporting import plot_trajectory
 
     tracer, metrics = _open_telemetry(args)
-    network, clock, protocol = build_clock(mass=args.mass)
+    network, clock, protocol = build_clock(mass=args.mass,
+                                           oscillator=args.oscillator)
     trajectory = simulate(network, args.t, n_samples=2000,
                           tracer=tracer, metrics=metrics)
     print(plot_trajectory(trajectory.window(0.0, min(args.t, 12.0)),
                           clock.species_names(),
-                          title="molecular clock"))
+                          title=f"{args.oscillator} clock"))
     print(f"period  {clock.period(trajectory):.4f} slow time units")
     print(f"jitter  {clock.period_jitter(trajectory):.5f} (relative)")
     low, high = clock.amplitude(trajectory)
@@ -272,6 +276,13 @@ def _add_filter(subparsers) -> None:
                         help="taps for the moving average")
     parser.add_argument("--input", required=True,
                         help="comma-separated samples, e.g. 10,20,40")
+    parser.add_argument("--clocking", default="fixed",
+                        choices=["fixed", "adaptive"],
+                        help="cycle-advance strategy (adaptive ends "
+                             "cycles at digital settling)")
+    parser.add_argument("--oscillator", default="molecular",
+                        help="registered clock chemistry "
+                             "(molecular, relaxation, ...)")
     _add_telemetry_options(parser)
     _add_monitor_config_option(parser)
     parser.set_defaults(run=_run_filter)
@@ -279,7 +290,7 @@ def _add_filter(subparsers) -> None:
 
 def _run_filter(args) -> int:
     from repro.apps import iir_first_order, moving_average
-    from repro.core.machine import SynchronousMachine
+    from repro.core.machine import MachineOptions, SynchronousMachine
     from repro.reporting import markdown_table
 
     tracer, metrics = _open_telemetry(args)
@@ -287,7 +298,10 @@ def _run_filter(args) -> int:
     design = (moving_average(args.taps) if args.kind == "ma"
               else iir_first_order())
     machine = SynchronousMachine(design, tracer=tracer, metrics=metrics,
-                                 monitor=_load_monitor_config(args))
+                                 monitor=_load_monitor_config(args),
+                                 options=MachineOptions(
+                                     clocking=args.clocking,
+                                     oscillator=args.oscillator))
     run = machine.run({"x": samples})
     rows = [[i, x, float(m), float(r)]
             for i, (x, m, r) in enumerate(zip(

@@ -1,12 +1,12 @@
-"""The molecular clock: a self-sustaining three-phase oscillator.
+"""Molecular clocks: self-sustaining three-phase oscillators.
 
 The synchronous methodology needs a global clock.  Electronically a clock
 is an oscillator; molecularly, the paper chooses "reactions that produce
-sustained oscillations in the chemical concentrations".  Here the clock is
-the three-phase rotation itself applied to a dedicated conserved quantity:
-three clock types ``C_red, C_green, C_blue`` whose total mass is constant
-and which chase each other around the colour cycle through the shared
-absence indicators:
+sustained oscillations in the chemical concentrations".  The reference
+implementation (:class:`MolecularClock`) is the three-phase rotation
+itself applied to a dedicated conserved quantity: three clock types
+``C_red, C_green, C_blue`` whose total mass is constant and which chase
+each other around the colour cycle through the shared absence indicators:
 
     b + C_red   -> C_green   (slow, + positive feedback)
     r + C_green -> C_blue    (slow, + positive feedback)
@@ -16,21 +16,59 @@ Because the indicators are *shared* with all signal types, the clock does
 double duty: it guarantees that the phase rotation continues even when all
 signal values happen to be zero, and its own concentration pulses are the
 clock waveform -- high C_red == "phase red", etc.
+
+Alternative oscillator chemistries live behind the :class:`Clock`
+protocol and the :func:`register_oscillator` registry so that machines,
+scenarios, conformance targets, fault campaigns and benchmarks can swap
+the pacemaker without caring how it oscillates.  The built-in
+alternative, :class:`RelaxationClock`, follows the relaxation-oscillator
+construction of Shi & Gao (arXiv:2209.03033, arXiv:2302.14226): each
+phase *charges slowly* through the gated seed reaction and *discharges
+fast* through a gated autocatalytic switch, giving the sawtooth
+charge/snap waveform characteristic of relaxation oscillators while
+staying inside the two-rate-category protocol.
 """
 
 from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.crn.network import Network
 from repro.crn.simulation.result import Trajectory
 from repro.crn.species import COLORS, Species
-from repro.core.phases import PhaseProtocol
+from repro.core.phases import GATED, PhaseProtocol
 from repro.errors import NetworkError, SimulationError
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What a machine (and every downstream layer) needs from a clock.
+
+    Any object with a conserved ``mass``, one coloured species per phase,
+    a ``build`` method emitting its oscillation chemistry, and the
+    waveform-analysis surface satisfies the protocol.  Concrete
+    implementations are registered by name via
+    :func:`register_oscillator` and constructed via :func:`make_clock`.
+    """
+
+    mass: float
+    name: str
+    species: dict[str, Species]
+
+    def species_names(self) -> list[str]: ...
+
+    def build(self, network: Network, protocol: PhaseProtocol,
+              start_color: str = "red",
+              acceleration: str | None = None) -> None: ...
 
 
 class MolecularClock:
     """Builder and analyzer for the RGB oscillator."""
+
+    #: Registry key of this oscillator chemistry.
+    kind = "molecular"
 
     def __init__(self, mass: float = 100.0, name: str = "C"):
         if mass <= 0:
@@ -97,19 +135,55 @@ class MolecularClock:
     def rising_edges(self, trajectory: Trajectory, color: str = "red",
                      threshold: float = 0.5) -> np.ndarray:
         """Times at which the colour's mass fraction crosses ``threshold``
-        upward -- clock edges."""
+        upward -- clock edges.
+
+        One excursion above the threshold yields exactly one edge: the
+        series must fall *strictly below* the threshold before another
+        edge can fire.  Samples sitting exactly *at* the threshold (a
+        plateau) are collapsed deterministically -- the edge is the
+        plateau's first sample if the series later rises strictly above
+        the threshold, and no edge at all if it retreats below without
+        ever exceeding it.  (The previous sample-pair scan emitted one
+        edge per below->at transition, so threshold plateaus and chatter
+        produced duplicate/spurious edges that corrupted ``period()``,
+        ``period_jitter()`` and the ``emit_trace`` cycle spans.)
+
+        The returned times are strictly increasing, and both the count
+        and the edge times are invariant under linear resampling of the
+        trajectory (adding interpolated samples cannot create or move an
+        edge).
+        """
         fractions = self.phase_fractions(trajectory)
         series = fractions[:, COLORS.index(color)]
-        above = series >= threshold
-        crossings = np.nonzero(~above[:-1] & above[1:])[0]
-        edges = []
-        for i in crossings:
-            t0, t1 = trajectory.times[i], trajectory.times[i + 1]
-            y0, y1 = series[i], series[i + 1]
-            if y1 == y0:
-                edges.append(t1)
-            else:
-                edges.append(t0 + (threshold - y0) * (t1 - t0) / (y1 - y0))
+        times = trajectory.times
+        edges: list[float] = []
+        armed = False        # seen strictly-below since the last edge
+        pending: float | None = None  # first time of an at-threshold plateau
+        for i in range(len(series)):
+            value = series[i]
+            if value < threshold:
+                armed = True
+                pending = None
+            elif value == threshold:
+                if armed and pending is None:
+                    pending = float(times[i])
+            else:  # strictly above
+                if armed:
+                    if pending is not None:
+                        edge = pending
+                    else:
+                        # Interpolate the crossing inside (i-1, i]; the
+                        # previous sample is strictly below, so y1 > y0
+                        # and the division is well defined.  A zero-width
+                        # bracket (duplicate sample times) degenerates to
+                        # the right endpoint.
+                        t0, t1 = float(times[i - 1]), float(times[i])
+                        y0, y1 = float(series[i - 1]), float(series[i])
+                        edge = t0 + (threshold - y0) * (t1 - t0) / (y1 - y0)
+                    if not edges or edge > edges[-1]:
+                        edges.append(edge)
+                    armed = False
+                pending = None
         return np.array(edges)
 
     def period(self, trajectory: Trajectory, color: str = "red") -> float:
@@ -131,10 +205,20 @@ class MolecularClock:
 
     def amplitude(self, trajectory: Trajectory, color: str = "red",
                   settle: float = 0.25) -> tuple[float, float]:
-        """(min, max) of the colour's quantity after a settling fraction."""
+        """(min, max) of the colour's quantity after a settling fraction.
+
+        ``settle`` is a fraction of the *simulated time span*, not of the
+        sample count: event-bracketed ODE output and SSA trajectories
+        cluster their samples around transients, so cutting by sample
+        index would discard an unpredictable share of the waveform.
+        """
         series = trajectory.column(self.species[color].name)
-        start = int(len(series) * settle)
-        tail = series[start:]
+        times = trajectory.times
+        t_cut = float(times[0]) + settle * (float(times[-1])
+                                            - float(times[0]))
+        tail = series[times >= t_cut]
+        if tail.size == 0:
+            tail = series[-1:]
         return float(tail.min()), float(tail.max())
 
     def emit_trace(self, trajectory: Trajectory, tracer) -> None:
@@ -165,13 +249,86 @@ class MolecularClock:
             start = i
 
 
+class RelaxationClock(MolecularClock):
+    """Relaxation-oscillator pacemaker (Shi & Gao, arXiv:2209.03033).
+
+    Same three conserved colour types and the same shared absence
+    indicators as :class:`MolecularClock`, but every rotation transfer
+    additionally carries the protocol's *gated autocatalytic* switch::
+
+        gate + C_src + C_dst -> gate + 2 C_dst + ...    (slow)
+
+    The phase then has the two-timescale structure of a relaxation
+    oscillator: the gated seed *charges* the next colour slowly and
+    linearly, and once enough of it has accumulated the autocatalytic
+    term *snaps* the remaining mass across in a burst -- slow charge,
+    fast discharge.  The switch is catalytic in the gate, so it is inert
+    while the phase's gate is closed; this is the acceleration mode
+    :mod:`repro.core.phases` proves sound for free-running cyclic
+    designs (the companion's dimer accelerator is one-shot only and
+    would fire through closed gates).
+    """
+
+    kind = "relaxation"
+
+    def build(self, network: Network, protocol: PhaseProtocol,
+              start_color: str = "red",
+              acceleration: str | None = None) -> None:
+        super().build(network, protocol, start_color=start_color,
+                      acceleration=acceleration or GATED)
+
+
+#: Oscillator registry: chemistry name -> Clock factory.  Factories take
+#: ``(mass, name)`` keyword arguments, like the class constructors.
+_OSCILLATORS: dict[str, type] = {}
+
+
+def register_oscillator(kind: str, factory: type) -> None:
+    """Register a clock chemistry under ``kind``.
+
+    Re-registering an existing name raises: scenario recipes, CLI
+    choice lists and conformance targets all key off the registry, so a
+    silent replacement would change what those names mean.
+    """
+    if kind in _OSCILLATORS:
+        raise NetworkError(f"oscillator {kind!r} already registered")
+    _OSCILLATORS[kind] = factory
+
+
+def oscillator_names() -> tuple[str, ...]:
+    """Registered oscillator chemistries, in registration order."""
+    return tuple(_OSCILLATORS)
+
+
+def make_clock(oscillator: str = "molecular", mass: float = 100.0,
+               name: str = "C") -> Clock:
+    """Instantiate a registered clock chemistry."""
+    try:
+        factory = _OSCILLATORS[oscillator]
+    except KeyError:
+        raise NetworkError(
+            f"unknown oscillator {oscillator!r}; registered chemistries: "
+            f"{sorted(_OSCILLATORS)}") from None
+    return factory(mass=mass, name=name)
+
+
+register_oscillator("molecular", MolecularClock)
+register_oscillator("relaxation", RelaxationClock)
+
+
 def build_clock(mass: float = 100.0, gating: str = "catalytic",
-                acceleration: str | None = None
-                ) -> tuple[Network, MolecularClock, PhaseProtocol]:
-    """A standalone, finalized clock network (experiment E1)."""
-    network = Network("molecular_clock")
+                acceleration: str | None = None,
+                oscillator: str = "molecular"
+                ) -> tuple[Network, Clock, PhaseProtocol]:
+    """A standalone, finalized clock network (experiment E1).
+
+    ``oscillator`` selects a registered chemistry; the explicit
+    ``acceleration`` override still applies on top of whatever the
+    chemistry's own default is.
+    """
+    network = Network(f"{oscillator}_clock")
     protocol = PhaseProtocol(gating=gating, acceleration=acceleration)
-    clock = MolecularClock(mass=mass)
+    clock = make_clock(oscillator, mass=mass)
     clock.build(network, protocol)
     protocol.finalize(network)
     return network, clock, protocol

@@ -32,6 +32,7 @@ from repro.crn.simulation.ode import OdeSimulator
 from repro.crn.simulation.result import Trajectory
 from repro.crn.species import COLORS
 from repro.core.dfg import MatrixDesign, SignalFlowGraph
+from repro.core.phases import landing_map
 from repro.core.synthesis import SynthesizedCircuit, synthesize
 from repro.errors import SimulationError, SynthesisError
 from repro.obs.metrics import ensure_metrics
@@ -43,6 +44,69 @@ from repro.waves.probe import ensure_probe, signal_key
 
 #: Colour rotation order: transfers move mass colour -> next colour.
 _ROTATION = ("red", "green"), ("green", "blue"), ("blue", "red")
+
+#: Recognised cycle-advance strategies for :class:`MachineOptions`.
+CLOCKING_MODES = ("fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class MachineOptions:
+    """Machine-level strategy knobs, separate from rate/tolerance numbers.
+
+    clocking:
+        ``"fixed"`` (default) ends each cycle on the classic worst-case
+        boundary event -- clock red back above ``boundary_fraction`` of
+        the nominal mass *and* every blue species drained below
+        ``blue_tolerance``.  ``"adaptive"`` ends the cycle as soon as the
+        state has *digitally* settled: clock red above
+        ``settle_fraction`` of nominal (phase 3 underway), the green
+        category drained, and the signal blues below the settling
+        residual.  The sub-threshold blue tail that fixed clocking waits
+        out is then completed algebraically at the boundary (each
+        remaining blue moved along its unique gated seed transfer), so
+        quantized digital state and readouts are identical while the
+        simulated cycle time shrinks.
+    settle_fraction:
+        clock-red fraction arming the adaptive settling event.  Must
+        exceed 0.5 (so the event stays negative until the departure
+        region is left and cannot fire spuriously) and stay below the
+        machine's ``boundary_fraction`` (otherwise adaptive clocking
+        would wait on the same worst-case schedule it replaces).
+    settle_residual:
+        signal-blue residual fraction (of the cycle's signal mass)
+        regarded as settled -- an R104-style boundary residual, kept
+        under the monitor's ``boundary_residual_warn`` default (0.05) so
+        an adaptive boundary never carries a residual that the fixed
+        monitor would have warned about.
+    oscillator:
+        registered clock chemistry to synthesize with (see
+        :func:`repro.core.clock.make_clock`).  Ignored when a pre-built
+        :class:`SynthesizedCircuit` is supplied, since its clock was
+        already chosen at synthesis time.
+    """
+
+    clocking: str = "fixed"
+    settle_fraction: float = 0.55
+    settle_residual: float = 0.04
+    oscillator: str = "molecular"
+
+    def __post_init__(self) -> None:
+        if self.clocking not in CLOCKING_MODES:
+            raise SimulationError(
+                f"unknown clocking mode {self.clocking!r}: expected one "
+                f"of {', '.join(CLOCKING_MODES)}")
+        if not 0.5 < self.settle_fraction < 1.0:
+            raise SimulationError(
+                f"settle_fraction must lie in (0.5, 1.0), got "
+                f"{self.settle_fraction!r}")
+        if not 0.0 < self.settle_residual < 1.0:
+            raise SimulationError(
+                f"settle_residual must lie in (0, 1), got "
+                f"{self.settle_residual!r}")
+
+    @property
+    def adaptive(self) -> bool:
+        return self.clocking == "adaptive"
 
 
 @dataclass
@@ -75,26 +139,47 @@ class MachineRun:
     def n_cycles(self) -> int:
         return len(self.cycles)
 
+    @staticmethod
+    def _comparable(name: str, measured: np.ndarray,
+                    expected: np.ndarray) -> np.ndarray:
+        """Per-sample deviations over the reference-length prefix.
+
+        The measured stream is *by design* longer than the reference --
+        the driver appends ``extra_cycles`` flush samples after the last
+        input -- so a longer measurement is aligned by comparing the
+        first ``len(expected)`` samples.  A *shorter* measurement means
+        the run ended early (stall, crash, truncated stitching) and the
+        error metrics would silently judge only the prefix that happens
+        to exist, so conformance and fault scorers could not tell a
+        short run from a good one: that case raises, naming both
+        lengths.
+        """
+        if len(measured) < len(expected):
+            raise SimulationError(
+                f"output {name!r} has {len(measured)} samples but the "
+                f"reference has {len(expected)}: the run ended before "
+                f"every reference sample was produced, so its error "
+                f"metrics would be judged on a truncated stream")
+        n = len(expected)
+        return measured[:n] - expected[:n]
+
     def max_error(self, name: str | None = None) -> float:
         """Worst absolute deviation from the discrete-time reference."""
         names = [name] if name else list(self.outputs)
         worst = 0.0
         for key in names:
-            measured = self.outputs[key]
-            expected = self.reference[key]
-            n = min(len(measured), len(expected))
-            if n:
-                worst = max(worst, float(np.max(np.abs(
-                    measured[:n] - expected[:n]))))
+            deviation = self._comparable(key, self.outputs[key],
+                                         self.reference[key])
+            if deviation.size:
+                worst = max(worst, float(np.max(np.abs(deviation))))
         return worst
 
     def rms_error(self, name: str) -> float:
-        measured = self.outputs[name]
-        expected = self.reference[name]
-        n = min(len(measured), len(expected))
-        if n == 0:
+        deviation = self._comparable(name, self.outputs[name],
+                                     self.reference[name])
+        if deviation.size == 0:
             return 0.0
-        return float(np.sqrt(np.mean((measured[:n] - expected[:n]) ** 2)))
+        return float(np.sqrt(np.mean(deviation ** 2)))
 
     @property
     def mean_cycle_time(self) -> float:
@@ -121,12 +206,15 @@ class SynchronousMachine:
                  rtol: float = 1e-7, atol: float = 1e-9,
                  tracer=None, metrics=None,
                  monitor: MonitorConfig | None = None,
-                 faults=None, probe=None):
+                 faults=None, probe=None,
+                 options: MachineOptions | None = None):
+        self.options = options or MachineOptions()
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
             self.circuit = synthesize(design, clock_mass=clock_mass,
-                                      signed=signed, gating=gating)
+                                      signed=signed, gating=gating,
+                                      oscillator=self.options.oscillator)
         self.scheme = scheme or RateScheme()
         # Fault injection: materialise the perturbed system up front so
         # every derived quantity below (tolerances, indices, simulator)
@@ -198,6 +286,25 @@ class SynchronousMachine:
             color: [s.name for s in self.network.species
                     if s.role == "signal" and s.color == color]
             for color in COLORS}
+        # Adaptive-clocking bookkeeping (also feeds the fixed-mode
+        # recoverable-dead-time attribution in telemetry): the green
+        # category, the blue species outside the clock, and -- in
+        # adaptive mode -- where each blue's boundary residual lands.
+        self._green_indices = [
+            self.network.species_index(s)
+            for s in self.network.species_with_color("green")]
+        clock_set = set(self._clock_indices)
+        self._signal_blue_indices = [i for i in self._blue_indices
+                                     if i not in clock_set]
+        if self.options.adaptive:
+            if not self.options.settle_fraction < self.boundary_fraction:
+                raise SimulationError(
+                    f"adaptive clocking needs settle_fraction "
+                    f"({self.options.settle_fraction}) below "
+                    f"boundary_fraction ({self.boundary_fraction}): "
+                    f"otherwise it waits on the worst-case schedule it "
+                    f"is meant to replace")
+            self._landing = self._landing_plan()
         # Period estimate for sample-density planning (updated per cycle).
         self._last_period: float | None = None
         # Previous cycle's segment durations: time-to-event hints for the
@@ -283,6 +390,94 @@ class SynchronousMachine:
         event.terminal = True
         event.direction = 1.0
         return event
+
+    def _settle_event(self, signal_mass: float):
+        """Adaptive-boundary event: fires once the state has digitally
+        settled, instead of waiting out the worst-case schedule.
+
+        Three conditions, combined as a min so the event function
+        crosses zero upward exactly when the last one is met:
+
+        * clock red back above ``settle_fraction`` of nominal -- phase 3
+          is underway (the fraction exceeds 0.5, so the value is
+          negative right after departure and cannot re-fire at segment
+          start);
+        * the green category drained to ``blue_tolerance`` -- every
+          green -> blue transfer has completed, so the signal-blue total
+          below measures a *draining* tail, not one still being fed;
+        * the signal blues below the settling residual (an R104-style
+          boundary residual, kept under the monitor's warn fraction).
+
+        The clock's own blue is deliberately absent: its tail is the
+        slowest drain of all and carries no digital information -- the
+        boundary landing and the quantisation top-up rotate it back to
+        red exactly.
+        """
+        opts = self.options
+        floor = opts.settle_fraction * self.circuit.clock.mass
+        green_tol = self.blue_tolerance
+        blue_tol = max(self.blue_tolerance,
+                       opts.settle_residual * signal_mass)
+        green_indices = self._green_indices
+        signal_blues = self._signal_blue_indices
+        clock_red = self._effective_clock_red()
+
+        def event(t: float, x: np.ndarray) -> float:
+            greens = float(x[green_indices].sum())
+            blues = float(x[signal_blues].sum())
+            return min(clock_red(x) - floor, green_tol - greens,
+                       blue_tol - blues)
+
+        event.terminal = True
+        event.direction = 1.0
+        return event
+
+    def _landing_plan(self) -> list[tuple[int, list[tuple[int, float]]]]:
+        """Index-resolved blue seed transfers for the adaptive boundary.
+
+        Adaptive clocking ends the cycle while each blue species still
+        carries a sub-threshold residual; the residual is completed
+        algebraically by moving it along the species' unique gated seed
+        transfer -- the very reaction fixed clocking sits through.  A
+        blue species with no (or an ambiguous) seed transfer leaves
+        nowhere sound to land that residual, so adaptive mode refuses
+        such circuits up front rather than corrupting their state.
+        """
+        transfers = landing_map(self.network, self.circuit.protocol,
+                                color="blue")
+        plan: list[tuple[int, list[tuple[int, float]]]] = []
+        for index in self._blue_indices:
+            name = self.network.species[index].name
+            targets = transfers.get(name)
+            if not targets:
+                raise SynthesisError(
+                    f"adaptive clocking needs a gated seed transfer for "
+                    f"every blue species, but {name!r} has none: its "
+                    f"boundary residual cannot be landed")
+            plan.append((index, [(self.network.species_index(target),
+                                  ratio) for target, ratio in targets]))
+        return plan
+
+    def _land_residuals(self, state: np.ndarray) -> np.ndarray:
+        """Complete the sub-threshold blue tail algebraically.
+
+        At an adaptive boundary every blue species holds at most its
+        settling residual; the chemistry that would finish draining it
+        is its gated seed transfer, whose completion fixed clocking
+        waits for.  Moving the residual to the transfer's products keeps
+        the readout identical (readouts count in-flight blues and landed
+        targets alike) and hands :meth:`_quantize` a state with the same
+        digital content as a fixed boundary would have.
+        """
+        state = state.copy()
+        for index, targets in self._landing:
+            amount = float(state[index])
+            if amount <= 0.0:
+                continue
+            state[index] = 0.0
+            for target_index, ratio in targets:
+                state[target_index] += amount * ratio
+        return state
 
     # -- driving ------------------------------------------------------------------------
 
@@ -377,6 +572,8 @@ class SynchronousMachine:
         span = CycleSpan(index, t_start, segment.t_final, wall)
         self._last_period = span.duration
         state = segment.final()
+        if self.options.adaptive:
+            state = self._land_residuals(state)
         if telemetry:
             self._emit_cycle_telemetry(span, segment, state, monitor)
         return state, span, segment
@@ -393,9 +590,14 @@ class SynchronousMachine:
         probe = self.probe
         if tracer.enabled or probe.enabled:
             # The phase/transfer decomposition feeds both the trace and
-            # the waveform probe; compute it once.
+            # the waveform probe; compute it once.  ``boundary_wait`` is
+            # the recoverable dead time: how long the cycle kept running
+            # after the adaptive settling condition first held.
             phases = self._phase_spans(segment, span)
             transfers = self._transfer_spans(segment, span, phases)
+            boundary_wait = self._boundary_wait(segment)
+            if metrics.enabled:
+                metrics.observe("machine.boundary_wait", boundary_wait)
         if tracer.enabled:
             tracer.emit_cycle(span)
             for color, t0, t1 in phases:
@@ -407,17 +609,56 @@ class SynchronousMachine:
             for name, t0, t1, args in transfers:
                 tracer.emit_span(name, "protocol", t0, t1, args)
             tracer.emit_event("boundary", "machine", span.t1,
-                              {"cycle": span.index})
+                              {"cycle": span.index,
+                               "boundary_wait": boundary_wait})
         if probe.enabled:
-            self._probe_cycle(span, segment, state, phases, transfers)
+            self._probe_cycle(span, segment, state, phases, transfers,
+                              boundary_wait)
         if monitor is not None:
             # Conservation is judged on the pre-replenishment state: the
             # boundary top-up in _quantize would mask the drift.
             monitor.observe_cycle(span, segment,
                                   clock_total=self._clock_total(state))
 
+    def _boundary_wait(self, segment: Trajectory) -> float:
+        """Recoverable dead time within one cycle segment.
+
+        Simulated time between the first post-departure sample at which
+        the adaptive settling condition holds and the cycle's actual
+        end.  Under fixed clocking this is the margin adaptive clocking
+        recovers; under adaptive clocking it is ~0 by construction
+        (bounded by the sample spacing).  Sample-grid resolution is
+        deliberate: this is attribution telemetry, not an event.
+        """
+        states = segment.states
+        times = segment.times
+        if times.size == 0:
+            return 0.0
+        reds = states[:, self._clock_red_index].astype(float)
+        if self._clock_red_dimer_index is not None:
+            reds = reds + 2.0 * states[:, self._clock_red_dimer_index]
+        mass = self.circuit.clock.mass
+        departed = np.nonzero(reds < 0.5 * mass)[0]
+        if departed.size == 0:
+            return 0.0
+        start = int(departed[0])
+        greens = states[:, self._green_indices].sum(axis=1)
+        blues = states[:, self._signal_blue_indices].sum(axis=1)
+        opts = self.options
+        blue_tol = max(self.blue_tolerance,
+                       opts.settle_residual * self._signal_mass(states[0]))
+        settled = ((reds >= opts.settle_fraction * mass)
+                   & (greens <= self.blue_tolerance)
+                   & (blues <= blue_tol))
+        hits = np.nonzero(settled[start:])[0]
+        if hits.size == 0:
+            return 0.0
+        t_settle = float(times[start + int(hits[0])])
+        return max(float(times[-1]) - t_settle, 0.0)
+
     def _probe_cycle(self, span: CycleSpan, segment: Trajectory,
-                     state: np.ndarray, phases, transfers) -> None:
+                     state: np.ndarray, phases, transfers,
+                     boundary_wait: float = 0.0) -> None:
         """Chart registers and clock mass on the waveform probe and
         stream the boundary sample (the assertion namespace).
 
@@ -428,7 +669,7 @@ class SynchronousMachine:
         before any end-of-run scorer compares outputs.
         """
         probe = self.probe
-        probe.observe_cycle(span, phases, transfers)
+        probe.observe_cycle(span, phases, transfers, boundary_wait)
         # Adaptive within-cycle sampling: at most ``samples_per_cycle``
         # rows of the integrated segment; the change-list compresses
         # plateaus away.
@@ -544,19 +785,29 @@ class SynchronousMachine:
                 f"clock did not leave the boundary within "
                 f"{self.max_cycle_time:g} time units after t={t_start:g}: "
                 f"the oscillator appears stalled")
+        # The LSODA fast path supports exactly one terminal directional
+        # event per segment, so the adaptive settle event *replaces* the
+        # fixed boundary event rather than racing it.  Separate hint keys
+        # keep the warm-start estimates honest if a caller alternates.
+        if self.options.adaptive:
+            closing = self._settle_event(signal_mass)
+            estimate_key = "settle"
+        else:
+            closing = self._boundary_event(signal_mass)
+            estimate_key = "boundary"
         boundary = self.simulator.simulate(
             departure.t_final + self.max_cycle_time,
             t_start=departure.t_final, initial=departure.final(),
             n_samples=n_samples,
-            events=[self._boundary_event(signal_mass)],
-            event_hint=estimates.get("boundary"))
+            events=[closing],
+            event_hint=estimates.get(estimate_key))
         if "event" not in boundary.meta:
             raise SimulationError(
                 f"no cycle boundary within {self.max_cycle_time:g} time "
                 f"units after t={departure.t_final:g}: machine appears "
                 f"stalled (check rate separation and blue_tolerance)")
         estimates["departure"] = departure.t_final - t_start
-        estimates["boundary"] = boundary.t_final - departure.t_final
+        estimates[estimate_key] = boundary.t_final - departure.t_final
         return departure.concat(boundary)
 
     def _quantize(self, state: np.ndarray) -> np.ndarray:

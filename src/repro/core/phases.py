@@ -427,6 +427,49 @@ class PhaseProtocol:
         return self._finalized
 
 
+def landing_map(network: Network, protocol: PhaseProtocol,
+                color: str = "blue") -> dict[str, list[tuple[str, float]]]:
+    """Where each ``color`` species' mass lands when its phase completes.
+
+    For every colour-coded species, find its gated *seed* transfer (the
+    reaction whose reactants are exactly the species plus its phase
+    gate) and report the per-unit landing: a list of ``(product_name,
+    units_produced_per_unit_consumed)``.  The adaptive-clocking driver
+    uses this to complete a settled transfer algebraically -- the
+    residual tail of the drain is a deterministic 1:q -> p relocation,
+    so once the transfer has digitally settled the remaining mass can
+    be moved to its destination without integrating the tail out.
+
+    Species with no seed transfer are absent from the map; a species
+    with *several* seed transfers (ambiguous landing) raises, because
+    mass would split rate-dependently and no algebraic completion
+    exists.
+    """
+    gate_name = protocol.gate_indicator(color).name
+    result: dict[str, list[tuple[str, float]]] = {}
+    for species in network.species_with_color(color):
+        for reaction in network.reactions:
+            consumed = reaction.reactants.get(species, 0)
+            if not consumed:
+                continue
+            names = {s.name for s in reaction.reactants}
+            if names != {species.name, gate_name}:
+                continue  # scavenge/consumption/acceleration, not the seed
+            if reaction.reactants.get(as_species(gate_name), 0) != 1:
+                continue
+            targets = [(product.name, coeff / consumed)
+                       for product, coeff in reaction.products.items()
+                       if product.name not in (gate_name, species.name)]
+            if not targets:
+                continue
+            if species.name in result:
+                raise NetworkError(
+                    f"{species.name!r} has several gated transfers; its "
+                    f"landing is ambiguous")
+            result[species.name] = targets
+    return result
+
+
 def rational_gain(value) -> Fraction:
     """Coerce a gain coefficient to an exact rational.
 

@@ -34,7 +34,8 @@ import numpy as np
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.ssa import StochasticSimulator
 from repro.core.dfg import MatrixDesign, SignalFlowGraph
-from repro.core.machine import MachineRun
+from repro.core.machine import MachineOptions, MachineRun
+from repro.core.phases import landing_map
 from repro.core.synthesis import SynthesizedCircuit, synthesize
 from repro.errors import SimulationError, SynthesisError
 from repro.obs.records import CycleSpan
@@ -63,12 +64,15 @@ class StochasticMachine:
                  straggler_tolerance: int = 4,
                  max_cycle_time: float | None = None,
                  tracer=None, metrics=None,
-                 faults=None, probe=None):
+                 faults=None, probe=None,
+                 options: MachineOptions | None = None):
+        self.options = options or MachineOptions()
         if isinstance(design, SynthesizedCircuit):
             self.circuit = design
         else:
             self.circuit = synthesize(design, clock_mass=clock_mass,
-                                      signed=signed)
+                                      signed=signed,
+                                      oscillator=self.options.oscillator)
         if scheme is None:
             # The ODE driver keeps indicator generation tiny because the
             # continuum integrates its floor into cross-gate leaks.  In
@@ -109,6 +113,36 @@ class StochasticMachine:
             for s in self.network.species_with_color("blue")]
         self._clock_red_index = self.network.species_index(
             self.circuit.clock.red.name)
+        # Adaptive clocking under SSA mirrors the ODE driver: the poll
+        # scan accepts a boundary once the state has digitally settled,
+        # and the remaining (integer) blue residuals are landed along
+        # their unique gated seed transfers.
+        self._green_indices = [
+            self.network.species_index(s)
+            for s in self.network.species_with_color("green")]
+        clock_set = {self.network.species_index(name)
+                     for name in self.circuit.clock.species_names()}
+        self._signal_blue_indices = [i for i in self._blue_indices
+                                     if i not in clock_set]
+        if self.options.adaptive:
+            if not self.options.settle_fraction < self.boundary_fraction:
+                raise SimulationError(
+                    f"adaptive clocking needs settle_fraction "
+                    f"({self.options.settle_fraction}) below "
+                    f"boundary_fraction ({self.boundary_fraction})")
+            transfers = landing_map(self.network, self.circuit.protocol,
+                                    color="blue")
+            self._landing = []
+            for index in self._blue_indices:
+                name = self.network.species[index].name
+                targets = transfers.get(name)
+                if not targets:
+                    raise SynthesisError(
+                        f"adaptive clocking needs a gated seed transfer "
+                        f"for every blue species, but {name!r} has none")
+                self._landing.append(
+                    (index, [(self.network.species_index(target), ratio)
+                             for target, ratio in targets]))
 
     @property
     def network(self):
@@ -189,7 +223,16 @@ class StochasticMachine:
         empty) can be much shorter than a chunk, because the blue-absence
         gate is still on from the previous cycle and phase 1 restarts
         immediately."""
-        threshold = self.boundary_fraction * self.circuit.clock.mass
+        opts = self.options
+        adaptive = opts.adaptive
+        threshold = (opts.settle_fraction if adaptive
+                     else self.boundary_fraction) * self.circuit.clock.mass
+        if adaptive:
+            # Settling residual scales with the cycle's live signal mass
+            # (integer counts), never below the fixed tolerance.
+            signal_mass = int(counts[self._colored_indices].sum())
+            settle_tol = max(self.blue_tolerance,
+                             int(opts.settle_residual * signal_mass))
         samples_per_chunk = 16
         departed = False
         cycle_start = t
@@ -198,18 +241,29 @@ class StochasticMachine:
             trajectory = self.simulator.simulate(
                 self.poll_interval, initial=counts,
                 n_samples=samples_per_chunk)
-            reds = trajectory.states[:, self._clock_red_index]
-            blues = trajectory.states[:, self._blue_indices].sum(axis=1)
+            states = trajectory.states
+            reds = states[:, self._clock_red_index]
+            if adaptive:
+                greens = states[:, self._green_indices].sum(axis=1)
+                blues = states[:, self._signal_blue_indices].sum(axis=1)
+            else:
+                blues = states[:, self._blue_indices].sum(axis=1)
             for i in range(1, samples_per_chunk):
                 if not departed:
                     if reds[i] < 0.5 * self.circuit.clock.mass:
                         departed = True
+                elif adaptive:
+                    if (reds[i] >= threshold
+                            and greens[i] <= self.blue_tolerance
+                            and blues[i] <= settle_tol):
+                        counts = np.rint(states[i]).astype(np.int64)
+                        return (self._land_residuals(counts),
+                                t + float(trajectory.times[i]))
                 elif (reds[i] >= threshold
                       and blues[i] <= self.blue_tolerance):
                     # Restart from this recorded state (Markov property:
                     # any sampled state is a valid SSA initial state).
-                    counts = np.rint(trajectory.states[i]).astype(
-                        np.int64)
+                    counts = np.rint(states[i]).astype(np.int64)
                     return counts, t + float(trajectory.times[i])
             counts = np.rint(trajectory.final()).astype(np.int64)
             t += self.poll_interval
@@ -225,6 +279,24 @@ class StochasticMachine:
                     f"no stochastic cycle boundary within "
                     f"{self.max_cycle_time:g} time units after "
                     f"t={cycle_start:g}")
+
+    def _land_residuals(self, counts: np.ndarray) -> np.ndarray:
+        """Complete residual blue molecules along their seed transfers.
+
+        The integer counterpart of the ODE driver's algebraic landing:
+        each remaining blue molecule is moved to the products of its
+        unique gated seed transfer, exactly what the chemistry would do
+        in the dead time the adaptive boundary skipped.
+        """
+        counts = counts.copy()
+        for index, targets in self._landing:
+            amount = int(counts[index])
+            if amount <= 0:
+                continue
+            counts[index] = 0
+            for target_index, ratio in targets:
+                counts[target_index] += int(round(amount * ratio))
+        return counts
 
     def _flush_stragglers(self, counts: np.ndarray) -> np.ndarray:
         """Degrade straggler molecules wedging the rotation (see module

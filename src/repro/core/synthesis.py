@@ -34,7 +34,7 @@ from fractions import Fraction
 
 from repro.crn.network import Network
 from repro.crn.species import Species
-from repro.core.clock import MolecularClock
+from repro.core.clock import Clock, make_clock
 from repro.core.dfg import MatrixDesign, SignalFlowGraph
 from repro.core.phases import PhaseProtocol
 from repro.errors import SynthesisError
@@ -49,7 +49,7 @@ class SynthesizedCircuit:
     design: MatrixDesign
     network: Network
     protocol: PhaseProtocol
-    clock: MolecularClock
+    clock: Clock
     signed: bool
     source_species: dict[str, dict[str, str]] = field(default_factory=dict)
     readout_species: dict[str, dict[str, str]] = field(default_factory=dict)
@@ -105,8 +105,15 @@ def synthesize(design: MatrixDesign | SignalFlowGraph,
                clock_mass: float = 20.0,
                signed: bool | None = None,
                gating: str = "catalytic",
-               protocol: PhaseProtocol | None = None) -> SynthesizedCircuit:
-    """Compile a design to a finalized reaction network with a clock."""
+               protocol: PhaseProtocol | None = None,
+               oscillator: str = "molecular") -> SynthesizedCircuit:
+    """Compile a design to a finalized reaction network with a clock.
+
+    ``oscillator`` names a registered clock chemistry (see
+    :func:`repro.core.clock.make_clock`); every registered oscillator
+    drives the same three-colour protocol, so the rest of the synthesis
+    is oscillator-agnostic.
+    """
     if isinstance(design, SignalFlowGraph):
         design = design.to_matrix()
     design.validate()
@@ -122,7 +129,8 @@ def synthesize(design: MatrixDesign | SignalFlowGraph,
 
     circuit = SynthesizedCircuit(design=design, network=network,
                                  protocol=protocol,
-                                 clock=MolecularClock(mass=clock_mass),
+                                 clock=make_clock(oscillator,
+                                                  mass=clock_mass),
                                  signed=signed)
 
     _declare_species(circuit, rails)

@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.apps.filters import iir_first_order, moving_average
-from repro.core.machine import SynchronousMachine
+from repro.core.machine import MachineOptions, SynchronousMachine
 from repro.crn.rates import RateScheme
 from repro.digital.counter import BinaryCounter
 from repro.errors import FaultError, SimulationError
@@ -120,11 +120,16 @@ class MachineCircuit:
     """
 
     def __init__(self, name: str, builder, samples,
-                 monitor: MonitorConfig | None = None):
+                 monitor: MonitorConfig | None = None,
+                 options: MachineOptions | None = None):
         self.name = name
         self.builder = builder
         self.samples = [float(v) for v in samples]
         self.monitor = monitor
+        #: machine strategy knobs (clocking mode, oscillator); campaigns
+        #: re-run under ``clocking="adaptive"`` to measure the margin
+        #: difference between the two boundary disciplines.
+        self.options = options
 
     def nominal_scheme(self) -> RateScheme:
         return RateScheme()
@@ -136,7 +141,7 @@ class MachineCircuit:
             machine = SynchronousMachine(
                 self.builder(), scheme=scheme,
                 monitor=self.monitor or MonitorConfig(),
-                faults=plan)
+                faults=plan, options=self.options)
             run = machine.run({"x": self.samples})
         except SimulationError as exc:
             return TrialScore(

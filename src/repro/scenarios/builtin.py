@@ -22,11 +22,13 @@ from repro.scenarios.registry import Scenario, register_scenario
 
 
 def _clock_network(mass: float = 20.0, gating: str = "catalytic",
-                   acceleration: str | None = None):
+                   acceleration: str | None = None,
+                   oscillator: str = "molecular"):
     from repro.core.clock import build_clock
 
     network, _, _ = build_clock(mass=mass, gating=gating,
-                                acceleration=acceleration)
+                                acceleration=acceleration,
+                                oscillator=oscillator)
     return network
 
 
@@ -65,12 +67,26 @@ def _random_network(seed: int = 0, max_species: int = 5,
 
 
 def _clock_driver(mass: float = 20.0, gating: str = "catalytic",
-                  acceleration: str | None = None):
-    """The ``(network, MolecularClock, PhaseProtocol)`` builder trio."""
+                  acceleration: str | None = None,
+                  oscillator: str = "molecular"):
+    """The ``(network, Clock, PhaseProtocol)`` builder trio."""
     from repro.core.clock import build_clock
 
     return build_clock(mass=mass, gating=gating,
-                       acceleration=acceleration)
+                       acceleration=acceleration,
+                       oscillator=oscillator)
+
+
+def _relaxation_clock_network(mass: float = 20.0,
+                              gating: str = "catalytic"):
+    return _clock_network(mass=mass, gating=gating,
+                          oscillator="relaxation")
+
+
+def _relaxation_clock_driver(mass: float = 20.0,
+                             gating: str = "catalytic"):
+    return _clock_driver(mass=mass, gating=gating,
+                         oscillator="relaxation")
 
 
 def _counter_driver(bits: int = 2):
@@ -146,13 +162,16 @@ def _probed_fsm(probe, *, seed=0, machine="parity", pattern="101",
 
 
 def _probed_machine(design_builder):
-    def run(probe, *, monitor=None, input_samples=None, **_) -> dict:
-        from repro.core.machine import SynchronousMachine
+    def run(probe, *, monitor=None, input_samples=None,
+            clocking="fixed", oscillator="molecular", **_) -> dict:
+        from repro.core.machine import MachineOptions, SynchronousMachine
 
         samples = list(input_samples) if input_samples is not None \
             else [8.0, 4.0, 6.0, 2.0]
-        machine = SynchronousMachine(design_builder(), monitor=monitor,
-                                     probe=probe)
+        machine = SynchronousMachine(
+            design_builder(), monitor=monitor, probe=probe,
+            options=MachineOptions(clocking=clocking,
+                                   oscillator=oscillator))
         run = machine.run({"x": samples})
         return {"outputs": [float(v) for v in run.outputs["y"]],
                 "reference": [float(v) for v in run.reference["y"]],
@@ -165,18 +184,21 @@ def _probed_machine(design_builder):
 
 
 def _probed_ma(probe, *, monitor=None, taps=2, input_samples=None,
-               **_) -> dict:
+               clocking="fixed", oscillator="molecular", **_) -> dict:
     from repro.apps import moving_average
 
     return _probed_machine(lambda: moving_average(taps))(
-        probe, monitor=monitor, input_samples=input_samples)
+        probe, monitor=monitor, input_samples=input_samples,
+        clocking=clocking, oscillator=oscillator)
 
 
-def _probed_iir(probe, *, monitor=None, input_samples=None, **_) -> dict:
+def _probed_iir(probe, *, monitor=None, input_samples=None,
+                clocking="fixed", oscillator="molecular", **_) -> dict:
     from repro.apps import iir_first_order
 
     return _probed_machine(iir_first_order)(
-        probe, monitor=monitor, input_samples=input_samples)
+        probe, monitor=monitor, input_samples=input_samples,
+        clocking=clocking, oscillator=oscillator)
 
 
 # -- registration -------------------------------------------------------------
@@ -232,6 +254,18 @@ register_scenario(Scenario(
     build_driver=_iir_driver,
     make_circuit=_iir_circuit,
     run_probed=_probed_iir,
+))
+
+register_scenario(Scenario(
+    name="clock-relaxation",
+    description="relaxation-oscillator clock (Shi & Gao chemistry) "
+                "driving the same three-colour protocol",
+    tags=frozenset({"network", "conformance-circuit"}),
+    build_network=_relaxation_clock_network,
+    build_driver=_relaxation_clock_driver,
+    conformance={"target": "circuit:clock-relaxation",
+                 "t_final_cap": 2.0,
+                 "stochastic": False, "stiff": True, "params": {}},
 ))
 
 register_scenario(Scenario(

@@ -12,8 +12,10 @@ The probe owns three things:
 - a :class:`~repro.waves.waveform.Waveform` accumulating change-lists,
 - an optional :class:`~repro.waves.assertions.AssertionEngine` fed
   online as changes and cycle boundaries stream in,
-- the per-cycle ``(span, phases, transfers)`` structure the cycle
-  profiler (:mod:`repro.waves.profiler`) consumes.
+- the per-cycle ``(span, phases, transfers, boundary_wait)`` structure
+  the cycle profiler (:mod:`repro.waves.profiler`) consumes;
+  ``boundary_wait`` is the recoverable dead time between digital
+  settling and the actual cycle boundary.
 
 Drivers call :meth:`record` for within-cycle samples, :meth:`boundary`
 once per cycle boundary with the full boundary value dict (also the
@@ -66,8 +68,9 @@ class WaveformProbe:
         self.waveform = Waveform()
         self.engine = assertions
         self.samples_per_cycle = int(samples_per_cycle)
-        #: per-cycle (CycleSpan, phases, transfers) for the profiler;
-        #: phases are (color, t0, t1), transfers (name, t0, t1, args).
+        #: per-cycle (CycleSpan, phases, transfers, boundary_wait) for
+        #: the profiler; phases are (color, t0, t1), transfers
+        #: (name, t0, t1, args), boundary_wait the recoverable dead time.
         self.cycle_records: list[tuple] = []
         self._finished = False
 
@@ -89,10 +92,12 @@ class WaveformProbe:
         if self.engine is not None:
             self.engine.on_boundary(int(cycle), float(t), values)
 
-    def observe_cycle(self, span, phases, transfers) -> None:
+    def observe_cycle(self, span, phases, transfers,
+                      boundary_wait: float = 0.0) -> None:
         """Store one cycle's phase/transfer decomposition and chart the
         phase channel."""
-        self.cycle_records.append((span, list(phases), list(transfers)))
+        self.cycle_records.append((span, list(phases), list(transfers),
+                                   float(boundary_wait)))
         for color, t0, _t1 in phases:
             self.record(PHASE_SIGNAL, t0, color, kind="state")
 
@@ -133,7 +138,8 @@ class NullWaveformProbe:
     def boundary(self, cycle, t, values) -> None:
         pass
 
-    def observe_cycle(self, span, phases, transfers) -> None:
+    def observe_cycle(self, span, phases, transfers,
+                      boundary_wait=0.0) -> None:
         pass
 
     def finish(self, t=None) -> list:

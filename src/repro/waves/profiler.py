@@ -8,10 +8,11 @@ waiting on a conservatively long phase.  Measuring it per phase is the
 input ROADMAP item 3 (adaptive clocking) needs: a phase whose transfers
 consistently settle at 40% of its window can be advanced early.
 
-The profiler consumes the ``(span, phases, transfers)`` records a
-:class:`~repro.waves.probe.WaveformProbe` accumulates -- the same
-phase/transfer decomposition the tracer emits as spans, so the
-profile and the trace can never disagree.
+The profiler consumes the ``(span, phases, transfers, boundary_wait)``
+records a :class:`~repro.waves.probe.WaveformProbe` accumulates -- the
+same phase/transfer decomposition the tracer emits as spans, so the
+profile and the trace can never disagree.  (Older three-element records
+without the boundary wait are still accepted.)
 
 Definitions (per cycle, per phase)
 ----------------------------------
@@ -23,6 +24,11 @@ dead time
 critical transfer
     the transfer with the latest end time in the cycle -- the one that
     sets the cycle's computational length.
+boundary wait (recoverable dead time)
+    measured by the machine itself: simulated time between the moment
+    the adaptive settling condition first held and the actual cycle
+    boundary.  Under fixed clocking this is exactly what
+    ``clocking="adaptive"`` recovers; under adaptive clocking it is ~0.
 """
 
 from __future__ import annotations
@@ -75,6 +81,8 @@ class CycleProfile:
     critical_transfer: str = ""
     #: end time of that transfer relative to cycle start.
     critical_t: float = 0.0
+    #: recoverable dead time after digital settling (machine-measured).
+    boundary_wait: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -89,6 +97,7 @@ class CycleProfile:
                 "critical_transfer": self.critical_transfer,
                 "critical_t": self.critical_t,
                 "dead_time": self.dead_time,
+                "boundary_wait": self.boundary_wait,
                 "phases": [{"color": c, "duration": d, "settling": s,
                             "dead": dead}
                            for c, d, s, dead in self.phases]}
@@ -117,6 +126,20 @@ class CycleProfileReport:
             return 0.0
         return sum(row.dead_time for row in self.cycles) / total
 
+    @property
+    def recoverable_dead_time(self) -> float:
+        """Total machine-measured boundary wait: the simulated time an
+        adaptive boundary would have cut from this run."""
+        return sum(row.boundary_wait for row in self.cycles)
+
+    @property
+    def recoverable_fraction(self) -> float:
+        """Recoverable dead time as a fraction of total simulated time."""
+        total = self.total_time
+        if total <= 0:
+            return 0.0
+        return self.recoverable_dead_time / total
+
     def critical_transfer_counts(self) -> dict:
         """How often each transfer set a cycle's length."""
         counts: dict[str, int] = {}
@@ -131,6 +154,8 @@ class CycleProfileReport:
         return {"n_cycles": self.n_cycles,
                 "total_time": self.total_time,
                 "dead_time_fraction": self.dead_time_fraction,
+                "recoverable_dead_time": self.recoverable_dead_time,
+                "recoverable_fraction": self.recoverable_fraction,
                 "critical_transfers": self.critical_transfer_counts(),
                 "phases": {color: profile.to_dict()
                            for color, profile in self.phases.items()},
@@ -150,6 +175,12 @@ def render_profile(profile: dict) -> str:
     lines = [f"cycle profile: {profile['n_cycles']} cycles, "
              f"{profile['total_time']:.4g} time units, "
              f"dead-time fraction {profile['dead_time_fraction']:.3f}"]
+    recoverable = profile.get("recoverable_fraction")
+    if recoverable is not None:
+        lines.append(
+            f"  recoverable (adaptive clocking): "
+            f"{profile['recoverable_dead_time']:.4g} time units "
+            f"({recoverable:.3f} of total)")
     for color, agg in profile["phases"].items():
         lines.append(
             f"  phase {color:<6} mean duration "
@@ -168,15 +199,20 @@ def render_profile(profile: dict) -> str:
 def profile_cycles(cycle_records) -> CycleProfileReport:
     """Profile a probe's ``cycle_records``.
 
-    ``cycle_records`` is a list of ``(span, phases, transfers)`` where
-    ``span`` is a :class:`~repro.obs.records.CycleSpan`, ``phases`` a
-    list of ``(color, t0, t1)`` and ``transfers`` a list of
-    ``(name, t0, t1, args)``.
+    ``cycle_records`` is a list of ``(span, phases, transfers[,
+    boundary_wait])`` where ``span`` is a
+    :class:`~repro.obs.records.CycleSpan`, ``phases`` a list of
+    ``(color, t0, t1)``, ``transfers`` a list of ``(name, t0, t1,
+    args)`` and ``boundary_wait`` the machine-measured recoverable dead
+    time (0 assumed for legacy three-element records).
     """
     rows = []
     aggregates: dict[str, PhaseProfile] = {}
-    for span, phases, transfers in cycle_records:
-        row = CycleProfile(cycle=span.index, t0=span.t0, t1=span.t1)
+    for record in cycle_records:
+        span, phases, transfers = record[0], record[1], record[2]
+        boundary_wait = float(record[3]) if len(record) > 3 else 0.0
+        row = CycleProfile(cycle=span.index, t0=span.t0, t1=span.t1,
+                           boundary_wait=boundary_wait)
         for color, p0, p1 in phases:
             duration = p1 - p0
             hosted = [tr for tr in transfers if p0 <= tr[1] < p1]

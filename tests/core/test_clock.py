@@ -1,12 +1,25 @@
-"""Integration tests for the molecular clock."""
+"""Integration tests for the clock oscillators."""
 
 import numpy as np
 import pytest
 
 from repro.crn.rates import RateScheme
 from repro.crn.simulation.ode import OdeSimulator
-from repro.core.clock import MolecularClock, build_clock
+from repro.crn.simulation.result import Trajectory
+from repro.core.clock import (Clock, MolecularClock, RelaxationClock,
+                              build_clock, make_clock, oscillator_names,
+                              register_oscillator)
 from repro.errors import NetworkError, SimulationError
+
+
+def _fraction_trajectory(times, red_fraction):
+    """A synthetic clock trajectory whose red mass *fraction* equals the
+    given series (green carries the complement, blue stays zero)."""
+    fraction = np.asarray(red_fraction, dtype=float)
+    states = np.column_stack([fraction, 1.0 - fraction,
+                              np.zeros_like(fraction)])
+    return Trajectory(np.asarray(times, dtype=float), states,
+                      ["C_red", "C_green", "C_blue"])
 
 
 @pytest.fixture(scope="module")
@@ -82,6 +95,113 @@ class TestRateRobustness:
         trajectory = OdeSimulator(network, scheme).simulate(
             80.0, n_samples=3000)
         assert len(clock.rising_edges(trajectory)) >= 5
+
+
+class TestRisingEdges:
+    def test_threshold_plateau_collapses_to_single_edge(self):
+        # Regression: the old sample-pair scan appended one edge per
+        # below->at transition, so a multi-sample plateau sitting at the
+        # threshold yielded duplicate edges.
+        clock = MolecularClock(mass=1.0)
+        trajectory = _fraction_trajectory(
+            [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            [0.1, 0.5, 0.5, 0.5, 0.9, 0.1, 0.9])
+        edges = clock.rising_edges(trajectory)
+        assert edges.tolist() == [1.0, 5.5]
+
+    def test_plateau_retreat_is_not_an_edge(self):
+        clock = MolecularClock(mass=1.0)
+        trajectory = _fraction_trajectory(
+            [0.0, 1.0, 2.0, 3.0], [0.1, 0.5, 0.5, 0.1])
+        assert clock.rising_edges(trajectory).size == 0
+
+    def test_must_fall_below_before_next_edge(self):
+        clock = MolecularClock(mass=1.0)
+        trajectory = _fraction_trajectory(
+            [0.0, 1.0, 2.0, 3.0, 4.0], [0.1, 0.9, 0.6, 0.9, 0.6])
+        assert clock.rising_edges(trajectory).size == 1
+
+    def test_edge_time_interpolated(self):
+        clock = MolecularClock(mass=1.0)
+        trajectory = _fraction_trajectory(
+            [0.0, 1.0], [0.1, 0.9])
+        assert clock.rising_edges(trajectory).tolist() == [0.5]
+
+
+class TestAmplitude:
+    def test_settle_cut_is_time_based(self):
+        # Regression: the settling prefix used to be cut by *sample
+        # index* (``int(len(series) * settle)``), which on a non-uniform
+        # grid -- samples clustered around an early transient -- kept
+        # transient samples inside the "settled" tail.
+        clock = MolecularClock(mass=10.0)
+        times = [0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08,
+                 0.09, 10.0, 20.0]
+        red = [0.0] * 10 + [10.0, 10.0]
+        states = np.column_stack([
+            np.asarray(red), np.zeros(12), np.zeros(12)])
+        trajectory = Trajectory(np.asarray(times), states,
+                                ["C_red", "C_green", "C_blue"])
+        # 25% of the time span is t=5.0: every transient sample (all
+        # before t=0.1) is excluded, even though they are 10/12 of the
+        # sample count.
+        assert clock.amplitude(trajectory) == (10.0, 10.0)
+
+    def test_degenerate_tail_falls_back_to_last_sample(self):
+        clock = MolecularClock(mass=10.0)
+        trajectory = Trajectory(
+            np.array([0.0]), np.array([[3.0, 0.0, 0.0]]),
+            ["C_red", "C_green", "C_blue"])
+        assert clock.amplitude(trajectory) == (3.0, 3.0)
+
+
+class TestRelaxationClock:
+    @pytest.fixture(scope="class")
+    def relaxation_run(self):
+        network, clock, _ = build_clock(mass=20.0,
+                                        oscillator="relaxation")
+        trajectory = OdeSimulator(network).simulate(40.0, n_samples=3000)
+        return clock, trajectory
+
+    def test_sustained_oscillation(self, relaxation_run):
+        clock, trajectory = relaxation_run
+        assert len(clock.rising_edges(trajectory)) >= 10
+
+    def test_period_differs_from_molecular(self, relaxation_run):
+        clock, trajectory = relaxation_run
+        # Fast autocatalytic discharge shortens the rotation relative to
+        # the molecular clock's ~1.79 at the same mass and rates.
+        assert clock.period(trajectory) == pytest.approx(1.07, rel=0.3)
+        assert clock.period_jitter(trajectory) < 0.05
+
+    def test_phases_rotate_in_order(self, relaxation_run):
+        clock, trajectory = relaxation_run
+        dominant = clock.dominant_phase(trajectory)
+        changes = dominant[np.nonzero(np.diff(dominant))[0] + 1]
+        previous = dominant[0]
+        for current in changes:
+            assert current == (previous + 1) % 3
+            previous = current
+
+
+class TestOscillatorRegistry:
+    def test_registered_names(self):
+        names = oscillator_names()
+        assert "molecular" in names and "relaxation" in names
+
+    def test_make_clock(self):
+        clock = make_clock("relaxation", mass=12.0, name="K")
+        assert isinstance(clock, RelaxationClock)
+        assert isinstance(clock, Clock)
+        assert clock.mass == 12.0 and clock.kind == "relaxation"
+
+    def test_unknown_oscillator(self):
+        with pytest.raises(NetworkError, match="unknown oscillator"):
+            make_clock("quartz")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(NetworkError, match="already registered"):
+            register_oscillator("molecular", MolecularClock)
 
 
 class TestApi:

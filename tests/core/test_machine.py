@@ -121,3 +121,74 @@ class TestRateRobustness:
             results.append(run.outputs["y"][:3])
         for a, b in zip(results, results[1:]):
             assert np.allclose(a, b, atol=0.3)
+
+
+class TestErrorMetrics:
+    @staticmethod
+    def _run(measured, expected):
+        from repro.core.machine import MachineRun
+
+        return MachineRun(
+            outputs={"y": np.asarray(measured, dtype=float)},
+            reference={"y": np.asarray(expected, dtype=float)},
+            cycles=[])
+
+    def test_short_measurement_raises_with_both_lengths(self):
+        # Regression: a truncated run used to be *silently* compared
+        # over the common prefix, hiding the missing samples.
+        from repro.errors import SimulationError
+
+        run = self._run([1.0], [1.0, 2.0])
+        with pytest.raises(SimulationError,
+                           match="has 1 samples but the reference has 2"):
+            run.max_error()
+        with pytest.raises(SimulationError, match="'y'"):
+            run.rms_error("y")
+
+    def test_longer_measurement_compares_reference_prefix(self):
+        # Extra flush cycles legitimately extend the measured stream;
+        # only the reference-covered prefix is scored.
+        run = self._run([1.0, 2.0, 99.0], [1.0, 2.0])
+        assert run.max_error() == 0.0
+        assert run.rms_error("y") == 0.0
+
+    def test_error_magnitudes(self):
+        run = self._run([1.0, 2.5], [1.0, 2.0])
+        assert run.max_error() == pytest.approx(0.5)
+        assert run.rms_error("y") == pytest.approx(0.5 / np.sqrt(2))
+
+
+class TestMachineOptions:
+    def test_defaults_are_fixed_molecular(self):
+        from repro.core.machine import MachineOptions
+
+        options = MachineOptions()
+        assert options.clocking == "fixed"
+        assert not options.adaptive
+        assert options.oscillator == "molecular"
+
+    def test_invalid_clocking_rejected(self):
+        from repro.core.machine import MachineOptions
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="clocking"):
+            MachineOptions(clocking="turbo")
+
+    def test_settle_fraction_range_enforced(self):
+        from repro.core.machine import MachineOptions
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="settle_fraction"):
+            MachineOptions(settle_fraction=0.4)
+        with pytest.raises(SimulationError, match="settle_residual"):
+            MachineOptions(settle_residual=0.0)
+
+    def test_settle_fraction_must_undercut_boundary_fraction(self):
+        from repro.apps.filters import moving_average
+        from repro.core.machine import MachineOptions
+        from repro.errors import SimulationError
+
+        options = MachineOptions(clocking="adaptive",
+                                 settle_fraction=0.95)
+        with pytest.raises(SimulationError, match="boundary_fraction"):
+            SynchronousMachine(moving_average(2), options=options)

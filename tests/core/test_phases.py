@@ -216,3 +216,27 @@ class TestRationalGain:
 
         assert rational_gain(0.5) == Fraction(1, 2)
         assert rational_gain(0.25) == Fraction(1, 4)
+
+
+class TestLandingMap:
+    def test_clock_blue_lands_on_red(self):
+        from repro.core.clock import build_clock
+        from repro.core.phases import landing_map
+
+        network, clock, protocol = build_clock(mass=20.0)
+        landings = landing_map(network, protocol, "blue")
+        assert landings[f"{clock.name}_blue"] == \
+            [(f"{clock.name}_red", 1.0)]
+
+    def test_machine_blues_all_land(self):
+        from repro.apps.filters import moving_average
+        from repro.core.machine import SynchronousMachine
+        from repro.core.phases import landing_map
+
+        machine = SynchronousMachine(moving_average(2))
+        landings = landing_map(machine.network,
+                               machine.circuit.protocol, "blue")
+        blues = {s.name for s in machine.network.species_with_color("blue")}
+        assert set(landings) == blues
+        for targets in landings.values():
+            assert sum(ratio for _, ratio in targets) >= 1.0

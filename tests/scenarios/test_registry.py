@@ -13,14 +13,14 @@ from repro.scenarios import (Scenario, get_scenario, register_scenario,
 class TestRegistry:
     def test_builtin_menu_in_registration_order(self):
         assert scenario_names() == ("clock", "counter", "fsm", "ma",
-                                    "iir", "random")
+                                    "iir", "clock-relaxation", "random")
 
     def test_tag_filters(self):
         assert scenario_names(tag="waves") == ("counter", "fsm", "ma",
                                                "iir")
         assert scenario_names(tag="faults") == ("counter", "ma", "iir")
         assert scenario_names(tag="conformance-circuit") == \
-            ("clock", "counter")
+            ("clock", "counter", "clock-relaxation")
 
     def test_unknown_name_suggests_nearest(self):
         with pytest.raises(ScenarioError, match="did you mean 'clock'"):
@@ -39,7 +39,7 @@ class TestRegistry:
 
 class TestBuiltinNetworks:
     @pytest.mark.parametrize("name", ["clock", "counter", "ma", "iir",
-                                      "random"])
+                                      "clock-relaxation", "random"])
     def test_network_capability(self, name):
         network = get_scenario(name).network()
         assert isinstance(network, Network)
@@ -71,10 +71,12 @@ class TestConsumers:
         from repro.conformance.generator import _circuit_targets
 
         targets = _circuit_targets(10.0)
-        assert [t.name for t in targets] == ["circuit:clock",
-                                             "circuit:counter2"]
+        assert [t.name for t in targets] == [
+            "circuit:clock", "circuit:counter2",
+            "circuit:clock-relaxation"]
         assert targets[0].t_final == 2.0 and not targets[0].stochastic
         assert targets[1].t_final == 1.0 and targets[1].stochastic
+        assert targets[2].t_final == 2.0 and not targets[2].stochastic
         counter = get_scenario("counter").network(bits=2)
         assert targets[1].network.canonical_hash() == \
             counter.canonical_hash()

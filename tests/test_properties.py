@@ -158,3 +158,56 @@ class TestEffectiveValueAccounting:
                     for name in line.signal_species())
         assert total == np.float64(total)
         assert abs(total - initial) / initial < 1e-4
+
+
+class TestRisingEdgeInvariants:
+    @staticmethod
+    def _trajectory(fractions):
+        from repro.crn.simulation.result import Trajectory
+
+        series = np.asarray(fractions, dtype=float)
+        states = np.column_stack([series, 1.0 - series,
+                                  np.zeros_like(series)])
+        return Trajectory(np.arange(len(series), dtype=float), states,
+                          ["C_red", "C_green", "C_blue"])
+
+    @staticmethod
+    def _refined(fractions):
+        """Insert the midpoint of every linear segment (doubles the
+        sample rate without changing the piecewise-linear waveform)."""
+        from repro.crn.simulation.result import Trajectory
+
+        series = np.asarray(fractions, dtype=float)
+        times = np.arange(len(series), dtype=float)
+        fine_times = np.sort(np.concatenate(
+            [times, (times[:-1] + times[1:]) / 2.0]))
+        fine = np.interp(fine_times, times, series)
+        states = np.column_stack([fine, 1.0 - fine,
+                                  np.zeros_like(fine)])
+        return Trajectory(fine_times, states,
+                          ["C_red", "C_green", "C_blue"])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), min_size=2, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_edges_strictly_increasing(self, fractions):
+        from repro.core.clock import MolecularClock
+
+        edges = MolecularClock(mass=1.0).rising_edges(
+            self._trajectory(fractions))
+        assert np.all(np.diff(edges) > 0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), min_size=2, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_edges_invariant_under_linear_refinement(self, fractions):
+        """Resampling the same piecewise-linear waveform at twice the
+        rate must yield the same edge count and (interpolated) times --
+        the old sample-index scan failed both."""
+        from repro.core.clock import MolecularClock
+
+        clock = MolecularClock(mass=1.0)
+        coarse = clock.rising_edges(self._trajectory(fractions))
+        fine = clock.rising_edges(self._refined(fractions))
+        assert len(coarse) == len(fine)
+        assert np.allclose(coarse, fine, atol=1e-9)

@@ -46,10 +46,10 @@ class TestProbe:
         span = CycleSpan(0, 0.0, 3.0)
         phases = [("red", 0.0, 1.0), ("green", 1.0, 2.0),
                   ("blue", 2.0, 3.0)]
-        probe.observe_cycle(span, phases, [])
+        probe.observe_cycle(span, phases, [], boundary_wait=0.25)
         assert probe.waveform["phase"].values == ["red", "green",
                                                  "blue"]
-        assert probe.cycle_records == [(span, phases, [])]
+        assert probe.cycle_records == [(span, phases, [], 0.25)]
 
     def test_finish_without_engine(self):
         probe = WaveformProbe()

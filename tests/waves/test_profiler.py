@@ -75,3 +75,40 @@ class TestRender:
         assert payload["critical_transfers"] == \
             {"transfer:green->blue": 1}
         assert payload["cycles"][0]["phases"][0]["color"] == "red"
+
+
+class TestBoundaryWait:
+    def test_legacy_three_tuple_records_accepted(self):
+        report = profile_cycles([_record()])
+        assert report.recoverable_dead_time == 0.0
+        assert report.recoverable_fraction == 0.0
+
+    def test_boundary_wait_summed_and_fractioned(self):
+        records = [_record(0, 0.0, 3.0) + (0.5,),
+                   _record(1, 3.0, 6.0) + (0.25,)]
+        report = profile_cycles(records)
+        assert report.cycles[0].boundary_wait == pytest.approx(0.5)
+        assert report.recoverable_dead_time == pytest.approx(0.75)
+        assert report.recoverable_fraction == pytest.approx(0.75 / 6.0)
+        payload = report.to_dict()
+        assert payload["recoverable_dead_time"] == pytest.approx(0.75)
+        assert payload["cycles"][0]["boundary_wait"] == pytest.approx(0.5)
+
+    def test_render_names_adaptive_clocking(self):
+        records = [_record(0, 0.0, 3.0) + (0.5,)]
+        text = render_profile(profile_cycles(records).to_dict())
+        assert "recoverable (adaptive clocking)" in text
+
+    def test_fixed_run_attributes_recoverable_time(self):
+        # End-to-end: a fixed-clock probed run reports how much tail the
+        # adaptive settling event would have reclaimed.
+        from repro.apps.filters import moving_average
+        from repro.core.machine import SynchronousMachine
+        from repro.waves.probe import WaveformProbe
+
+        probe = WaveformProbe()
+        machine = SynchronousMachine(moving_average(2), probe=probe)
+        machine.run({"x": [8.0, 4.0, 6.0, 2.0]})
+        report = profile_cycles(probe.cycle_records)
+        assert report.recoverable_dead_time > 0.0
+        assert 0.0 < report.recoverable_fraction < 1.0
